@@ -1,0 +1,77 @@
+// Command hpucalib runs the paper's §6.4 parameter-estimation procedures on
+// a simulated platform: the element-wise-sum saturation sweep that finds the
+// GPU parallelism g (Fig 5) and the single-thread merge comparison that
+// finds the scalar ratio γ (Fig 6). The output is the platform's Table 2
+// row plus the raw curves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ascii"
+	"repro/internal/estimate"
+	"repro/internal/hpu"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		platform   = flag.String("platform", "", "platform to calibrate (HPU1, HPU2; empty = both)")
+		work       = flag.Int("work", 1<<26, "total elements per saturation launch")
+		maxThreads = flag.Int("maxthreads", 10000, "saturation sweep upper bound")
+		step       = flag.Int("step", 8, "saturation sweep thread increment")
+		curves     = flag.Bool("curves", false, "print the raw estimation curves")
+	)
+	flag.Parse()
+
+	var platforms []hpu.Platform
+	if *platform == "" {
+		platforms = hpu.Platforms()
+	} else {
+		pl, ok := hpu.ByName(*platform)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hpucalib: unknown platform %q\n", *platform)
+			os.Exit(2)
+		}
+		platforms = []hpu.Platform{pl}
+	}
+
+	var rows [][]string
+	for _, pl := range platforms {
+		scfg := estimate.SaturationConfig{
+			Work: *work, MaxThreads: *maxThreads, Step: *step, Tolerance: 0.02,
+		}
+		g, satPts, err := estimate.EstimateG(pl, scfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpucalib: %s: %v\n", pl.Name, err)
+			os.Exit(1)
+		}
+		gammaInv, gammaPts, err := estimate.EstimateGammaInv(pl, estimate.DefaultGammaConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpucalib: %s: %v\n", pl.Name, err)
+			os.Exit(1)
+		}
+		rows = append(rows, []string{
+			pl.Name,
+			fmt.Sprintf("%d", pl.CPU.Cores),
+			fmt.Sprintf("%d", g),
+			fmt.Sprintf("%.1f", gammaInv),
+		})
+		if *curves {
+			fmt.Printf("\n--- %s saturation curve (g knee = %d) ---\n", pl.Name, g)
+			ch := ascii.DefaultChart()
+			fmt.Print(ch.RenderSeries([]string{"time vs threads"}, [][]stats.Point{satPts}))
+			fmt.Printf("\n--- %s merge ratio curve (mean 1/γ = %.1f) ---\n", pl.Name, gammaInv)
+			var rp []stats.Point
+			for _, p := range gammaPts {
+				rp = append(rp, stats.Point{X: float64(p.Size), Y: p.Ratio})
+			}
+			fmt.Print(ch.RenderSeries([]string{"GPU/CPU"}, [][]stats.Point{rp}))
+		}
+	}
+	fmt.Println("\nEstimated platform parameters (paper Table 2):")
+	fmt.Print(ascii.RenderTable([]string{"Platform", "p", "g", "1/γ"}, rows))
+	fmt.Println("paper: HPU1 (4, 4096, 160); HPU2 (4, 1200, 65)")
+}

@@ -1,0 +1,85 @@
+// Command hpumodel explores the paper's §5 analytic HPU model for a
+// divide-and-conquer recurrence T(n) = a·T(n/b) + Θ(n^{log_b a}): the basic
+// crossover level, the advanced division's y(α) and GPU-work curves, the
+// optimal work ratio α*, and the predicted speedup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ascii"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		a        = flag.Int("a", 2, "recurrence branching factor a")
+		b        = flag.Int("b", 2, "recurrence size divisor b")
+		logN     = flag.Int("logn", 24, "input size exponent: n = b^logn")
+		p        = flag.Int("p", 4, "CPU cores")
+		g        = flag.Int("g", 4096, "GPU cores (saturation threads)")
+		gammaInv = flag.Float64("gammainv", 160, "1/γ: CPU/GPU scalar speed ratio")
+		chart    = flag.Bool("chart", true, "render the y(α) and GPU-work charts")
+	)
+	flag.Parse()
+
+	mach := model.Machine{P: *p, G: *g, Gamma: 1 / *gammaInv}
+	n := 1.0
+	for i := 0; i < *logN; i++ {
+		n *= float64(*b)
+	}
+	poly, err := model.NewPoly(*a, *b, n, mach)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpumodel: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Recurrence: T(n) = %d·T(n/%d) + Θ(n^%.3f),  n = %.4g (%d levels)\n",
+		*a, *b, poly.Levels()/float64(*logN), n, *logN)
+	fmt.Printf("Machine:    p = %d, g = %d, 1/γ = %.0f\n\n", *p, *g, *gammaInv)
+
+	if x, ok := model.BasicCrossover(*a, mach); ok {
+		fmt.Printf("Basic division (§5.1): run levels 0..%d on the CPU, %d and below on the GPU\n", x-1, x)
+	} else {
+		fmt.Println("Basic division (§5.1): γ·g < p — the GPU never wins; stay on the CPU")
+	}
+
+	alpha, y, frac := poly.Optimum()
+	fmt.Printf("\nAdvanced division (§5.2):\n")
+	fmt.Printf("  optimal work ratio   α* = %.4f\n", alpha)
+	fmt.Printf("  transfer level       y  = %.2f\n", y)
+	fmt.Printf("  GPU share of work       = %.1f%%\n", 100*frac)
+
+	num, err := model.NewNumeric(*a, *b, *logN,
+		func(size float64) float64 { return size * poly.LevelWork() / n }, 1, mach)
+	if err == nil && *a == *b {
+		// For a=b the level cost function is exactly f(size)=size.
+		yi := int(y + 0.5)
+		if yi > *logN {
+			yi = *logN
+		}
+		if pr, err := num.PredictAdvanced(alpha, yi, num.DefaultSplit(alpha, yi)); err == nil {
+			fmt.Printf("  predicted speedup       = %.2fx over one core\n",
+				num.SequentialTime()/pr.Makespan)
+		}
+	}
+
+	if *chart {
+		var yPts, wPts []stats.Point
+		lo := poly.MinAlpha()
+		for i := 0; i <= 160; i++ {
+			al := lo + (0.999-lo)*float64(i)/160
+			yv, _ := poly.Y(al)
+			yPts = append(yPts, stats.Point{X: al, Y: yv})
+			wPts = append(wPts, stats.Point{X: al, Y: 100 * poly.GPUWorkFraction(al)})
+		}
+		ch := ascii.DefaultChart()
+		fmt.Println("\nTransfer level y(α):")
+		fmt.Print(ch.RenderSeries([]string{"y(alpha)"}, [][]stats.Point{yPts}))
+		fmt.Println("\nGPU share of total work (%):")
+		fmt.Print(ch.RenderSeries([]string{"GPU work %"}, [][]stats.Point{wPts}))
+	}
+}

@@ -1,0 +1,84 @@
+// Custom-platform shows the full §6.4 workflow on a user-defined machine:
+// define an HPU (here, a beefier 8-core CPU with a mid-range GPU), recover
+// its (p, g, γ) parameters with the estimation harness exactly as one would
+// on real hardware, feed them to the analytic model, and run the advanced
+// hybrid mergesort with the planned division.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/hpu"
+	"repro/internal/simcpu"
+	"repro/internal/simgpu"
+	"repro/internal/workload"
+)
+
+// myMachine is a fictional 8-core desktop with a 2048-thread GPU, specified
+// the way a user of the library would describe their own hardware.
+func myMachine() hybriddc.Platform {
+	return hybriddc.Platform{
+		Name: "MY1",
+		CPU: simcpu.Params{
+			Name: "8-core desktop", Cores: 8, ClockGHz: 3.6,
+			RateOpsPerSec: 6e8, LLCBytes: 16 << 20, MemBWOpsPerSec: 2.4e9,
+			MemWeight: hpu.MemWeight, DispatchOverheadSec: 1e-6,
+		},
+		GPU: simgpu.Params{
+			Name: "mid-range dGPU", SatThreads: 2048, PhysicalPEs: 1024,
+			Gamma: 1.0 / 96, HideFactor: 12, BaseRateOpsPerSec: 6e8,
+			MemWeight: hpu.MemWeight, StridePenalty: 4, LaunchOverheadSec: 1.5e-5,
+		},
+		Link: hpu.LinkParams{Name: "PCIe 3.0", LatencySec: 3e-5, SecPerByte: 1.0 / 8e9},
+	}
+}
+
+func main() {
+	pl := myMachine()
+
+	// Step 1: estimate the platform parameters, as §6.4 does once per
+	// machine (Figs 5 and 6).
+	est, err := hybriddc.EstimatePlatform(pl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated parameters for %s: p=%d g=%d 1/γ=%.0f\n",
+		pl.Name, est.P, est.G, est.GammaInv)
+
+	// Step 2: plan the advanced division from the estimated machine.
+	const logN = 20
+	mach := hybriddc.Machine{P: est.P, G: est.G, Gamma: 1 / est.GammaInv}
+	poly, err := hybriddc.NewPolyModel(2, 2, float64(1<<logN), mach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alpha, yf, frac := poly.Optimum()
+	y := int(yf + 0.5)
+	fmt.Printf("model plan: alpha=%.3f, transfer level y=%d, GPU share %.0f%%\n",
+		alpha, y, 100*frac)
+
+	// Step 3: run hybrid mergesort with the planned division.
+	in := workload.Uniform(1<<logN, 3)
+	be := hybriddc.MustSim(pl)
+	s, err := hybriddc.NewMergesort(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqRep := hybriddc.RunSequential(be, s)
+
+	be = hybriddc.MustSim(pl)
+	s, _ = hybriddc.NewMergesort(in)
+	rep, err := hybriddc.RunAdvancedHybrid(be, s,
+		hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1},
+		hybriddc.Options{Coalesce: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !workload.IsSorted(s.Result()) {
+		log.Fatal("output not sorted")
+	}
+	fmt.Printf("sequential %.4fs, advanced hybrid %.4fs: %.2fx speedup\n",
+		seqRep.Seconds, rep.Seconds, seqRep.Seconds/rep.Seconds)
+}

@@ -1,0 +1,48 @@
+// Maxsubarray runs the maximum-subarray problem through the hybrid
+// framework and cross-checks against Kadane's linear scan. With a constant-
+// size combine (T(n) = 2T(n/2) + Θ(1)) the work is leaf-dominated, and the
+// leaf batch — one quadruple per element — is exactly the wide, uniform
+// kernel GPUs like, so the hybrid schedule assigns almost everything below
+// the transfer level to the device.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const logN = 20
+	r := rand.New(rand.NewSource(5))
+	in := make([]int32, 1<<logN)
+	for i := range in {
+		in[i] = int32(r.Intn(2001) - 1000) // signed values: the interesting case
+	}
+
+	be := hybriddc.MustSim(hybriddc.HPU1())
+	s, err := hybriddc.NewMaxSubarray(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := hybriddc.RunSequential(be, s)
+	want := s.Result()
+	fmt.Printf("max subarray sum of 2^%d signed values = %d\n", logN, want)
+	fmt.Printf("sequential:      %.6fs\n", seq.Seconds)
+
+	be = hybriddc.MustSim(hybriddc.HPU1())
+	s, _ = hybriddc.NewMaxSubarray(in)
+	alpha, y := hybriddc.PlanAdvanced(be, s)
+	rep, err := hybriddc.RunAdvancedHybrid(be, s,
+		hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1}, hybriddc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if s.Result() != want {
+		log.Fatalf("hybrid result %d != sequential %d", s.Result(), want)
+	}
+	fmt.Printf("advanced hybrid: %.6fs (%.2fx) at alpha=%.3f y=%d\n",
+		rep.Seconds, seq.Seconds/rep.Seconds, alpha, y)
+}

@@ -1,0 +1,88 @@
+// Mergesort walks through the paper's §6 case study end to end on the
+// simulated HPU1: let the §5.2 model choose the work division, then compare
+// every strategy — the 1-core recursive baseline, the 4-core breadth-first
+// version, the basic hybrid, the advanced hybrid (with and without the §6.3
+// coalescing transformation), and the GPU-only parallel-merge baseline of
+// Fig 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/algos/mergesort"
+	"repro/internal/workload"
+)
+
+const logN = 20
+
+// run executes one freshly-built sorter through fn and returns its makespan.
+func run(in []int32, fn func(*hybriddc.Sim, *mergesort.Sorter) (hybriddc.Report, error)) float64 {
+	be := hybriddc.MustSim(hybriddc.HPU1())
+	s, err := hybriddc.NewMergesort(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fn(be, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !workload.IsSorted(s.Result()) {
+		log.Fatalf("%s: output not sorted", rep.Strategy)
+	}
+	return rep.Seconds
+}
+
+func main() {
+	in := workload.Uniform(1<<logN, 7)
+	fmt.Printf("hybrid mergesort of n = 2^%d uniform random int32 on %s\n\n",
+		logN, hybriddc.HPU1().Name)
+
+	seq := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
+		return hybriddc.RunSequential(be, s), nil
+	})
+	fmt.Printf("sequential 1-core   %.4fs\n", seq)
+
+	bf := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
+		return hybriddc.RunBreadthFirstCPU(be, s), nil
+	})
+	fmt.Printf("breadth-first CPU   %.4fs  (%.2fx)\n", bf, seq/bf)
+
+	x, _ := hybriddc.BasicCrossover(2, hybriddc.MachineOf(hybriddc.MustSim(hybriddc.HPU1())))
+	basic := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
+		return hybriddc.RunBasicHybrid(be, s, x, hybriddc.Options{Coalesce: true})
+	})
+	fmt.Printf("basic hybrid (x=%d) %.4fs  (%.2fx)\n", x, basic, seq/basic)
+
+	planner, _ := hybriddc.NewMergesort(in)
+	alpha, y := hybriddc.PlanAdvanced(hybriddc.MustSim(hybriddc.HPU1()), planner)
+	fmt.Printf("\nmodel: advanced division alpha=%.3f, transfer level y=%d\n", alpha, y)
+	prm := hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
+
+	adv := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
+		return hybriddc.RunAdvancedHybrid(be, s, prm, hybriddc.Options{Coalesce: true})
+	})
+	fmt.Printf("advanced hybrid     %.4fs  (%.2fx)\n", adv, seq/adv)
+
+	advRaw := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
+		return hybriddc.RunAdvancedHybrid(be, s, prm, hybriddc.Options{})
+	})
+	fmt.Printf("  without coalescing %.4fs (%.2fx)\n", advRaw, seq/advRaw)
+
+	// GPU-only baseline with the parallel binary-search merge (Fig 9).
+	be := hybriddc.MustSim(hybriddc.HPU1())
+	ps, err := hybriddc.NewParallelMergesort(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := hybriddc.RunGPUOnly(be, ps, hybriddc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !workload.IsSorted(ps.Result()) {
+		log.Fatal("gpu-only output not sorted")
+	}
+	fmt.Printf("gpu-only parallel   %.4fs total, %.4fs device  (%.2fx, %.2fx sort-only)\n",
+		rep.Seconds, rep.GPUPortionSeconds, seq/rep.Seconds, seq/rep.GPUPortionSeconds)
+}

@@ -1,0 +1,55 @@
+// Native-sort runs the same generic framework on real goroutines instead of
+// the simulator: a breadth-first parallel mergesort on this machine's cores,
+// timed with the wall clock. It demonstrates that the library is a usable
+// multi-core divide-and-conquer runtime, not only a reproduction harness.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const logN = 22
+	in := workload.Uniform(1<<logN, 11)
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("native mergesort of 2^%d int32 on %d real cores\n\n", logN, workers)
+
+	// Sequential baseline on one worker.
+	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := hybriddc.NewMergesort(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := hybriddc.RunSequential(be, s)
+	be.Close()
+	if !workload.IsSorted(s.Result()) {
+		log.Fatal("sequential output not sorted")
+	}
+	fmt.Printf("sequential (1 worker):      %.4fs\n", seq.Seconds)
+
+	// Breadth-first on all cores.
+	be, err = hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer be.Close()
+	s, _ = hybriddc.NewMergesort(in)
+	bf := hybriddc.RunBreadthFirstCPU(be, s)
+	if !workload.IsSorted(s.Result()) {
+		log.Fatal("parallel output not sorted")
+	}
+	fmt.Printf("breadth-first (%d workers): %.4fs  (%.2fx)\n",
+		workers, bf.Seconds, seq.Seconds/bf.Seconds)
+	fmt.Println()
+	fmt.Println("note: the top merge levels are sequential, which caps mergesort's")
+	fmt.Println("multi-core speedup near 2.5-3x on 4 cores — the very observation")
+	fmt.Println("that motivates offloading the wide levels to a GPU in the paper.")
+}

@@ -1,0 +1,105 @@
+package hybriddc
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points end to end:
+// build an algorithm, plan the division, run it hybrid, read the result.
+func TestPublicAPIQuickstart(t *testing.T) {
+	in := workload.Uniform(1<<14, 1)
+	be := MustSim(HPU1())
+	s, err := NewMergesort(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, y := PlanAdvanced(be, s)
+	if alpha <= 0 || alpha >= 1 {
+		t.Fatalf("planned alpha = %g", alpha)
+	}
+	if y < 0 || y > s.Levels() {
+		t.Fatalf("planned y = %d", y)
+	}
+	rep, err := RunAdvancedHybrid(be, s,
+		AdvancedParams{Alpha: alpha, Y: y, Split: -1}, Options{Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !workload.IsSorted(s.Result()) {
+		t.Error("result not sorted")
+	}
+	if rep.Seconds <= 0 {
+		t.Error("nonpositive duration")
+	}
+}
+
+func TestPlanAdvancedMatchesPaperExample(t *testing.T) {
+	// For mergesort at n = 2^24 on HPU1, the planner must land on the
+	// paper's α* ≈ 0.16, y ≈ 10 (it routes through the closed-form model).
+	in := make([]int32, 1<<24)
+	s, err := NewMergesort(in[:1<<24])
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, y := PlanAdvanced(MustSim(HPU1()), s)
+	if alpha < 0.12 || alpha > 0.20 {
+		t.Errorf("alpha = %.3f, want ~0.16", alpha)
+	}
+	if y < 9 || y > 11 {
+		t.Errorf("y = %d, want ~10", y)
+	}
+}
+
+func TestPlanAdvancedNumericFallback(t *testing.T) {
+	// The sum's f = Θ(1) is outside the closed-form family; the planner
+	// must fall back to the numeric search and return valid parameters.
+	in := workload.Uniform(1<<16, 2)
+	s, err := NewSum(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, y := PlanAdvanced(MustSim(HPU1()), s)
+	if alpha <= 0 || alpha >= 1 || y < 0 || y > s.Levels() {
+		t.Errorf("numeric plan invalid: alpha=%g y=%d", alpha, y)
+	}
+}
+
+func TestEstimatePlatformPublic(t *testing.T) {
+	res, err := EstimatePlatform(HPU2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G < 1100 || res.G > 1300 {
+		t.Errorf("estimated g = %d, want ~1200", res.G)
+	}
+}
+
+func TestBasicCrossoverPublic(t *testing.T) {
+	x, ok := BasicCrossover(2, MachineOf(MustSim(HPU1())))
+	if !ok || x != 10 {
+		t.Errorf("crossover = %d/%v, want 10/true", x, ok)
+	}
+}
+
+func TestAllConstructorsValidate(t *testing.T) {
+	if _, err := NewMergesort(make([]int32, 3)); err == nil {
+		t.Error("NewMergesort accepted bad length")
+	}
+	if _, err := NewParallelMergesort(make([]int32, 3)); err == nil {
+		t.Error("NewParallelMergesort accepted bad length")
+	}
+	if _, err := NewSum(make([]int32, 3)); err == nil {
+		t.Error("NewSum accepted bad length")
+	}
+	if _, err := NewMaxSubarray(make([]int32, 3)); err == nil {
+		t.Error("NewMaxSubarray accepted bad length")
+	}
+	if _, err := NewKaratsuba(make([]int32, 4), make([]int32, 2)); err == nil {
+		t.Error("NewKaratsuba accepted mismatched lengths")
+	}
+	if _, err := NewMatMul(make([]float64, 16), make([]float64, 16), 4, 9); err == nil {
+		t.Error("NewMatMul accepted bad depth")
+	}
+}

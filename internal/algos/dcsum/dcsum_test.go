@@ -1,0 +1,160 @@
+package dcsum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/native"
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12} {
+		if _, err := New(make([]int32, n)); err == nil {
+			t.Errorf("New accepted length %d", n)
+		}
+	}
+}
+
+func TestSequential(t *testing.T) {
+	in := workload.Uniform(1<<10, 1)
+	be := hpu.MustSim(hpu.HPU1())
+	s, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.RunSequential(be, s)
+	if got, want := s.Result(), Sum(in); got != want {
+		t.Errorf("sequential sum = %d, want %d", got, want)
+	}
+}
+
+func TestBreadthFirstCPU(t *testing.T) {
+	in := workload.Reverse(1 << 12)
+	be := hpu.MustSim(hpu.HPU2())
+	s, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.RunBreadthFirstCPU(be, s)
+	if got, want := s.Result(), Sum(in); got != want {
+		t.Errorf("bf sum = %d, want %d", got, want)
+	}
+}
+
+func TestBasicHybrid(t *testing.T) {
+	for _, coalesce := range []bool{false, true} {
+		for _, x := range []int{0, 3, 7} {
+			in := workload.Uniform(1<<10, int64(x))
+			be := hpu.MustSim(hpu.HPU1())
+			s, err := New(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := core.RunBasicHybrid(be, s, x, core.Options{Coalesce: coalesce}); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := s.Result(), Sum(in); got != want {
+				t.Errorf("basic(x=%d,coalesce=%v) sum = %d, want %d", x, coalesce, got, want)
+			}
+		}
+	}
+}
+
+func TestAdvancedHybrid(t *testing.T) {
+	for _, coalesce := range []bool{false, true} {
+		for _, prm := range []core.AdvancedParams{
+			{Alpha: 0.16, Y: 5, Split: -1},
+			{Alpha: 0.5, Y: 8, Split: 2},
+			{Alpha: 0, Y: 4, Split: 0},
+			{Alpha: 1, Y: 6, Split: -1},
+		} {
+			in := workload.Uniform(1<<10, 99)
+			be := hpu.MustSim(hpu.HPU1())
+			s, err := New(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: coalesce}); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := s.Result(), Sum(in); got != want {
+				t.Errorf("advanced(%+v,coalesce=%v) sum = %d, want %d", prm, coalesce, got, want)
+			}
+		}
+	}
+}
+
+func TestGPUOnly(t *testing.T) {
+	in := workload.Gaussian(1<<12, 5)
+	be := hpu.MustSim(hpu.HPU1())
+	s, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RunGPUOnly(be, s, core.Options{Coalesce: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Result(), Sum(in); got != want {
+		t.Errorf("gpu-only sum = %d, want %d", got, want)
+	}
+}
+
+func TestNativeAdvanced(t *testing.T) {
+	in := workload.Uniform(1<<12, 8)
+	be, err := native.New(native.Config{CPUWorkers: 4, DeviceLanes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	s, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := core.AdvancedParams{Alpha: 0.25, Y: 6, Split: -1}
+	if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Result(), Sum(in); got != want {
+		t.Errorf("native advanced sum = %d, want %d", got, want)
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64, sizePow, yRaw uint8, alphaRaw uint16) bool {
+		logN := 2 + int(sizePow%9)
+		n := 1 << logN
+		in := workload.Uniform(n, seed)
+		be := hpu.MustSim(hpu.HPU2())
+		s, err := New(in)
+		if err != nil {
+			return false
+		}
+		prm := core.AdvancedParams{
+			Alpha: float64(alphaRaw) / 65535,
+			Y:     int(yRaw) % (logN + 1),
+			Split: -1,
+		}
+		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+			return false
+		}
+		return s.Result() == Sum(in)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultBeforeRunPanics(t *testing.T) {
+	s, _ := New(make([]int32, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("Result() before execution did not panic")
+		}
+	}()
+	_ = s.Result()
+}

@@ -1,0 +1,172 @@
+package matmul
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/native"
+)
+
+func randomMatrix(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = float64(r.Intn(21) - 10)
+	}
+	return m
+}
+
+func close(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(make([]float64, 9), make([]float64, 9), 3, 1); err == nil {
+		t.Error("New accepted non-power-of-two dimension")
+	}
+	if _, err := New(make([]float64, 16), make([]float64, 4), 4, 1); err == nil {
+		t.Error("New accepted mismatched operand sizes")
+	}
+	if _, err := New(make([]float64, 16), make([]float64, 16), 4, 0); err == nil {
+		t.Error("New accepted depth 0")
+	}
+	if _, err := New(make([]float64, 16), make([]float64, 16), 4, 5); err == nil {
+		t.Error("New accepted depth beyond dimension")
+	}
+}
+
+func TestMultiplyIdentity(t *testing.T) {
+	n := 8
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	a := randomMatrix(n, 1)
+	if got := Multiply(a, id, n); !close(got, a) {
+		t.Error("A·I != A")
+	}
+	if got := Multiply(id, a, n); !close(got, a) {
+		t.Error("I·A != A")
+	}
+}
+
+func TestExecutors(t *testing.T) {
+	n, depth := 32, 3
+	a, b := randomMatrix(n, 2), randomMatrix(n, 3)
+	want := Multiply(a, b, n)
+
+	t.Run("sequential", func(t *testing.T) {
+		be := hpu.MustSim(hpu.HPU1())
+		m, err := New(a, b, n, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.RunSequential(be, m)
+		if !close(m.Result(), want) {
+			t.Error("sequential product incorrect")
+		}
+	})
+	t.Run("bf-cpu", func(t *testing.T) {
+		be := hpu.MustSim(hpu.HPU1())
+		m, _ := New(a, b, n, depth)
+		core.RunBreadthFirstCPU(be, m)
+		if !close(m.Result(), want) {
+			t.Error("breadth-first product incorrect")
+		}
+	})
+	t.Run("basic-hybrid", func(t *testing.T) {
+		be := hpu.MustSim(hpu.HPU1())
+		m, _ := New(a, b, n, depth)
+		if _, err := core.RunBasicHybrid(be, m, 2, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !close(m.Result(), want) {
+			t.Error("basic hybrid product incorrect")
+		}
+	})
+	t.Run("advanced-hybrid", func(t *testing.T) {
+		be := hpu.MustSim(hpu.HPU2())
+		m, _ := New(a, b, n, depth)
+		prm := core.AdvancedParams{Alpha: 0.25, Y: 2, Split: 1}
+		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !close(m.Result(), want) {
+			t.Error("advanced hybrid product incorrect")
+		}
+	})
+	t.Run("gpu-only", func(t *testing.T) {
+		be := hpu.MustSim(hpu.HPU1())
+		m, _ := New(a, b, n, depth)
+		if _, err := core.RunGPUOnly(be, m, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !close(m.Result(), want) {
+			t.Error("gpu-only product incorrect")
+		}
+	})
+	t.Run("native", func(t *testing.T) {
+		be, err := native.New(native.Config{CPUWorkers: 4, DeviceLanes: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		m, _ := New(a, b, n, depth)
+		prm := core.AdvancedParams{Alpha: 0.5, Y: 2, Split: 1}
+		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !close(m.Result(), want) {
+			t.Error("native product incorrect")
+		}
+	})
+}
+
+func TestDepthEquivalence(t *testing.T) {
+	// Different truncation depths must give the same product.
+	n := 16
+	a, b := randomMatrix(n, 4), randomMatrix(n, 5)
+	want := Multiply(a, b, n)
+	for depth := 1; depth <= 4; depth++ {
+		be := hpu.MustSim(hpu.HPU1())
+		m, err := New(a, b, n, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.RunBreadthFirstCPU(be, m)
+		if !close(m.Result(), want) {
+			t.Errorf("depth %d product incorrect", depth)
+		}
+	}
+}
+
+func TestArityEightSplits(t *testing.T) {
+	n := 16
+	a, b := randomMatrix(n, 6), randomMatrix(n, 7)
+	want := Multiply(a, b, n)
+	for _, prm := range []core.AdvancedParams{
+		{Alpha: 0.1, Y: 1, Split: 1},
+		{Alpha: 0.4, Y: 2, Split: 1},
+		{Alpha: 0.8, Y: 2, Split: 2},
+	} {
+		be := hpu.MustSim(hpu.HPU1())
+		m, _ := New(a, b, n, 3)
+		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+			t.Fatalf("%+v: %v", prm, err)
+		}
+		if !close(m.Result(), want) {
+			t.Errorf("%+v: product incorrect", prm)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package mergesort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/native"
+	"repro/internal/workload"
+)
+
+func TestNewAnyValidation(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		if _, err := NewAny(make([]int32, n)); err == nil {
+			t.Errorf("NewAny accepted length %d", n)
+		}
+	}
+	if _, err := NewAny(make([]int32, 3)); err != nil {
+		t.Errorf("NewAny rejected length 3: %v", err)
+	}
+}
+
+func TestAnySorterOddSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7, 100, 1000, 12345, 65537} {
+		in := workload.Uniform(n, int64(n))
+		be := hpu.MustSim(hpu.HPU1())
+		s, err := NewAny(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.RunBreadthFirstCPU(be, s)
+		if !equal(s.Result(), reference(in)) {
+			t.Errorf("n=%d: breadth-first result unsorted", n)
+		}
+	}
+}
+
+func TestAnySorterAllExecutors(t *testing.T) {
+	n := 50_000 // not a power of two
+	in := workload.Uniform(n, 3)
+	want := reference(in)
+
+	t.Run("sequential", func(t *testing.T) {
+		s, _ := NewAny(in)
+		core.RunSequential(hpu.MustSim(hpu.HPU1()), s)
+		if !equal(s.Result(), want) {
+			t.Error("unsorted")
+		}
+	})
+	t.Run("basic-hybrid", func(t *testing.T) {
+		s, _ := NewAny(in)
+		if _, err := core.RunBasicHybrid(hpu.MustSim(hpu.HPU1()), s, 8, core.Options{Coalesce: true}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), want) {
+			t.Error("unsorted")
+		}
+	})
+	t.Run("advanced-hybrid", func(t *testing.T) {
+		for _, prm := range []core.AdvancedParams{
+			{Alpha: 0.17, Y: 9, Split: -1},
+			{Alpha: 0.4, Y: 6, Split: 3},
+		} {
+			s, _ := NewAny(in)
+			if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU2()), s, prm, core.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if !equal(s.Result(), want) {
+				t.Errorf("%+v: unsorted", prm)
+			}
+		}
+	})
+	t.Run("native", func(t *testing.T) {
+		be, err := native.New(native.Config{CPUWorkers: 4, DeviceLanes: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		s, _ := NewAny(in)
+		if _, err := core.RunAdvancedHybrid(be, s,
+			core.AdvancedParams{Alpha: 0.25, Y: 7, Split: -1}, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), want) {
+			t.Error("unsorted")
+		}
+	})
+}
+
+func TestAnySorterEdgeShapes(t *testing.T) {
+	// Already sorted, reversed, all-equal, few distinct.
+	inputs := [][]int32{
+		workload.Sorted(777),
+		workload.Reverse(1023),
+		make([]int32, 513),
+		workload.FewDistinct(999, 2, 1),
+	}
+	for i, in := range inputs {
+		s, err := NewAny(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), s)
+		if !equal(s.Result(), reference(in)) {
+			t.Errorf("input %d: unsorted", i)
+		}
+	}
+}
+
+func TestAnySorterQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(12))}
+	f := func(seed int64, nRaw uint16, alphaRaw uint16, yRaw uint8) bool {
+		n := 2 + int(nRaw%3000)
+		in := workload.Uniform(n, seed)
+		s, err := NewAny(in)
+		if err != nil {
+			return false
+		}
+		levels := s.Levels()
+		prm := core.AdvancedParams{
+			Alpha: float64(alphaRaw) / 65535,
+			Y:     int(yRaw) % (levels + 1),
+			Split: -1,
+		}
+		if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU1()), s, prm, core.Options{}); err != nil {
+			return false
+		}
+		return equal(s.Result(), reference(in))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnySorterMatchesPow2Sorter(t *testing.T) {
+	// On a power-of-two input both implementations must agree.
+	in := workload.Uniform(1<<12, 9)
+	a, _ := NewAny(in)
+	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), a)
+	b, _ := New(in)
+	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), b)
+	if !equal(a.Result(), b.Result()) {
+		t.Error("AnySorter and Sorter disagree on a power-of-two input")
+	}
+}

@@ -1,0 +1,304 @@
+// Package mergesort implements the paper's §6 case study: mergesort rewritten
+// breadth-first (Algorithm 7), with sequential-merge kernels for the hybrid
+// executors (Algorithm 8), the §6.3 memory-coalescing layout transformation,
+// and the GPU-only parallel binary-search merge baseline of Fig 9.
+//
+// Cost convention (shared with internal/hpu's calibration): merging into a
+// run of s elements costs Ops = s scalar operations and MemWords = 2s words
+// (read s, write s). With the platforms' MemWeight of 0.5 this is 2s
+// op-equivalents per merge task, so the model-level cost function is
+// f(size) = 2·size with zero leaf cost.
+package mergesort
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Sorter is a breadth-first mergesort instance over a power-of-two input.
+// It implements core.GPUAlg and core.Transformable. A Sorter is single-use:
+// run it through exactly one executor, then read Result.
+type Sorter struct {
+	n int
+	l int // log2 n
+	// buf holds the ping-pong merge buffers. The combine at level lvl
+	// (producing runs of size n>>lvl) is pass number l-lvl and reads from
+	// buf[(l-lvl-1)%2], writing to buf[(l-lvl)%2]. The input starts in
+	// buf[0].
+	buf [2][]int32
+	// inter tracks the §6.3 interleaved device layout, one entry per
+	// active region (several devices may hold disjoint regions at once):
+	// a region [base, base+count·runSize) of the current parity buffer
+	// stores element j of run i at offset base + j·count + i.
+	inter    []interRegion
+	interMu  sync.Mutex
+	finished bool
+}
+
+type interRegion struct {
+	base    int // element offset of the region
+	count   int // number of runs currently in the region
+	runSize int // size of each run
+}
+
+var (
+	_ core.GPUAlg        = (*Sorter)(nil)
+	_ core.Transformable = (*Sorter)(nil)
+)
+
+// New builds a Sorter over a copy of data. len(data) must be a power of two
+// of at least 2.
+func New(data []int32) (*Sorter, error) {
+	n := len(data)
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("mergesort: input length %d is not a power of two >= 2", n)
+	}
+	s := &Sorter{n: n, l: bits.TrailingZeros(uint(n))}
+	s.buf[0] = make([]int32, n)
+	s.buf[1] = make([]int32, n)
+	copy(s.buf[0], data)
+	return s, nil
+}
+
+// Name implements core.Alg.
+func (s *Sorter) Name() string { return "mergesort" }
+
+// Arity implements core.Alg: a = 2.
+func (s *Sorter) Arity() int { return 2 }
+
+// Shrink implements core.Alg: b = 2.
+func (s *Sorter) Shrink() int { return 2 }
+
+// N implements core.Alg.
+func (s *Sorter) N() int { return s.n }
+
+// Levels implements core.Alg: log2 n internal levels.
+func (s *Sorter) Levels() int { return s.l }
+
+// src and dst return the parity buffers for the combine at a level.
+func (s *Sorter) src(level int) []int32 { return s.buf[(s.l-level-1)%2] }
+func (s *Sorter) dst(level int) []int32 { return s.buf[(s.l-level)%2] }
+
+// runSize returns the output run size of the combine at a level.
+func (s *Sorter) runSize(level int) int { return s.n >> level }
+
+// DivideBatch implements core.Alg. Mergesort's division is positional: no
+// data moves, so the batch is empty.
+func (s *Sorter) DivideBatch(level, lo, hi int) core.Batch { return core.Batch{} }
+
+// BaseBatch implements core.Alg. Single elements are already sorted.
+func (s *Sorter) BaseBatch(lo, hi int) core.Batch { return core.Batch{} }
+
+// mergeCost is the per-task cost of a sequential merge producing sz
+// elements, with the given batch width for the working-set term.
+func mergeCost(sz, tasks int, coalesced bool) core.Cost {
+	return core.Cost{
+		Ops:        float64(sz),
+		MemWords:   2 * float64(sz),
+		Coalesced:  coalesced,
+		Divergent:  true,
+		WorkingSet: int64(tasks) * int64(sz) * 8, // src + dst, 4 B each
+	}
+}
+
+// CombineBatch implements core.Alg: task idx merges the two sorted halves of
+// subproblem idx at the level (contiguous layout).
+func (s *Sorter) CombineBatch(level, lo, hi int) core.Batch {
+	if hi <= lo {
+		return core.Batch{}
+	}
+	sz := s.runSize(level)
+	src, dst := s.src(level), s.dst(level)
+	return core.Batch{
+		Tasks: hi - lo,
+		Cost:  mergeCost(sz, hi-lo, false),
+		Run: func(i int) {
+			off := (lo + i) * sz
+			mergeRuns(dst[off:off+sz], src[off:off+sz/2], src[off+sz/2:off+sz])
+		},
+	}
+}
+
+// GPUDivideBatch implements core.GPUAlg.
+func (s *Sorter) GPUDivideBatch(level, lo, hi int) core.Batch { return core.Batch{} }
+
+// GPUBaseBatch implements core.GPUAlg.
+func (s *Sorter) GPUBaseBatch(lo, hi int) core.Batch { return core.Batch{} }
+
+// GPUBytes implements core.GPUAlg: 4 bytes per element in the range.
+func (s *Sorter) GPUBytes(level, lo, hi int) int64 {
+	return int64(hi-lo) * int64(s.runSize(level)) * 4
+}
+
+// GPUCombineBatch implements core.GPUAlg: one sequential merge per
+// work-item (the divergent kernel of §6.1/6.2). If the region has been put
+// into the interleaved device layout by PermuteForGPU, the merge reads and
+// writes interleaved and is coalesced; otherwise adjacent work-items touch
+// addresses a run apart and the access is strided.
+//
+// The executors construct GPU batches immediately before submitting them
+// (state such as the interleave run count must be current), and submission
+// executes the functional work eagerly; GPUCombineBatch therefore advances
+// the interleave state itself.
+func (s *Sorter) GPUCombineBatch(level, lo, hi int) core.Batch {
+	if hi <= lo {
+		return core.Batch{}
+	}
+	sz := s.runSize(level)
+	src, dst := s.src(level), s.dst(level)
+	reg := s.lookupRegion(lo * sz)
+	if reg == nil {
+		return s.CombineBatch(level, lo, hi)
+	}
+	// Interleaved merge: the region holds count runs of size sz/2 in src;
+	// the batch merges them pairwise into count/2 runs of size sz in dst,
+	// preserving the interleaved layout.
+	if reg.runSize != sz/2 {
+		panic(fmt.Sprintf("mergesort: interleaved run size %d does not match level %d (want %d)",
+			reg.runSize, level, sz/2))
+	}
+	if reg.count != 2*(hi-lo) {
+		panic(fmt.Sprintf("mergesort: interleaved run count %d does not match range [%d,%d)",
+			reg.count, lo, hi))
+	}
+	base, count := reg.base, reg.count
+	reg.count = count / 2
+	reg.runSize = sz
+	return core.Batch{
+		Tasks: hi - lo,
+		Cost:  mergeCost(sz, hi-lo, true),
+		Run: func(t int) {
+			mergeInterleaved(dst, src, base, count, sz/2, t)
+		},
+	}
+}
+
+// lookupRegion returns the active interleaved region starting at the given
+// element offset, or nil. Device chains of a multi-GPU run construct batches
+// from different goroutines on the native backend, hence the lock.
+func (s *Sorter) lookupRegion(base int) *interRegion {
+	s.interMu.Lock()
+	defer s.interMu.Unlock()
+	for i := range s.inter {
+		if s.inter[i].base == base {
+			return &s.inter[i]
+		}
+	}
+	return nil
+}
+
+// addRegion registers a new interleaved region; overlap with an existing
+// one indicates an executor bug.
+func (s *Sorter) addRegion(r interRegion) {
+	s.interMu.Lock()
+	defer s.interMu.Unlock()
+	end := r.base + r.count*r.runSize
+	for _, x := range s.inter {
+		xEnd := x.base + x.count*x.runSize
+		if r.base < xEnd && x.base < end {
+			panic(fmt.Sprintf("mergesort: interleaved regions overlap: %+v vs %+v", r, x))
+		}
+	}
+	s.inter = append(s.inter, r)
+}
+
+// removeRegion deletes the region starting at base.
+func (s *Sorter) removeRegion(base int) interRegion {
+	s.interMu.Lock()
+	defer s.interMu.Unlock()
+	for i := range s.inter {
+		if s.inter[i].base == base {
+			r := s.inter[i]
+			s.inter = append(s.inter[:i], s.inter[i+1:]...)
+			return r
+		}
+	}
+	panic(fmt.Sprintf("mergesort: no interleaved region at base %d", base))
+}
+
+// Finish implements the executors' optional completion hook: it leaves the
+// fully sorted data in buf[0].
+func (s *Sorter) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	// The final combine (level 0) wrote to buf[l%2].
+	if s.l%2 == 1 {
+		copy(s.buf[0], s.buf[1])
+	}
+}
+
+// Result returns the sorted data. Valid only after an executor has run the
+// Sorter to completion.
+func (s *Sorter) Result() []int32 {
+	if !s.finished {
+		panic("mergesort: Result before execution finished")
+	}
+	return s.buf[0]
+}
+
+// ModelF returns the model-level combine cost function f(size) = 2·size, in
+// the normalized op units shared with the platform calibration.
+func (s *Sorter) ModelF() func(float64) float64 {
+	return func(size float64) float64 { return 2 * size }
+}
+
+// ModelLeaf returns the model-level base-case cost (none for mergesort).
+func (s *Sorter) ModelLeaf() float64 { return 0 }
+
+// mergeRuns merges the sorted runs a and b into out. len(out) must be
+// len(a)+len(b).
+func mergeRuns(out, a, b []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}
+
+// mergeInterleaved merges runs 2t and 2t+1 of an interleaved region (count
+// runs of runSize elements at base) into run t of the output layout (count/2
+// runs of 2·runSize elements at the same base).
+func mergeInterleaved(dst, src []int32, base, count, runSize, t int) {
+	at := func(run, j int) int32 { return src[base+j*count+run] }
+	outCount := count / 2
+	i, j := 0, 0
+	for k := 0; k < 2*runSize; k++ {
+		var v int32
+		switch {
+		case i == runSize:
+			v = at(2*t+1, j)
+			j++
+		case j == runSize:
+			v = at(2*t, i)
+			i++
+		case at(2*t, i) <= at(2*t+1, j):
+			v = at(2*t, i)
+			i++
+		default:
+			v = at(2*t+1, j)
+			j++
+		}
+		dst[base+k*outCount+t] = v
+	}
+}

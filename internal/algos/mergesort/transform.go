@@ -1,0 +1,91 @@
+package mergesort
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PermuteForGPU implements core.Transformable (§6.3): it switches the region
+// holding subproblems [lo, hi) of the given level into the interleaved
+// device layout, in which the j-th elements of all runs are contiguous so
+// that work-items merging adjacent runs issue coalesced accesses.
+//
+// The hybrid executors invoke this at the leaf level, where runs have size 1
+// and the interleaved layout coincides with the contiguous one — the switch
+// is then free, and coalescing is maintained structurally by the interleaved
+// merges as runs grow. (Called at a coarser level, the permutation really
+// moves data and is costed accordingly.)
+func (s *Sorter) PermuteForGPU(level, lo, hi int) core.Batch {
+	if hi <= lo {
+		return core.Batch{}
+	}
+	rsz := s.runSize(level)
+	s.addRegion(interRegion{base: lo * rsz, count: hi - lo, runSize: rsz})
+	if rsz == 1 {
+		return core.Batch{} // identity layout change
+	}
+	// General case: physically interleave `count` contiguous runs. The
+	// data currently lives in the buffer the next combine will read, i.e.
+	// src(level-1).
+	cur := s.src(level - 1)
+	return s.permutationBatch(cur, lo*rsz, hi-lo, rsz, true)
+}
+
+// PermuteBack implements core.Transformable: it restores the contiguous
+// layout of subproblems [lo, hi) at the given level (the transfer level y)
+// before results return to the CPU.
+func (s *Sorter) PermuteBack(level, lo, hi int) core.Batch {
+	rsz := s.runSize(level)
+	reg := s.removeRegion(lo * rsz)
+	if reg.count != hi-lo || reg.runSize != rsz {
+		panic(fmt.Sprintf("mergesort: PermuteBack(%d,[%d,%d)) does not match interleaved state (count=%d runSize=%d)",
+			level, lo, hi, reg.count, reg.runSize))
+	}
+	if reg.count == 1 || rsz == 1 {
+		return core.Batch{} // interleaving a single run (or unit runs) is the identity
+	}
+	// The last combine at `level` wrote to dst(level); de-interleave there.
+	cur := s.dst(level)
+	return s.permutationBatch(cur, lo*rsz, hi-lo, rsz, false)
+}
+
+// permutationBatch builds the batch that (de)interleaves count runs of
+// runSize elements at element offset base within cur, using the idle parity
+// buffer as scratch. The whole data movement happens in task 0 (two passes
+// over the region); Tasks still reflects the element count so the device
+// cost model charges one uniform work-item per element.
+func (s *Sorter) permutationBatch(cur []int32, base, count, runSize int, toInterleaved bool) core.Batch {
+	m := count * runSize
+	scratch := s.buf[0]
+	if &scratch[0] == &cur[0] {
+		scratch = s.buf[1]
+	}
+	return core.Batch{
+		Tasks: m,
+		Cost: core.Cost{
+			Ops:        1,
+			MemWords:   4, // read+write into scratch, read+write back
+			Coalesced:  true,
+			Divergent:  false,
+			WorkingSet: int64(m) * 8,
+		},
+		Run: func(i int) {
+			if i != 0 {
+				return
+			}
+			for run := 0; run < count; run++ {
+				for j := 0; j < runSize; j++ {
+					contiguous := base + run*runSize + j
+					interleaved := base + j*count + run
+					if toInterleaved {
+						scratch[interleaved] = cur[contiguous]
+					} else {
+						scratch[contiguous] = cur[interleaved]
+					}
+				}
+			}
+			copy(cur[base:base+m], scratch[base:base+m])
+		},
+	}
+}

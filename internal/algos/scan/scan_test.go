@@ -1,0 +1,161 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/native"
+	"repro/internal/workload"
+)
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100} {
+		if _, err := New(make([]int32, n)); err == nil {
+			t.Errorf("New accepted length %d", n)
+		}
+	}
+}
+
+func TestPrefixReference(t *testing.T) {
+	got := Prefix([]int32{3, -1, 4, 1})
+	want := []int64{3, 2, 6, 7}
+	if !equal(got, want) {
+		t.Errorf("Prefix = %v, want %v", got, want)
+	}
+}
+
+func TestExecutors(t *testing.T) {
+	in := workload.Uniform(1<<12, 1)
+	want := Prefix(in)
+
+	t.Run("sequential", func(t *testing.T) {
+		s, _ := New(in)
+		core.RunSequential(hpu.MustSim(hpu.HPU1()), s)
+		if !equal(s.Result(), want) {
+			t.Error("incorrect scan")
+		}
+	})
+	t.Run("bf-cpu", func(t *testing.T) {
+		s, _ := New(in)
+		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), s)
+		if !equal(s.Result(), want) {
+			t.Error("incorrect scan")
+		}
+	})
+	t.Run("basic-hybrid", func(t *testing.T) {
+		s, _ := New(in)
+		if _, err := core.RunBasicHybrid(hpu.MustSim(hpu.HPU1()), s, 6, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), want) {
+			t.Error("incorrect scan")
+		}
+	})
+	t.Run("advanced-hybrid", func(t *testing.T) {
+		s, _ := New(in)
+		prm := core.AdvancedParams{Alpha: 0.2, Y: 7, Split: -1}
+		if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU2()), s, prm, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), want) {
+			t.Error("incorrect scan")
+		}
+	})
+	t.Run("gpu-only", func(t *testing.T) {
+		s, _ := New(in)
+		if _, err := core.RunGPUOnly(hpu.MustSim(hpu.HPU1()), s, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), want) {
+			t.Error("incorrect scan")
+		}
+	})
+	t.Run("multi-gpu", func(t *testing.T) {
+		be, err := hpu.NewMultiSim(hpu.HPU1(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := New(in)
+		prm := core.AdvancedParams{Alpha: 0.2, Y: 7, Split: -1}
+		if _, err := core.RunAdvancedMultiGPU(be, s, prm, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), want) {
+			t.Error("incorrect scan")
+		}
+	})
+	t.Run("native", func(t *testing.T) {
+		be, err := native.New(native.Config{CPUWorkers: 4, DeviceLanes: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		s, _ := New(in)
+		prm := core.AdvancedParams{Alpha: 0.3, Y: 6, Split: -1}
+		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), want) {
+			t.Error("incorrect scan")
+		}
+	})
+}
+
+func TestScanIsMonotoneForNonNegative(t *testing.T) {
+	in := workload.Uniform(1<<10, 2) // nonnegative by construction
+	s, _ := New(in)
+	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), s)
+	out := s.Result()
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("prefix sums of nonnegative input decrease at %d", i)
+		}
+	}
+	if out[len(out)-1] != Prefix(in)[len(in)-1] {
+		t.Error("total mismatch")
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(6))}
+	f := func(seed int64, sizePow, yRaw uint8, alphaRaw uint16) bool {
+		logN := 1 + int(sizePow%10)
+		n := 1 << logN
+		r := rand.New(rand.NewSource(seed))
+		in := make([]int32, n)
+		for i := range in {
+			in[i] = int32(r.Intn(2001) - 1000)
+		}
+		s, err := New(in)
+		if err != nil {
+			return false
+		}
+		prm := core.AdvancedParams{
+			Alpha: float64(alphaRaw) / 65535,
+			Y:     int(yRaw) % (logN + 1),
+			Split: -1,
+		}
+		if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU1()), s, prm, core.Options{}); err != nil {
+			return false
+		}
+		return equal(s.Result(), Prefix(in))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package strassen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algos/matmul"
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/native"
+)
+
+func randomMatrix(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = float64(r.Intn(11) - 5)
+	}
+	return m
+}
+
+func closeTo(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(make([]float64, 9), make([]float64, 9), 3, 1); err == nil {
+		t.Error("accepted non-power-of-two dimension")
+	}
+	if _, err := New(make([]float64, 16), make([]float64, 8), 4, 1); err == nil {
+		t.Error("accepted mismatched operands")
+	}
+	if _, err := New(make([]float64, 16), make([]float64, 16), 4, 0); err == nil {
+		t.Error("accepted depth 0")
+	}
+}
+
+func TestMatchesNaiveMultiply(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		a, b := randomMatrix(n, int64(n)), randomMatrix(n, int64(n)+1)
+		want := matmul.Multiply(a, b, n)
+		m, err := New(a, b, n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), m)
+		if !closeTo(m.Result(), want) {
+			t.Errorf("n=%d: Strassen product differs from naive", n)
+		}
+	}
+}
+
+func TestDepthEquivalence(t *testing.T) {
+	n := 16
+	a, b := randomMatrix(n, 7), randomMatrix(n, 8)
+	want := matmul.Multiply(a, b, n)
+	for depth := 1; depth <= 4; depth++ {
+		m, err := New(a, b, n, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), m)
+		if !closeTo(m.Result(), want) {
+			t.Errorf("depth %d: incorrect product", depth)
+		}
+	}
+}
+
+func TestExecutorsAritySeven(t *testing.T) {
+	n, depth := 32, 2
+	a, b := randomMatrix(n, 9), randomMatrix(n, 10)
+	want := matmul.Multiply(a, b, n)
+
+	t.Run("sequential", func(t *testing.T) {
+		m, _ := New(a, b, n, depth)
+		core.RunSequential(hpu.MustSim(hpu.HPU1()), m)
+		if !closeTo(m.Result(), want) {
+			t.Error("incorrect product")
+		}
+	})
+	t.Run("basic-hybrid", func(t *testing.T) {
+		m, _ := New(a, b, n, depth)
+		if _, err := core.RunBasicHybrid(hpu.MustSim(hpu.HPU1()), m, 1, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !closeTo(m.Result(), want) {
+			t.Error("incorrect product")
+		}
+	})
+	t.Run("advanced-hybrid", func(t *testing.T) {
+		for _, prm := range []core.AdvancedParams{
+			{Alpha: 0.2, Y: 1, Split: 1},
+			{Alpha: 0.45, Y: 2, Split: 1},
+			{Alpha: 0.7, Y: 2, Split: 2},
+		} {
+			m, _ := New(a, b, n, depth)
+			if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU2()), m, prm, core.Options{}); err != nil {
+				t.Fatalf("%+v: %v", prm, err)
+			}
+			if !closeTo(m.Result(), want) {
+				t.Errorf("%+v: incorrect product", prm)
+			}
+		}
+	})
+	t.Run("gpu-only", func(t *testing.T) {
+		m, _ := New(a, b, n, depth)
+		if _, err := core.RunGPUOnly(hpu.MustSim(hpu.HPU1()), m, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !closeTo(m.Result(), want) {
+			t.Error("incorrect product")
+		}
+	})
+	t.Run("native", func(t *testing.T) {
+		be, err := native.New(native.Config{CPUWorkers: 4, DeviceLanes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		m, _ := New(a, b, n, depth)
+		if _, err := core.RunAdvancedHybrid(be, m,
+			core.AdvancedParams{Alpha: 0.3, Y: 2, Split: 1}, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !closeTo(m.Result(), want) {
+			t.Error("incorrect product")
+		}
+	})
+}
+
+func TestIdentity(t *testing.T) {
+	n := 8
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	a := randomMatrix(n, 11)
+	m, _ := New(a, id, n, 2)
+	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), m)
+	if !closeTo(m.Result(), a) {
+		t.Error("A·I != A")
+	}
+}

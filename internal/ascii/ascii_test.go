@@ -1,0 +1,79 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRenderSeriesBasics(t *testing.T) {
+	ch := Chart{Width: 40, Height: 10}
+	pts := []stats.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 4}, {X: 3, Y: 9}}
+	out := ch.RenderSeries([]string{"squares"}, [][]stats.Point{pts})
+	if !strings.Contains(out, "squares") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing")
+	}
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Errorf("output has %d lines, want >= 12", lines)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	ch := Chart{Width: 40, Height: 10}
+	a := []stats.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	b := []stats.Point{{X: 0, Y: 1}, {X: 1, Y: 0}}
+	out := ch.RenderSeries([]string{"a", "b"}, [][]stats.Point{a, b})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("expected two distinct markers:\n%s", out)
+	}
+}
+
+func TestLogXSkipsNonPositive(t *testing.T) {
+	ch := Chart{Width: 40, Height: 10, LogX: true}
+	pts := []stats.Point{{X: -1, Y: 5}, {X: 0, Y: 5}, {X: 10, Y: 1}, {X: 100, Y: 2}, {X: 1000, Y: 3}}
+	out := ch.RenderSeries([]string{"s"}, [][]stats.Point{pts})
+	if strings.Contains(out, "no data") {
+		t.Error("log chart dropped all data")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	ch := Chart{Width: 40, Height: 10}
+	if out := ch.RenderSeries([]string{"s"}, [][]stats.Point{nil}); out != "(no data)" {
+		t.Errorf("empty series = %q", out)
+	}
+	small := Chart{Width: 2, Height: 2}
+	if out := small.RenderSeries([]string{"s"}, [][]stats.Point{{{X: 1, Y: 1}}}); out != "(chart too small)" {
+		t.Errorf("tiny chart = %q", out)
+	}
+	if out := ch.RenderSeries([]string{"a", "b"}, [][]stats.Point{{{X: 1, Y: 1}}}); !strings.Contains(out, "mismatched") {
+		t.Errorf("mismatch = %q", out)
+	}
+	// A single point (degenerate ranges) must not divide by zero.
+	out := ch.RenderSeries([]string{"one"}, [][]stats.Point{{{X: 5, Y: 5}}})
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([]string{"name", "value"}, [][]string{
+		{"alpha", "0.16"},
+		{"longer-name", "10"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header malformed:\n%s", out)
+	}
+	// Columns align: every row starts "name-column" padded to same width.
+	if len(lines[2]) < len("longer-name") {
+		t.Error("column not padded to widest cell")
+	}
+}

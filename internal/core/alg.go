@@ -1,0 +1,140 @@
+package core
+
+// Alg describes a regular divide-and-conquer algorithm after the paper's
+// Algorithm 2 rewrite: execution proceeds breadth-first over the recursion
+// tree, where level l (counted from the root, level 0) holds a^l independent
+// subproblems of size n/b^l. Subproblems at each level are indexed
+// contiguously left to right, so a contiguous index range corresponds to a
+// contiguous region of the data — the property the advanced work division
+// uses to split the input α : (1−α) between CPU and GPU.
+//
+// An algorithm with a trivial phase (mergesort has no divide work, sum has no
+// base work) returns an empty Batch for it.
+type Alg interface {
+	// Name identifies the algorithm in traces and reports.
+	Name() string
+	// Arity is the branching factor a of T(n) = a·T(n/b) + f(n).
+	Arity() int
+	// Shrink is the size divisor b.
+	Shrink() int
+	// N is the input size of the instance.
+	N() int
+	// Levels is the number of internal levels of the recursion tree: level
+	// indices run 0..Levels()-1, and the leaf (base-case) level is
+	// Levels(). For n = b^L this is L.
+	Levels() int
+
+	// DivideBatch returns the top-down divide work for subproblems
+	// [lo, hi) of level l (0 ≤ l < Levels()).
+	DivideBatch(level, lo, hi int) Batch
+	// BaseBatch returns the base-case work for leaves [lo, hi) of the leaf
+	// level.
+	BaseBatch(lo, hi int) Batch
+	// CombineBatch returns the bottom-up combine work for subproblems
+	// [lo, hi) of level l, assuming all their children are solved.
+	CombineBatch(level, lo, hi int) Batch
+}
+
+// GPUAlg is implemented by algorithms whose batches can execute on the
+// device. GPU batches may differ from CPU ones: a different per-thread
+// kernel (Algorithm 3 of the paper) and different cost annotations
+// (coalescing, §6.3).
+type GPUAlg interface {
+	Alg
+	// GPUDivideBatch is DivideBatch with device cost annotations.
+	GPUDivideBatch(level, lo, hi int) Batch
+	// GPUBaseBatch is BaseBatch with device cost annotations.
+	GPUBaseBatch(lo, hi int) Batch
+	// GPUCombineBatch is CombineBatch with device cost annotations.
+	GPUCombineBatch(level, lo, hi int) Batch
+	// GPUBytes reports how many bytes must cross the host-device link to
+	// ship subproblems [lo, hi) of level l (the same amount returns).
+	GPUBytes(level, lo, hi int) int64
+}
+
+// Transformable is implemented by algorithms that support the paper's §6.3
+// memory-coalescing layout transformation: before running device levels the
+// data region for subproblem range [lo,hi) at the given level is permuted so
+// that the i-th elements of all sublists are contiguous, and permuted back
+// before the CPU resumes.
+type Transformable interface {
+	// PermuteForGPU rearranges [lo,hi) of level l into device layout and
+	// returns the cost of doing so on the device.
+	PermuteForGPU(level, lo, hi int) Batch
+	// PermuteBack restores host layout.
+	PermuteBack(level, lo, hi int) Batch
+}
+
+// TasksAtLevel returns a^level, the total number of subproblems at a level.
+func TasksAtLevel(a, level int) int {
+	t := 1
+	for i := 0; i < level; i++ {
+		t *= a
+	}
+	return t
+}
+
+// RunRecursive executes the algorithm the classic depth-first way on a
+// single CPU core of the backend and returns when done. It is the paper's
+// sequential baseline (the denominator of every speedup figure). The
+// recursion is simulated level-by-level — for a regular algorithm the
+// sequential order of task execution does not change total time on one core.
+func RunRecursive(be Backend, alg Alg, done func()) {
+	L := alg.Levels()
+	// Divide phase, top-down.
+	var step func(level int)
+	var combine func(level int)
+	step = func(level int) {
+		if level == L {
+			leaves := TasksAtLevel(alg.Arity(), L)
+			submitSeq(be, alg.BaseBatch(0, leaves), func() { combine(L - 1) })
+			return
+		}
+		k := TasksAtLevel(alg.Arity(), level)
+		submitSeq(be, alg.DivideBatch(level, 0, k), func() { step(level + 1) })
+	}
+	combine = func(level int) {
+		if level < 0 {
+			done()
+			return
+		}
+		k := TasksAtLevel(alg.Arity(), level)
+		submitSeq(be, alg.CombineBatch(level, 0, k), func() { combine(level - 1) })
+	}
+	step(0)
+}
+
+// submitSeq runs a batch on a single core by folding it into one task whose
+// cost is the whole batch, preserving functional execution order.
+func submitSeq(be Backend, b Batch, done func()) {
+	if b.Empty() {
+		done()
+		return
+	}
+	run := b.Run
+	tasks := b.Tasks
+	seq := Batch{
+		Tasks: 1,
+		Cost:  b.Cost.Scale(float64(tasks)),
+	}
+	seq.Cost.WorkingSet = b.Cost.WorkingSet
+	if run != nil {
+		seq.Run = func(int) {
+			for i := 0; i < tasks; i++ {
+				run(i)
+			}
+		}
+	}
+	be.CPU().Submit(seq, done)
+}
+
+// Join returns a completion callback that invokes then after being called n
+// times. It is safe for concurrent use (the native backend calls completions
+// from multiple goroutines).
+func Join(n int, then func()) func() {
+	if n <= 0 {
+		panic("core: Join requires n > 0")
+	}
+	j := &joiner{remaining: int64(n), then: then}
+	return j.done
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCostScale(t *testing.T) {
+	c := Cost{Ops: 2, MemWords: 4, Coalesced: true, Divergent: true, WorkingSet: 100}
+	s := c.Scale(3)
+	if s.Ops != 6 || s.MemWords != 12 {
+		t.Errorf("Scale = %+v", s)
+	}
+	if !s.Coalesced || !s.Divergent || s.WorkingSet != 100 {
+		t.Errorf("Scale changed non-magnitude fields: %+v", s)
+	}
+}
+
+func TestBatchHelpers(t *testing.T) {
+	if !(Batch{}).Empty() {
+		t.Error("zero batch not empty")
+	}
+	if (Batch{Tasks: 1}).Empty() {
+		t.Error("one-task batch empty")
+	}
+	b := Batch{Tasks: 5, Cost: Cost{Ops: 3}}
+	if got := b.TotalOps(); got != 15 {
+		t.Errorf("TotalOps = %g, want 15", got)
+	}
+}
+
+func TestTasksAtLevel(t *testing.T) {
+	cases := []struct{ a, level, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 3, 27}, {8, 2, 64},
+	}
+	for _, c := range cases {
+		if got := TasksAtLevel(c.a, c.level); got != c.want {
+			t.Errorf("TasksAtLevel(%d,%d) = %d, want %d", c.a, c.level, got, c.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	fired := 0
+	done := Join(3, func() { fired++ })
+	done()
+	done()
+	if fired != 0 {
+		t.Fatal("Join fired early")
+	}
+	done()
+	if fired != 1 {
+		t.Fatalf("Join fired %d times, want 1", fired)
+	}
+}
+
+func TestJoinConcurrent(t *testing.T) {
+	const n = 64
+	fired := 0
+	var mu sync.Mutex
+	done := Join(n, func() {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done()
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("concurrent Join fired %d times, want 1", fired)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Join(0) did not panic")
+		}
+	}()
+	Join(0, func() {})
+}
+
+// stubAlg is a minimal Alg for DefaultSplit testing.
+type stubAlg struct{ a, levels int }
+
+func (s stubAlg) Name() string                         { return "stub" }
+func (s stubAlg) Arity() int                           { return s.a }
+func (s stubAlg) Shrink() int                          { return 2 }
+func (s stubAlg) N() int                               { return 1 << s.levels }
+func (s stubAlg) Levels() int                          { return s.levels }
+func (s stubAlg) DivideBatch(level, lo, hi int) Batch  { return Batch{} }
+func (s stubAlg) BaseBatch(lo, hi int) Batch           { return Batch{} }
+func (s stubAlg) CombineBatch(level, lo, hi int) Batch { return Batch{} }
+
+func TestDefaultSplit(t *testing.T) {
+	alg := stubAlg{a: 2, levels: 20}
+	// α·2^s >= p: with p=4, α=0.16: 2^s >= 25 → s = 5.
+	if got := DefaultSplit(alg, 4, 0.16, 10); got != 5 {
+		t.Errorf("DefaultSplit = %d, want 5", got)
+	}
+	// Clamped by y.
+	if got := DefaultSplit(alg, 4, 0.01, 3); got != 3 {
+		t.Errorf("DefaultSplit clamp = %d, want 3", got)
+	}
+	// α = 0 puts the split at the root.
+	if got := DefaultSplit(alg, 4, 0, 10); got != 0 {
+		t.Errorf("DefaultSplit(α=0) = %d, want 0", got)
+	}
+	// Arity 3.
+	if got := DefaultSplit(stubAlg{a: 3, levels: 10}, 4, 0.5, 9); got != 2 {
+		t.Errorf("DefaultSplit(a=3) = %d, want 2 (0.5·3^2 = 4.5 >= 4)", got)
+	}
+}
+
+func TestRunSeq(t *testing.T) {
+	var order []int
+	steps := []step{
+		func(next func()) { order = append(order, 1); next() },
+		func(next func()) { order = append(order, 2); next() },
+		func(next func()) { order = append(order, 3); next() },
+	}
+	doneCalled := false
+	runSeq(steps, func() { doneCalled = true })
+	if !doneCalled || len(order) != 3 || order[0] != 1 || order[2] != 3 {
+		t.Errorf("runSeq order = %v, done = %v", order, doneCalled)
+	}
+	// Empty chain fires done immediately.
+	fired := false
+	runSeq(nil, func() { fired = true })
+	if !fired {
+		t.Error("empty runSeq did not fire done")
+	}
+}

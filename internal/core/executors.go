@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Options control backend-independent execution details.
+type Options struct {
+	// Coalesce applies the §6.3 memory-layout transformation around the
+	// GPU-resident phase when the algorithm implements Transformable.
+	Coalesce bool
+}
+
+// Report summarizes one execution.
+type Report struct {
+	Algorithm string
+	Strategy  string
+	// Seconds is the total makespan.
+	Seconds float64
+	// CPUPortionSeconds is, for the advanced strategy, the time at which
+	// the CPU finished its α-portion (measured from the fork); for other
+	// strategies it is the time spent in CPU phases.
+	CPUPortionSeconds float64
+	// GPUPortionSeconds is the time at which the GPU chain (including the
+	// transfer back) finished, measured from the fork; for GPU-only runs
+	// it is the device-resident time excluding transfers.
+	GPUPortionSeconds float64
+}
+
+// AdvancedParams configure the §5.2 advanced work division.
+type AdvancedParams struct {
+	// Alpha is the fraction of subproblems assigned to the CPU.
+	Alpha float64
+	// Y is the transfer level: the GPU executes its portion bottom-up from
+	// the leaves through level Y, then hands results back to the CPU.
+	Y int
+	// Split is the level at which the α : (1−α) split is applied
+	// (Algorithm 8's threshold level). Must satisfy 0 ≤ Split ≤ Y. If
+	// negative, DefaultSplit is used.
+	Split int
+}
+
+// DefaultSplit returns the natural split level for the advanced strategy:
+// the level (from the top) at which the CPU's α-portion first contains at
+// least p subproblems, ⌈log_a(p/α)⌉, clamped to [0, y]. Below this level the
+// CPU side can keep all p cores busy, matching the §5.2 analysis.
+func DefaultSplit(alg Alg, p int, alpha float64, y int) int {
+	if alpha <= 0 {
+		return 0
+	}
+	a := alg.Arity()
+	s := 0
+	for TasksAtLevel(a, s) > 0 && alpha*float64(TasksAtLevel(a, s)) < float64(p) && s < y {
+		s++
+	}
+	if s > y {
+		s = y
+	}
+	return s
+}
+
+// step is one asynchronous stage of an execution plan.
+type step func(next func())
+
+// runSeq chains steps sequentially, then calls done.
+func runSeq(steps []step, done func()) {
+	var at func(i int)
+	at = func(i int) {
+		if i == len(steps) {
+			done()
+			return
+		}
+		steps[i](func() { at(i + 1) })
+	}
+	at(0)
+}
+
+// finish invokes the algorithm's Finish hook, if any.
+func finish(alg Alg) {
+	type finisher interface{ Finish() }
+	if f, ok := alg.(finisher); ok {
+		f.Finish()
+	}
+}
+
+// RunBreadthFirstCPU executes the algorithm breadth-first on the CPU only,
+// using all p cores per level (the multi-core baseline).
+func RunBreadthFirstCPU(be Backend, alg Alg) Report {
+	start := be.Now()
+	L := alg.Levels()
+	a := alg.Arity()
+	var steps []step
+	for l := 0; l < L; l++ {
+		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
+	}
+	base := alg.BaseBatch(0, TasksAtLevel(a, L))
+	steps = append(steps, func(next func()) { be.CPU().Submit(base, next) })
+	for l := L - 1; l >= 0; l-- {
+		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
+	}
+	doneAll := false
+	runSeq(steps, func() { doneAll = true })
+	be.Wait()
+	if !doneAll {
+		panic("core: breadth-first execution did not complete")
+	}
+	finish(alg)
+	return Report{
+		Algorithm: alg.Name(),
+		Strategy:  "bf-cpu",
+		Seconds:   be.Now() - start,
+	}
+}
+
+// RunSequential executes the algorithm on a single CPU core (the paper's
+// recursive baseline) and reports its makespan.
+func RunSequential(be Backend, alg Alg) Report {
+	start := be.Now()
+	completed := false
+	RunRecursive(be, alg, func() { completed = true })
+	be.Wait()
+	if !completed {
+		panic("core: sequential execution did not complete")
+	}
+	finish(alg)
+	return Report{
+		Algorithm: alg.Name(),
+		Strategy:  "seq-1cpu",
+		Seconds:   be.Now() - start,
+	}
+}
+
+// RunBasicHybrid executes the §5.1 basic work division: levels above the
+// crossover run on the CPU (full width), levels at and below it — including
+// the leaves — run on the GPU, with a single round trip across the link.
+// crossover is the level index i at which execution moves to the GPU; use
+// the model package's BasicCrossover to compute the paper's log_a(p/γ).
+func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report, error) {
+	L := alg.Levels()
+	if crossover < 0 || crossover > L {
+		return Report{}, fmt.Errorf("core: crossover level %d out of range [0,%d]", crossover, L)
+	}
+	if be.GPU() == nil {
+		return Report{}, fmt.Errorf("core: backend has no GPU")
+	}
+	a := alg.Arity()
+	x := crossover
+	start := be.Now()
+	var steps []step
+
+	// Top divide phase on CPU.
+	for l := 0; l < x; l++ {
+		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
+	}
+	// Ship the whole instance to the device.
+	bytes := alg.GPUBytes(x, 0, TasksAtLevel(a, x))
+	steps = append(steps, func(next func()) { be.TransferToGPU(bytes, next) })
+	// Device-resident phase: divide down, base, combine back up to x.
+	for l := x; l < L; l++ {
+		b := alg.GPUDivideBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
+	}
+	tr, _ := alg.(Transformable)
+	if opt.Coalesce && tr != nil {
+		b := tr.PermuteForGPU(L, 0, TasksAtLevel(a, L))
+		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
+	}
+	steps = append(steps, func(next func()) {
+		// Constructed lazily: a preceding permute step may have changed
+		// the algorithm's device layout state.
+		be.GPU().Submit(alg.GPUBaseBatch(0, TasksAtLevel(a, L)), next)
+	})
+	for l := L - 1; l >= x; l-- {
+		l := l
+		steps = append(steps, func(next func()) {
+			be.GPU().Submit(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), next)
+		})
+	}
+	if opt.Coalesce && tr != nil {
+		steps = append(steps, func(next func()) {
+			be.GPU().Submit(tr.PermuteBack(x, 0, TasksAtLevel(a, x)), next)
+		})
+	}
+	steps = append(steps, func(next func()) { be.TransferToCPU(bytes, next) })
+	var gpuDone float64
+	steps = append(steps, func(next func()) { gpuDone = be.Now() - start; next() })
+	// Remaining combine levels on CPU.
+	for l := x - 1; l >= 0; l-- {
+		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
+	}
+
+	completed := false
+	runSeq(steps, func() { completed = true })
+	be.Wait()
+	if !completed {
+		panic("core: basic hybrid execution did not complete")
+	}
+	finish(alg)
+	return Report{
+		Algorithm:         alg.Name(),
+		Strategy:          "basic-hybrid",
+		Seconds:           be.Now() - start,
+		GPUPortionSeconds: gpuDone,
+	}, nil
+}
+
+// RunAdvancedHybrid executes the §5.2 advanced work division (Algorithm 8).
+// At the split level the subproblems are partitioned α : (1−α); the CPU
+// solves its portion breadth-first while the GPU solves the rest bottom-up
+// through level prm.Y, hands it back (the second and last transfer), and the
+// CPU finishes everything above. CPU-side work of both chains shares the
+// same p cores, as in the paper's two-thread implementation.
+func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
+	L := alg.Levels()
+	a := alg.Arity()
+	if prm.Alpha < 0 || prm.Alpha > 1 {
+		return Report{}, fmt.Errorf("core: alpha %g out of range [0,1]", prm.Alpha)
+	}
+	if prm.Y < 0 || prm.Y > L {
+		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]", prm.Y, L)
+	}
+	s := prm.Split
+	if s < 0 {
+		s = DefaultSplit(alg, be.CPU().Parallelism(), prm.Alpha, prm.Y)
+	}
+	if s > prm.Y {
+		return Report{}, fmt.Errorf("core: split level %d above transfer level %d", s, prm.Y)
+	}
+	if be.GPU() == nil {
+		return Report{}, fmt.Errorf("core: backend has no GPU")
+	}
+
+	width := TasksAtLevel(a, s)
+	cCount := int(prm.Alpha*float64(width) + 0.5)
+	if cCount < 0 {
+		cCount = 0
+	}
+	if cCount > width {
+		cCount = width
+	}
+	// at returns the index range of a portion [c0,c1) (defined at level s)
+	// at level l ≥ s.
+	at := func(l, c0, c1 int) (int, int) {
+		f := TasksAtLevel(a, l-s)
+		return c0 * f, c1 * f
+	}
+
+	start := be.Now()
+
+	// Joint top divide phase, full width, on CPU.
+	var top []step
+	for l := 0; l < s; l++ {
+		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		top = append(top, func(next func()) { be.CPU().Submit(b, next) })
+	}
+
+	// CPU chain over portion [0, cCount).
+	var cpuChain []step
+	if cCount > 0 {
+		for l := s; l < L; l++ {
+			lo, hi := at(l, 0, cCount)
+			b := alg.DivideBatch(l, lo, hi)
+			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
+		}
+		lo, hi := at(L, 0, cCount)
+		base := alg.BaseBatch(lo, hi)
+		cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(base, next) })
+		for l := L - 1; l >= s; l-- {
+			lo, hi := at(l, 0, cCount)
+			b := alg.CombineBatch(l, lo, hi)
+			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
+		}
+	}
+
+	// GPU chain over portion [cCount, width).
+	var gpuChain []step
+	var gpuDeviceDone float64
+	tr, _ := alg.(Transformable)
+	if cCount < width {
+		bytes := alg.GPUBytes(s, cCount, width)
+		gpuChain = append(gpuChain, func(next func()) { be.TransferToGPU(bytes, next) })
+		for l := s; l < L; l++ {
+			lo, hi := at(l, cCount, width)
+			b := alg.GPUDivideBatch(l, lo, hi)
+			gpuChain = append(gpuChain, func(next func()) { be.GPU().Submit(b, next) })
+		}
+		if opt.Coalesce && tr != nil {
+			lo, hi := at(L, cCount, width)
+			b := tr.PermuteForGPU(L, lo, hi)
+			gpuChain = append(gpuChain, func(next func()) { be.GPU().Submit(b, next) })
+		}
+		gpuChain = append(gpuChain, func(next func()) {
+			lo, hi := at(L, cCount, width)
+			be.GPU().Submit(alg.GPUBaseBatch(lo, hi), next)
+		})
+		for l := L - 1; l >= prm.Y; l-- {
+			l := l
+			gpuChain = append(gpuChain, func(next func()) {
+				lo, hi := at(l, cCount, width)
+				be.GPU().Submit(alg.GPUCombineBatch(l, lo, hi), next)
+			})
+		}
+		if opt.Coalesce && tr != nil {
+			gpuChain = append(gpuChain, func(next func()) {
+				lo, hi := at(prm.Y, cCount, width)
+				be.GPU().Submit(tr.PermuteBack(prm.Y, lo, hi), next)
+			})
+		}
+		gpuChain = append(gpuChain, func(next func()) { be.TransferToCPU(bytes, next) })
+		gpuChain = append(gpuChain, func(next func()) { gpuDeviceDone = be.Now(); next() })
+		// Above the transfer level the GPU portion continues on the CPU,
+		// competing with the CPU chain for cores, as in the paper.
+		for l := prm.Y - 1; l >= s; l-- {
+			l := l
+			gpuChain = append(gpuChain, func(next func()) {
+				lo, hi := at(l, cCount, width)
+				be.CPU().Submit(alg.CombineBatch(l, lo, hi), next)
+			})
+		}
+	}
+
+	// Joint combine phase above the split, full width, on CPU.
+	var tail []step
+	for l := s - 1; l >= 0; l-- {
+		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		tail = append(tail, func(next func()) { be.CPU().Submit(b, next) })
+	}
+
+	var rep Report
+	rep.Algorithm = alg.Name()
+	rep.Strategy = "advanced-hybrid"
+	completed := false
+
+	runSeq(top, func() {
+		forkAt := be.Now()
+		join := Join(2, func() {
+			runSeq(tail, func() { completed = true })
+		})
+		runSeq(cpuChain, func() {
+			rep.CPUPortionSeconds = be.Now() - forkAt
+			join()
+		})
+		runSeq(gpuChain, func() {
+			if gpuDeviceDone >= forkAt {
+				rep.GPUPortionSeconds = gpuDeviceDone - forkAt
+			}
+			join()
+		})
+	})
+	be.Wait()
+	if !completed {
+		panic("core: advanced hybrid execution did not complete")
+	}
+	finish(alg)
+	rep.Seconds = be.Now() - start
+	return rep, nil
+}
+
+// RunGPUOnly executes the whole algorithm breadth-first on the device (the
+// Fig 9 baseline). The report's GPUPortionSeconds excludes the two
+// host↔device transfers ("sort only" in the paper); Seconds includes them.
+func RunGPUOnly(be Backend, alg GPUAlg, opt Options) (Report, error) {
+	if be.GPU() == nil {
+		return Report{}, fmt.Errorf("core: backend has no GPU")
+	}
+	L := alg.Levels()
+	a := alg.Arity()
+	start := be.Now()
+	var steps []step
+	bytes := alg.GPUBytes(0, 0, 1)
+	steps = append(steps, func(next func()) { be.TransferToGPU(bytes, next) })
+	var devStart float64
+	steps = append(steps, func(next func()) { devStart = be.Now(); next() })
+	for l := 0; l < L; l++ {
+		b := alg.GPUDivideBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
+	}
+	tr, _ := alg.(Transformable)
+	if opt.Coalesce && tr != nil {
+		b := tr.PermuteForGPU(L, 0, TasksAtLevel(a, L))
+		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
+	}
+	steps = append(steps, func(next func()) {
+		be.GPU().Submit(alg.GPUBaseBatch(0, TasksAtLevel(a, L)), next)
+	})
+	for l := L - 1; l >= 0; l-- {
+		l := l
+		steps = append(steps, func(next func()) {
+			be.GPU().Submit(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), next)
+		})
+	}
+	if opt.Coalesce && tr != nil {
+		steps = append(steps, func(next func()) {
+			be.GPU().Submit(tr.PermuteBack(0, 0, 1), next)
+		})
+	}
+	var devEnd float64
+	steps = append(steps, func(next func()) { devEnd = be.Now(); next() })
+	steps = append(steps, func(next func()) { be.TransferToCPU(bytes, next) })
+
+	completed := false
+	runSeq(steps, func() { completed = true })
+	be.Wait()
+	if !completed {
+		panic("core: gpu-only execution did not complete")
+	}
+	finish(alg)
+	return Report{
+		Algorithm:         alg.Name(),
+		Strategy:          "gpu-only",
+		Seconds:           be.Now() - start,
+		GPUPortionSeconds: devEnd - devStart,
+	}, nil
+}

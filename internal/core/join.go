@@ -1,0 +1,14 @@
+package core
+
+import "sync/atomic"
+
+type joiner struct {
+	remaining int64
+	then      func()
+}
+
+func (j *joiner) done() {
+	if atomic.AddInt64(&j.remaining, -1) == 0 {
+		j.then()
+	}
+}

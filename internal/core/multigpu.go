@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MultiGPUBackend is a Backend with several GPU devices (the §3.2 extension
+// to multiple cards). Devices share the host link.
+type MultiGPUBackend interface {
+	Backend
+	// GPUs returns the device list; GPU() must be GPUs()[0].
+	GPUs() []LevelExecutor
+}
+
+// RunAdvancedMultiGPU is the advanced work division with the GPU portion
+// striped across all devices of the backend: at the split level the CPU
+// keeps α of the subproblems and each device receives an equal contiguous
+// share of the rest, running it bottom-up through level prm.Y before handing
+// back. Each device costs two link crossings, so more devices only pay off
+// when the per-device work dwarfs the extra transfers — the trade-off the
+// paper's footnote 5 cites for using a single die of the HD 5970.
+func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
+	devices := be.GPUs()
+	if len(devices) == 0 {
+		return Report{}, fmt.Errorf("core: backend has no GPUs")
+	}
+	L := alg.Levels()
+	a := alg.Arity()
+	if prm.Alpha < 0 || prm.Alpha > 1 {
+		return Report{}, fmt.Errorf("core: alpha %g out of range [0,1]", prm.Alpha)
+	}
+	if prm.Y < 0 || prm.Y > L {
+		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]", prm.Y, L)
+	}
+	s := prm.Split
+	if s < 0 {
+		s = DefaultSplit(alg, be.CPU().Parallelism(), prm.Alpha, prm.Y)
+	}
+	if s > prm.Y {
+		return Report{}, fmt.Errorf("core: split level %d above transfer level %d", s, prm.Y)
+	}
+
+	width := TasksAtLevel(a, s)
+	cCount := int(prm.Alpha*float64(width) + 0.5)
+	if cCount < 0 {
+		cCount = 0
+	}
+	if cCount > width {
+		cCount = width
+	}
+	gCount := width - cCount
+	k := len(devices)
+	if gCount < k {
+		k = gCount // fewer subproblems than devices: leave the rest idle
+	}
+	at := func(l, c0, c1 int) (int, int) {
+		f := TasksAtLevel(a, l-s)
+		return c0 * f, c1 * f
+	}
+
+	start := be.Now()
+	var top []step
+	for l := 0; l < s; l++ {
+		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		top = append(top, func(next func()) { be.CPU().Submit(b, next) })
+	}
+
+	var cpuChain []step
+	if cCount > 0 {
+		for l := s; l < L; l++ {
+			lo, hi := at(l, 0, cCount)
+			b := alg.DivideBatch(l, lo, hi)
+			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
+		}
+		lo, hi := at(L, 0, cCount)
+		base := alg.BaseBatch(lo, hi)
+		cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(base, next) })
+		for l := L - 1; l >= s; l-- {
+			lo, hi := at(l, 0, cCount)
+			b := alg.CombineBatch(l, lo, hi)
+			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
+		}
+	}
+
+	// One chain per device over its contiguous stripe of the GPU portion.
+	tr, _ := alg.(Transformable)
+	deviceChain := func(dev LevelExecutor, c0, c1 int) []step {
+		var chain []step
+		bytes := alg.GPUBytes(s, c0, c1)
+		chain = append(chain, func(next func()) { be.TransferToGPU(bytes, next) })
+		for l := s; l < L; l++ {
+			l := l
+			chain = append(chain, func(next func()) {
+				lo, hi := at(l, c0, c1)
+				dev.Submit(alg.GPUDivideBatch(l, lo, hi), next)
+			})
+		}
+		if opt.Coalesce && tr != nil {
+			chain = append(chain, func(next func()) {
+				lo, hi := at(L, c0, c1)
+				dev.Submit(tr.PermuteForGPU(L, lo, hi), next)
+			})
+		}
+		chain = append(chain, func(next func()) {
+			lo, hi := at(L, c0, c1)
+			dev.Submit(alg.GPUBaseBatch(lo, hi), next)
+		})
+		for l := L - 1; l >= prm.Y; l-- {
+			l := l
+			chain = append(chain, func(next func()) {
+				lo, hi := at(l, c0, c1)
+				dev.Submit(alg.GPUCombineBatch(l, lo, hi), next)
+			})
+		}
+		if opt.Coalesce && tr != nil {
+			chain = append(chain, func(next func()) {
+				lo, hi := at(prm.Y, c0, c1)
+				dev.Submit(tr.PermuteBack(prm.Y, lo, hi), next)
+			})
+		}
+		chain = append(chain, func(next func()) { be.TransferToCPU(bytes, next) })
+		// Continue this stripe on the CPU above the transfer level.
+		for l := prm.Y - 1; l >= s; l-- {
+			l := l
+			chain = append(chain, func(next func()) {
+				lo, hi := at(l, c0, c1)
+				be.CPU().Submit(alg.CombineBatch(l, lo, hi), next)
+			})
+		}
+		return chain
+	}
+
+	var tail []step
+	for l := s - 1; l >= 0; l-- {
+		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		tail = append(tail, func(next func()) { be.CPU().Submit(b, next) })
+	}
+
+	rep := Report{Algorithm: alg.Name(), Strategy: fmt.Sprintf("advanced-%dgpu", k)}
+	completed := false
+	runSeq(top, func() {
+		chains := 1 + k
+		join := Join(chains, func() {
+			runSeq(tail, func() { completed = true })
+		})
+		forkAt := be.Now()
+		runSeq(cpuChain, func() {
+			rep.CPUPortionSeconds = be.Now() - forkAt
+			join()
+		})
+		// Stripe the GPU portion: device d gets [cCount + d·per, ...).
+		for d := 0; d < k; d++ {
+			per := gCount / k
+			extra := gCount % k
+			c0 := cCount + d*per + min(d, extra)
+			c1 := c0 + per
+			if d < extra {
+				c1++
+			}
+			chain := deviceChain(devices[d], c0, c1)
+			runSeq(chain, func() {
+				if t := be.Now() - forkAt; t > rep.GPUPortionSeconds {
+					rep.GPUPortionSeconds = t
+				}
+				join()
+			})
+		}
+	})
+	be.Wait()
+	if !completed {
+		panic("core: multi-GPU execution did not complete")
+	}
+	finish(alg)
+	rep.Seconds = be.Now() - start
+	return rep, nil
+}

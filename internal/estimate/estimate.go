@@ -1,0 +1,202 @@
+// Package estimate implements the paper's §6.4 parameter-estimation
+// procedures: the GPU parallelism g from the saturation curve of an
+// element-wise array sum (Fig 5), and the scalar speed ratio γ from a
+// single-thread merge timed on both units (Fig 6). Together these produce
+// the platform rows of Table 2.
+//
+// Estimation drives the simulated platform exactly as an OpenCL host program
+// would — launching kernels and timing them — so it validates that the
+// calibrated device models reproduce the published parameters, and it works
+// unchanged on user-defined platforms.
+package estimate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/stats"
+)
+
+// SaturationConfig controls the g estimation sweep.
+type SaturationConfig struct {
+	// Work is the total number of array elements summed per launch (the
+	// paper used arrays of 2^24; larger values drown the launch overhead).
+	Work int
+	// MaxThreads bounds the sweep (the paper plotted up to 10000 on HPU1
+	// and 2500 on HPU2).
+	MaxThreads int
+	// Step is the thread-count increment between samples.
+	Step int
+	// Tolerance is the relative slack over the curve floor that still
+	// counts as "no further improvement".
+	Tolerance float64
+}
+
+// DefaultSaturationConfig returns the sweep used for Table 2.
+func DefaultSaturationConfig() SaturationConfig {
+	return SaturationConfig{Work: 1 << 26, MaxThreads: 10000, Step: 8, Tolerance: 0.02}
+}
+
+// sumCost is the per-item cost of the element-wise sum kernel when each of w
+// work-items handles chunk consecutive elements: per element, one add and
+// three words of coalesced traffic (two reads, one write).
+func sumCost(chunk float64) core.Cost {
+	return core.Cost{
+		Ops:       chunk,
+		MemWords:  3 * chunk,
+		Coalesced: true,
+		Divergent: false,
+	}
+}
+
+// SaturationCurve measures launch time as a function of the number of
+// work-items for a fixed total amount of work (Fig 5). The returned points
+// are sorted by thread count.
+func SaturationCurve(sim *hpu.Sim, cfg SaturationConfig) ([]stats.Point, error) {
+	if cfg.Work <= 0 || cfg.MaxThreads <= 0 || cfg.Step <= 0 {
+		return nil, fmt.Errorf("estimate: invalid saturation config %+v", cfg)
+	}
+	var pts []stats.Point
+	for w := cfg.Step; w <= cfg.MaxThreads; w += cfg.Step {
+		chunk := float64(cfg.Work) / float64(w)
+		start := sim.Now()
+		done := false
+		sim.GPU().Submit(core.Batch{Tasks: w, Cost: sumCost(chunk)}, func() { done = true })
+		sim.Wait()
+		if !done {
+			return nil, fmt.Errorf("estimate: saturation launch with %d threads did not complete", w)
+		}
+		pts = append(pts, stats.Point{X: float64(w), Y: sim.Now() - start})
+	}
+	return pts, nil
+}
+
+// EstimateG runs the saturation sweep and locates its knee: the paper's
+// empirical degree of parallelism g.
+func EstimateG(platform hpu.Platform, cfg SaturationConfig) (int, []stats.Point, error) {
+	sim, err := hpu.NewSim(platform)
+	if err != nil {
+		return 0, nil, err
+	}
+	pts, err := SaturationCurve(sim, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	knee, err := stats.SaturationKnee(pts, cfg.Tolerance, 0.1)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(knee + 0.5), pts, nil
+}
+
+// GammaConfig controls the γ estimation sweep.
+type GammaConfig struct {
+	// Sizes are the merge input sizes to time (the paper swept up to 2·10^7
+	// on HPU1 and 9·10^6 on HPU2).
+	Sizes []int
+}
+
+// DefaultGammaConfig returns the sweep used for Table 2.
+func DefaultGammaConfig() GammaConfig {
+	var sizes []int
+	for s := 1 << 18; s <= 2<<23; s += 1 << 20 {
+		sizes = append(sizes, s)
+	}
+	return GammaConfig{Sizes: sizes}
+}
+
+// mergeCost is the cost of one sequential merge producing s elements, the
+// same convention as the mergesort package.
+func mergeCost(s int) core.Cost {
+	return core.Cost{
+		Ops:        float64(s),
+		MemWords:   2 * float64(s),
+		Coalesced:  true, // a single work-item's streaming access
+		Divergent:  true,
+		WorkingSet: int64(s) * 8,
+	}
+}
+
+// GammaPoint is one sample of the Fig 6 curve.
+type GammaPoint struct {
+	// Size is the merged output length.
+	Size int
+	// CPUSeconds and GPUSeconds are the single-thread merge times.
+	CPUSeconds, GPUSeconds float64
+	// Ratio is GPUSeconds / CPUSeconds, an estimate of 1/γ.
+	Ratio float64
+}
+
+// GammaCurve times a one-thread merge of each size on both units (Fig 6).
+func GammaCurve(platform hpu.Platform, cfg GammaConfig) ([]GammaPoint, error) {
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("estimate: no merge sizes configured")
+	}
+	var pts []GammaPoint
+	for _, s := range cfg.Sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("estimate: invalid merge size %d", s)
+		}
+		sim, err := hpu.NewSim(platform)
+		if err != nil {
+			return nil, err
+		}
+		cost := mergeCost(s)
+		start := sim.Now()
+		sim.CPU().Submit(core.Batch{Tasks: 1, Cost: cost}, nil)
+		sim.Wait()
+		cpuT := sim.Now() - start
+
+		start = sim.Now()
+		sim.GPU().Submit(core.Batch{Tasks: 1, Cost: cost}, nil)
+		sim.Wait()
+		gpuT := sim.Now() - start
+
+		pts = append(pts, GammaPoint{
+			Size: s, CPUSeconds: cpuT, GPUSeconds: gpuT, Ratio: gpuT / cpuT,
+		})
+	}
+	return pts, nil
+}
+
+// EstimateGammaInv returns the estimated 1/γ: the mean of the per-size
+// GPU:CPU time ratios, which Fig 6 shows to be essentially constant.
+func EstimateGammaInv(platform hpu.Platform, cfg GammaConfig) (float64, []GammaPoint, error) {
+	pts, err := GammaCurve(platform, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	ratios := make([]float64, len(pts))
+	for i, p := range pts {
+		ratios[i] = p.Ratio
+	}
+	return stats.Mean(ratios), pts, nil
+}
+
+// Result is one platform row of Table 2.
+type Result struct {
+	Platform string
+	P        int
+	G        int
+	GammaInv float64
+}
+
+// Platform estimates the full (p, g, γ) triple for a platform, as done once
+// per machine in §6.4.
+func Platform(platform hpu.Platform) (Result, error) {
+	g, _, err := EstimateG(platform, DefaultSaturationConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	gammaInv, _, err := EstimateGammaInv(platform, DefaultGammaConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Platform: platform.Name,
+		P:        platform.CPU.Cores,
+		G:        g,
+		GammaInv: gammaInv,
+	}, nil
+}

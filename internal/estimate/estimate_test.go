@@ -1,0 +1,100 @@
+package estimate
+
+import (
+	"testing"
+
+	"repro/internal/hpu"
+)
+
+// TestTable2 checks that the estimation harness recovers the paper's
+// Table 2 parameters from the calibrated platforms: (p=4, g=4096, γ⁻¹≈160)
+// for HPU1 and (p=4, g=1200, γ⁻¹≈65) for HPU2.
+func TestTable2(t *testing.T) {
+	cases := []struct {
+		platform hpu.Platform
+		wantG    int
+		gTol     int
+		wantInv  float64
+	}{
+		{hpu.HPU1(), 4096, 64, 160},
+		{hpu.HPU2(), 1200, 32, 65},
+	}
+	for _, c := range cases {
+		res, err := Platform(c.platform)
+		if err != nil {
+			t.Fatalf("%s: %v", c.platform.Name, err)
+		}
+		if res.P != 4 {
+			t.Errorf("%s: p = %d, want 4", c.platform.Name, res.P)
+		}
+		if res.G < c.wantG-c.gTol || res.G > c.wantG+c.gTol {
+			t.Errorf("%s: g = %d, want %d±%d", c.platform.Name, res.G, c.wantG, c.gTol)
+		}
+		if res.GammaInv < c.wantInv*0.93 || res.GammaInv > c.wantInv*1.07 {
+			t.Errorf("%s: γ⁻¹ = %.1f, want ≈%.0f", c.platform.Name, res.GammaInv, c.wantInv)
+		}
+	}
+}
+
+// TestSaturationCurveShape checks the Fig 5 curve: decreasing before the
+// knee, flat after it.
+func TestSaturationCurveShape(t *testing.T) {
+	sim := hpu.MustSim(hpu.HPU1())
+	cfg := DefaultSaturationConfig()
+	cfg.Step = 128
+	pts, err := SaturationCurve(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := float64(hpu.HPU1().GPU.SatThreads)
+	for i := 1; i < len(pts); i++ {
+		prev, cur := pts[i-1], pts[i]
+		switch {
+		case cur.X <= g:
+			if cur.Y >= prev.Y {
+				t.Fatalf("curve not decreasing below knee at w=%g: %g >= %g",
+					cur.X, cur.Y, prev.Y)
+			}
+		case prev.X >= g:
+			if rel := (cur.Y - prev.Y) / prev.Y; rel > 0.001 || rel < -0.001 {
+				t.Fatalf("curve not flat above knee at w=%g: rel change %g", cur.X, rel)
+			}
+		}
+	}
+}
+
+// TestGammaCurveConstant checks the Fig 6 property: the single-thread
+// GPU:CPU merge ratio is essentially independent of input size.
+func TestGammaCurveConstant(t *testing.T) {
+	pts, err := GammaCurve(hpu.HPU2(), DefaultGammaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("too few points: %d", len(pts))
+	}
+	lo, hi := pts[0].Ratio, pts[0].Ratio
+	for _, p := range pts {
+		if p.Ratio < lo {
+			lo = p.Ratio
+		}
+		if p.Ratio > hi {
+			hi = p.Ratio
+		}
+	}
+	if hi/lo > 1.15 {
+		t.Errorf("ratio varies too much across sizes: min=%.1f max=%.1f", lo, hi)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := EstimateG(hpu.HPU1(), SaturationConfig{}); err == nil {
+		t.Error("EstimateG accepted zero config")
+	}
+	if _, err := GammaCurve(hpu.HPU1(), GammaConfig{}); err == nil {
+		t.Error("GammaCurve accepted empty sizes")
+	}
+	if _, err := GammaCurve(hpu.HPU1(), GammaConfig{Sizes: []int{-1}}); err == nil {
+		t.Error("GammaCurve accepted negative size")
+	}
+}

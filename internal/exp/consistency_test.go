@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/hpu"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestModelSimRankConsistency checks that the analytic model and the
+// simulator agree on the *ordering* of parameter choices: configurations the
+// model predicts to be faster should generally measure faster on the
+// simulator. The simulator adds effects the model omits (transfers, launch
+// overheads, cache contention), so exact times differ; the paper's claim is
+// that the model still ranks the design space well enough to choose (α, y)
+// — which is what this asserts via rank correlation.
+func TestModelSimRankConsistency(t *testing.T) {
+	const logN = 16
+	pl := hpu.HPU1()
+	in := workload.Uniform(1<<logN, 5)
+	num, err := mergesortNumeric(pl, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type cell struct{ pred, meas float64 }
+	var cells []cell
+	for _, alpha := range []float64{0.05, 0.12, 0.2, 0.35, 0.6} {
+		for _, y := range []int{5, 7, 9, 11} {
+			s := num.DefaultSplit(alpha, y)
+			pr, err := num.PredictAdvanced(alpha, y, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := advancedMergesort(pl, in, alpha, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, cell{pred: pr.Makespan, meas: rep.Seconds})
+		}
+	}
+
+	// Spearman rank correlation between predicted and measured times.
+	rank := func(get func(cell) float64) []float64 {
+		idx := make([]int, len(cells))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return get(cells[idx[a]]) < get(cells[idx[b]]) })
+		r := make([]float64, len(cells))
+		for pos, i := range idx {
+			r[i] = float64(pos)
+		}
+		return r
+	}
+	rp := rank(func(c cell) float64 { return c.pred })
+	rm := rank(func(c cell) float64 { return c.meas })
+	n := float64(len(cells))
+	var d2 float64
+	for i := range cells {
+		d := rp[i] - rm[i]
+		d2 += d * d
+	}
+	rho := 1 - 6*d2/(n*(n*n-1))
+	if rho < 0.7 {
+		t.Errorf("model-simulator rank correlation ρ = %.3f, want >= 0.7", rho)
+	}
+}
+
+// TestModelUnderestimatesSim checks the direction of the model-simulator
+// gap: the model ignores transfers, kernel-launch overheads and memory
+// contention, so measured hybrid times should never beat the model's
+// makespan by a wide margin (allowing slack for integer rounding effects).
+func TestModelUnderestimatesSim(t *testing.T) {
+	const logN = 18
+	pl := hpu.HPU1()
+	in := workload.Uniform(1<<logN, 6)
+	num, err := mergesortNumeric(pl, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize model ops to seconds via the CPU rate.
+	opsToSec := 1 / pl.CPU.RateOpsPerSec
+
+	for _, alpha := range []float64{0.1, 0.17, 0.3} {
+		y := 8
+		pr, err := num.PredictAdvanced(alpha, y, num.DefaultSplit(alpha, y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := advancedMergesort(pl, in, alpha, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predSec := pr.Makespan * opsToSec
+		if rep.Seconds < 0.9*predSec {
+			t.Errorf("α=%.2f: measured %.5fs beats model %.5fs by >10%%",
+				alpha, rep.Seconds, predSec)
+		}
+		if rep.Seconds > 3*predSec {
+			t.Errorf("α=%.2f: measured %.5fs exceeds model %.5fs by >3x — calibration drift",
+				alpha, rep.Seconds, predSec)
+		}
+	}
+}
+
+// TestSequentialSimMatchesModel anchors the calibration: the simulated
+// 1-core recursive baseline must match the model's sequential time almost
+// exactly (same cost convention, no contention at one core).
+func TestSequentialSimMatchesModel(t *testing.T) {
+	const logN = 16
+	pl := hpu.HPU1()
+	in := workload.Uniform(1<<logN, 7)
+	num, err := mergesortNumeric(pl, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sequentialMergesort(pl, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := num.SequentialTime() / pl.CPU.RateOpsPerSec
+	if seq < 0.98*want || seq > 1.05*want {
+		t.Errorf("sequential sim %.6fs vs model %.6fs", seq, want)
+	}
+}
+
+// TestPolyNumericAgree cross-checks the two model variants on the
+// mergesort family: the closed form's GPU work fraction at its optimum and
+// the numeric model's fraction at the same parameters must agree closely.
+func TestPolyNumericAgree(t *testing.T) {
+	mach := model.Machine{P: 4, G: 4096, Gamma: 1.0 / 160}
+	poly, err := model.NewPoly(2, 2, 1<<20, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := model.NewNumeric(2, 2, 20, func(s float64) float64 { return s }, 1, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, yf, frac := poly.Optimum()
+	y := int(yf + 0.5)
+	pr, err := num.PredictAdvanced(alpha, y, num.DefaultSplit(alpha, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.GPUWorkFraction < frac-0.08 || pr.GPUWorkFraction > frac+0.08 {
+		t.Errorf("numeric GPU fraction %.3f vs closed form %.3f", pr.GPUWorkFraction, frac)
+	}
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/hpu"
+	"repro/internal/stats"
+)
+
+// Fig5Config parameterizes the saturation sweep.
+type Fig5Config struct {
+	// MaxThreads per platform, in paper order (HPU1 plotted to 10000,
+	// HPU2 to 2500).
+	MaxThreads []int
+	Work       int
+	Step       int
+}
+
+// DefaultFig5Config matches the paper's plot ranges.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{MaxThreads: []int{10000, 2500}, Work: 1 << 26, Step: 32}
+}
+
+// Fig5 reproduces Figure 5: element-wise sum time as a function of the
+// number of GPU threads, one series per platform, with the saturation knee
+// that estimates g.
+func Fig5(cfg Fig5Config) (Figure, error) {
+	platforms := hpu.Platforms()
+	if len(cfg.MaxThreads) != len(platforms) {
+		return Figure{}, fmt.Errorf("exp: Fig5 needs %d MaxThreads entries, got %d",
+			len(platforms), len(cfg.MaxThreads))
+	}
+	fig := Figure{
+		ID:     "fig5",
+		Title:  "Execution time vs parallel GPU threads (element-wise sum)",
+		XLabel: "number of threads",
+		YLabel: "execution time (s)",
+	}
+	for i, pl := range platforms {
+		scfg := estimate.SaturationConfig{
+			Work: cfg.Work, MaxThreads: cfg.MaxThreads[i], Step: cfg.Step, Tolerance: 0.02,
+		}
+		g, pts, err := estimate.EstimateG(pl, scfg)
+		if err != nil {
+			return Figure{}, fmt.Errorf("exp: Fig5 on %s: %w", pl.Name, err)
+		}
+		fig.Series = append(fig.Series, Series{Name: pl.Name, Points: pts})
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("%s: knee (estimated g) = %d (paper: %d)", pl.Name, g, pl.GPU.SatThreads))
+	}
+	return fig, nil
+}
+
+// Fig6Config parameterizes the scalar-ratio sweep.
+type Fig6Config struct {
+	// Sizes per platform (the paper swept to 2·10^7 on HPU1, 9·10^6 on
+	// HPU2).
+	Sizes [][]int
+}
+
+// DefaultFig6Config matches the paper's size ranges.
+func DefaultFig6Config() Fig6Config {
+	var s1, s2 []int
+	for s := 1 << 20; s <= 20_000_000; s += 1 << 21 {
+		s1 = append(s1, s)
+	}
+	for s := 1 << 19; s <= 9_000_000; s += 1 << 20 {
+		s2 = append(s2, s)
+	}
+	return Fig6Config{Sizes: [][]int{s1, s2}}
+}
+
+// Fig6 reproduces Figure 6: the ratio between single-thread GPU and CPU
+// merge times as a function of input size, one series per platform.
+func Fig6(cfg Fig6Config) (Figure, error) {
+	platforms := hpu.Platforms()
+	if len(cfg.Sizes) != len(platforms) {
+		return Figure{}, fmt.Errorf("exp: Fig6 needs %d size lists, got %d",
+			len(platforms), len(cfg.Sizes))
+	}
+	fig := Figure{
+		ID:     "fig6",
+		Title:  "Single-thread merge: GPU/CPU time ratio vs input size",
+		XLabel: "test size (elements)",
+		YLabel: "time GPU / time CPU",
+	}
+	for i, pl := range platforms {
+		inv, pts, err := estimate.EstimateGammaInv(pl, estimate.GammaConfig{Sizes: cfg.Sizes[i]})
+		if err != nil {
+			return Figure{}, fmt.Errorf("exp: Fig6 on %s: %w", pl.Name, err)
+		}
+		sp := make([]stats.Point, len(pts))
+		for j, p := range pts {
+			sp[j] = stats.Point{X: float64(p.Size), Y: p.Ratio}
+		}
+		fig.Series = append(fig.Series, Series{Name: pl.Name, Points: sp})
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("%s: mean 1/γ = %.1f (paper: %.0f)", pl.Name, inv, 1/pl.GPU.Gamma))
+	}
+	return fig, nil
+}

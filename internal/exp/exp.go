@@ -1,0 +1,121 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (§6.4). Each driver runs the relevant workload on the simulated
+// platforms and returns the series or rows the paper reports, so the
+// cmd/hpubench tool (and the benchmark suite) can regenerate every artifact.
+//
+// The drivers accept explicit configs; Default*Config functions return
+// paper-scale settings, and tests use reduced sizes. All runs are
+// deterministic given the config's seed.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/algos/mergesort"
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// Figure is a reproduced figure: a set of series over a common axis pair.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX indicates the paper plots this figure with a logarithmic x
+	// axis (input-size sweeps).
+	LogX   bool
+	Series []Series
+	Notes  []string
+}
+
+// Table is a reproduced table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// machineOf extracts the model's parameter triple from a platform.
+func machineOf(pl hpu.Platform) model.Machine {
+	return model.Machine{P: pl.CPU.Cores, G: pl.GPU.SatThreads, Gamma: pl.GPU.Gamma}
+}
+
+// mergesortNumeric builds the level-by-level model for mergesort at n = 2^logN
+// using the shared cost convention f(size) = 2·size.
+func mergesortNumeric(pl hpu.Platform, logN int) (model.Numeric, error) {
+	return model.NewNumeric(2, 2, logN,
+		func(size float64) float64 { return 2 * size }, 0, machineOf(pl))
+}
+
+// sequentialMergesort measures the single-core recursive baseline.
+func sequentialMergesort(pl hpu.Platform, in []int32) (float64, error) {
+	be, err := hpu.NewSim(pl)
+	if err != nil {
+		return 0, err
+	}
+	s, err := mergesort.New(in)
+	if err != nil {
+		return 0, err
+	}
+	rep := core.RunSequential(be, s)
+	if !workload.IsSorted(s.Result()) {
+		return 0, fmt.Errorf("exp: sequential baseline produced unsorted output")
+	}
+	return rep.Seconds, nil
+}
+
+// advancedMergesort runs one advanced-hybrid mergesort and validates the
+// output.
+func advancedMergesort(pl hpu.Platform, in []int32, alpha float64, y int) (core.Report, error) {
+	be, err := hpu.NewSim(pl)
+	if err != nil {
+		return core.Report{}, err
+	}
+	s, err := mergesort.New(in)
+	if err != nil {
+		return core.Report{}, err
+	}
+	prm := core.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
+	rep, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true})
+	if err != nil {
+		return core.Report{}, err
+	}
+	if !workload.IsSorted(s.Result()) {
+		return core.Report{}, fmt.Errorf("exp: hybrid run (α=%g, y=%d) produced unsorted output", alpha, y)
+	}
+	return rep, nil
+}
+
+// clampY keeps a transfer level inside [0, L].
+func clampY(y, levels int) int {
+	if y < 0 {
+		return 0
+	}
+	if y > levels {
+		return levels
+	}
+	return y
+}
+
+// predictedOptimum returns the closed-form model's (α*, y*) for mergesort at
+// n = 2^logN, with y rounded to an executable integer level.
+func predictedOptimum(pl hpu.Platform, logN int) (alpha float64, y int, frac float64, err error) {
+	poly, err := model.NewPoly(2, 2, float64(uint64(1)<<logN), machineOf(pl))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	a, yf, fr := poly.Optimum()
+	return a, clampY(int(yf+0.5), logN), fr, nil
+}

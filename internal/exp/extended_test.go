@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hpu"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// mergesortExtended builds the §7 refined model for mergesort on a platform.
+func mergesortExtended(pl hpu.Platform, logN int) (model.Extended, error) {
+	num, err := mergesortNumeric(pl, logN)
+	if err != nil {
+		return model.Extended{}, err
+	}
+	return model.NewExtended(num, model.ExtendedParams{
+		CoreRate:             pl.CPU.RateOpsPerSec,
+		MemBW:                pl.CPU.MemBWOpsPerSec,
+		LLCBytes:             pl.CPU.LLCBytes,
+		BytesPerSize:         8, // src + dst int32 per merged element
+		TransferBytesPerSize: 4,
+		HideFactor:           pl.GPU.HideFactor,
+		Divergent:            true, // sequential merge per work-item
+		LaunchSec:            pl.GPU.LaunchOverheadSec,
+		DispatchSec:          pl.CPU.DispatchOverheadSec,
+		LinkLatencySec:       pl.Link.LatencySec,
+		LinkSecPerByte:       pl.Link.SecPerByte,
+	})
+}
+
+// TestExtendedModelAccuracy quantifies the paper's §7 conjecture: adding
+// cache, communication and scheduling costs to the model makes it track the
+// measured (simulated) times much more closely than the abstract §5 model.
+func TestExtendedModelAccuracy(t *testing.T) {
+	const logN = 18
+	pl := hpu.HPU1()
+	in := workload.Uniform(1<<logN, 8)
+	num, err := mergesortNumeric(pl, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := mergesortExtended(pl, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var plainErr, extErr float64
+	cells := 0
+	for _, alpha := range []float64{0.08, 0.17, 0.3} {
+		for _, y := range []int{6, 8, 10} {
+			s := num.DefaultSplit(alpha, y)
+			plain, err := num.PredictAdvanced(alpha, y, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refined, err := ext.PredictAdvancedSeconds(alpha, y, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := advancedMergesort(pl, in, alpha, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainSec := plain.Makespan / pl.CPU.RateOpsPerSec
+			plainErr += math.Abs(plainSec-rep.Seconds) / rep.Seconds
+			extErr += math.Abs(refined.Makespan-rep.Seconds) / rep.Seconds
+			cells++
+		}
+	}
+	plainErr /= float64(cells)
+	extErr /= float64(cells)
+	t.Logf("mean relative error: plain %.1f%%, extended %.1f%%", 100*plainErr, 100*extErr)
+	if extErr >= plainErr {
+		t.Errorf("extended model (%.3f) no better than plain (%.3f)", extErr, plainErr)
+	}
+	if extErr > 0.15 {
+		t.Errorf("extended model mean error %.1f%% exceeds 15%%", 100*extErr)
+	}
+}
+
+// TestExtendedSequentialMatchesSim anchors the extended calibration.
+func TestExtendedSequentialMatchesSim(t *testing.T) {
+	const logN = 16
+	pl := hpu.HPU2()
+	ext, err := mergesortExtended(pl, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.Uniform(1<<logN, 9)
+	seq, err := sequentialMergesort(pl, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ext.SequentialSeconds()
+	if seq < 0.97*want || seq > 1.06*want {
+		t.Errorf("sim sequential %.6fs vs extended model %.6fs", seq, want)
+	}
+}
+
+// TestExtendedBestParamsNearSweepBest: the refined model's chosen (α, y)
+// should be competitive with the sweep's best measured configuration.
+func TestExtendedBestParamsNearSweepBest(t *testing.T) {
+	const logN = 16
+	pl := hpu.HPU1()
+	in := workload.Uniform(1<<logN, 10)
+	ext, err := mergesortExtended(pl, logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, y, _ := ext.BestAdvancedSeconds(40)
+	chosen, err := advancedMergesort(pl, in, alpha, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Small sweep around the plain model's optimum for a reference best.
+	cfg := DefaultSweepConfig(pl)
+	cfg.LogNs = []int{logN}
+	results, err := MergesortSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := results[0].BestSeconds
+	if chosen.Seconds > 1.15*best {
+		t.Errorf("extended-model params (α=%.2f y=%d → %.5fs) >15%% worse than sweep best %.5fs",
+			alpha, y, chosen.Seconds, best)
+	}
+}
+
+func TestExtendedValidation(t *testing.T) {
+	num, _ := model.NewNumeric(2, 2, 8, func(s float64) float64 { return s }, 0,
+		model.Machine{P: 4, G: 64, Gamma: 0.1})
+	bad := model.ExtendedParams{}
+	if _, err := model.NewExtended(num, bad); err == nil {
+		t.Error("NewExtended accepted zero params")
+	}
+	ext, err := mergesortExtended(hpu.HPU1(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ext.PredictAdvancedSeconds(2, 4, 2); err == nil {
+		t.Error("accepted alpha > 1")
+	}
+	if _, err := ext.PredictAdvancedSeconds(0.5, 99, 2); err == nil {
+		t.Error("accepted y > L")
+	}
+}

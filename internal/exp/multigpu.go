@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/algos/mergesort"
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// MultiGPUConfig parameterizes the §3.2 multiple-cards extension experiment
+// (the trade-off behind the paper's footnote 5: HPU1's HD 5970 has two dies
+// but only one was used).
+type MultiGPUConfig struct {
+	Platform hpu.Platform
+	LogNs    []int
+	Devices  []int
+	Seed     int64
+}
+
+// DefaultMultiGPUConfig sweeps 1 and 2 dies across the paper's size range.
+func DefaultMultiGPUConfig() MultiGPUConfig {
+	return MultiGPUConfig{
+		Platform: hpu.HPU1(),
+		LogNs:    []int{14, 16, 18, 20, 22, 24},
+		Devices:  []int{1, 2},
+		Seed:     1,
+	}
+}
+
+// MultiGPU measures hybrid mergesort speedup over the 1-core baseline as a
+// function of input size, one series per device count.
+func MultiGPU(cfg MultiGPUConfig) (Figure, error) {
+	if len(cfg.LogNs) == 0 || len(cfg.Devices) == 0 {
+		return Figure{}, fmt.Errorf("exp: multi-GPU sweep needs sizes and device counts")
+	}
+	fig := Figure{
+		ID: "multigpu",
+		Title: fmt.Sprintf("Hybrid mergesort with multiple GPU dies on %s (§3.2 extension)",
+			cfg.Platform.Name),
+		XLabel: "input size",
+		YLabel: "speedup over 1-CPU",
+		LogX:   true,
+		Notes: []string{
+			"paper footnote 5: only one die of the HD 5970 was used — the",
+			"parallelism above the transfer level cannot saturate both dies.",
+		},
+	}
+	series := make([]Series, len(cfg.Devices))
+	for i, d := range cfg.Devices {
+		series[i].Name = fmt.Sprintf("%d die(s)", d)
+	}
+	for _, logN := range cfg.LogNs {
+		n := 1 << logN
+		in := workload.Uniform(n, cfg.Seed)
+		seq, err := sequentialMergesort(cfg.Platform, in)
+		if err != nil {
+			return Figure{}, err
+		}
+		alpha, y, _, err := predictedOptimum(cfg.Platform, logN)
+		if err != nil {
+			return Figure{}, err
+		}
+		for i, d := range cfg.Devices {
+			be, err := hpu.NewMultiSim(cfg.Platform, d)
+			if err != nil {
+				return Figure{}, err
+			}
+			s, err := mergesort.New(in)
+			if err != nil {
+				return Figure{}, err
+			}
+			prm := core.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
+			rep, err := core.RunAdvancedMultiGPU(be, s, prm, core.Options{Coalesce: true})
+			if err != nil {
+				return Figure{}, err
+			}
+			if !workload.IsSorted(s.Result()) {
+				return Figure{}, fmt.Errorf("exp: multi-GPU run (d=%d, n=2^%d) unsorted", d, logN)
+			}
+			series[i].Points = append(series[i].Points,
+				stats.Point{X: float64(n), Y: seq / rep.Seconds})
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/hpu"
+)
+
+// Table1 reproduces Table 1: the specification of the hybrid platforms.
+func Table1() Table {
+	t := Table{
+		ID:      "table1",
+		Title:   "Specification of hybrid platforms used in experiments",
+		Columns: []string{"Platform", "CPU", "GPU", "Link"},
+		Notes: []string{
+			"Hardware is simulated; see DESIGN.md for the substitution rationale.",
+		},
+	}
+	for _, pl := range hpu.Platforms() {
+		t.Rows = append(t.Rows, []string{
+			pl.Name,
+			fmt.Sprintf("%s (%d cores @ %.1f GHz, %d MB cache)",
+				pl.CPU.Name, pl.CPU.Cores, pl.CPU.ClockGHz, pl.CPU.LLCBytes>>20),
+			fmt.Sprintf("%s (%d PEs)", pl.GPU.Name, pl.GPU.PhysicalPEs),
+			pl.Link.Name,
+		})
+	}
+	return t
+}
+
+// Table2 reproduces Table 2: the estimated platform parameters (p, g, γ⁻¹),
+// recovered by running the §6.4 estimation procedures on the simulated
+// devices.
+func Table2() (Table, error) {
+	t := Table{
+		ID:      "table2",
+		Title:   "Platform parameters (p: CPU cores, g: GPU cores, γ: scalar ratio)",
+		Columns: []string{"Platform", "p", "g", "1/γ"},
+		Notes: []string{
+			"g from the Fig 5 saturation knee; γ from the Fig 6 merge ratio.",
+			"Paper values: HPU1 (4, 4096, 160); HPU2 (4, 1200, 65).",
+		},
+	}
+	for _, pl := range hpu.Platforms() {
+		res, err := estimate.Platform(pl)
+		if err != nil {
+			return Table{}, fmt.Errorf("exp: estimating %s: %w", pl.Name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Platform,
+			fmt.Sprintf("%d", res.P),
+			fmt.Sprintf("%d", res.G),
+			fmt.Sprintf("%.0f", res.GammaInv),
+		})
+	}
+	return t, nil
+}

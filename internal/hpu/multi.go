@@ -1,0 +1,93 @@
+package hpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/simcpu"
+	"repro/internal/simgpu"
+	"repro/internal/vtime"
+)
+
+// MultiSim is a simulated HPU with several identical GPU devices sharing one
+// host link — the §3.2 extension to multiple GPU cards. HPU1's Radeon
+// HD 5970 is physically such a card (two dies); the paper used one die
+// (footnote 5), a decision the multi-GPU experiments in internal/exp
+// revisit. MultiSim implements core.Backend (GPU() returns device 0) and
+// exposes the full device list for core.RunAdvancedMultiGPU.
+type MultiSim struct {
+	platform Platform
+	eng      *vtime.Engine
+	cpu      *simcpu.CPU
+	gpus     []*simgpu.GPU
+	link     *vtime.Resource
+}
+
+var _ core.Backend = (*MultiSim)(nil)
+
+// NewMultiSim builds a simulated HPU with `devices` copies of the
+// platform's GPU.
+func NewMultiSim(p Platform, devices int) (*MultiSim, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if devices < 1 {
+		return nil, fmt.Errorf("hpu: need at least one device, got %d", devices)
+	}
+	eng := vtime.New()
+	cpu, err := simcpu.New(eng, p.CPU)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiSim{platform: p, eng: eng, cpu: cpu, link: vtime.NewResource(eng, 1)}
+	for i := 0; i < devices; i++ {
+		g, err := simgpu.New(eng, p.GPU)
+		if err != nil {
+			return nil, err
+		}
+		m.gpus = append(m.gpus, g)
+	}
+	return m, nil
+}
+
+// Platform returns the specification.
+func (m *MultiSim) Platform() Platform { return m.platform }
+
+// CPU implements core.Backend.
+func (m *MultiSim) CPU() core.LevelExecutor { return m.cpu }
+
+// GPU implements core.Backend: the first device.
+func (m *MultiSim) GPU() core.LevelExecutor { return m.gpus[0] }
+
+// GPUs returns all devices.
+func (m *MultiSim) GPUs() []core.LevelExecutor {
+	out := make([]core.LevelExecutor, len(m.gpus))
+	for i, g := range m.gpus {
+		out[i] = g
+	}
+	return out
+}
+
+// GPUGamma implements core.Backend.
+func (m *MultiSim) GPUGamma() float64 { return m.gpus[0].Gamma() }
+
+func (m *MultiSim) transfer(n int64, done func()) {
+	if n < 0 {
+		panic(fmt.Sprintf("hpu: negative transfer size %d", n))
+	}
+	d := m.platform.Link.LatencySec + float64(n)*m.platform.Link.SecPerByte
+	m.link.RequestFixed(d, done)
+}
+
+// TransferToGPU implements core.Backend. All devices share the one link, as
+// on a dual-die card behind a single PCIe slot.
+func (m *MultiSim) TransferToGPU(n int64, done func()) { m.transfer(n, done) }
+
+// TransferToCPU implements core.Backend.
+func (m *MultiSim) TransferToCPU(n int64, done func()) { m.transfer(n, done) }
+
+// Now implements core.Backend.
+func (m *MultiSim) Now() float64 { return m.eng.Now() }
+
+// Wait implements core.Backend.
+func (m *MultiSim) Wait() { m.eng.Run() }

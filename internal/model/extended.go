@@ -1,0 +1,207 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExtendedParams augment the abstract HPU model with the costs §7 of the
+// paper proposes to add in future work: explicit host↔device transfers
+// (λ + δ·w), kernel launch and thread dispatch overheads, GPU latency
+// hiding, and CPU cache/memory-bandwidth contention. The fields mirror the
+// simulator's calibration so the extended model is its fast analytic twin.
+type ExtendedParams struct {
+	// CoreRate is the CPU core rate R in normalized ops per second.
+	CoreRate float64
+	// MemBW is the aggregate out-of-cache op rate shared by streaming
+	// cores.
+	MemBW float64
+	// LLCBytes is the shared last-level cache capacity.
+	LLCBytes int64
+	// BytesPerSize converts one unit of subproblem size into working-set
+	// bytes (mergesort touches 8 B per element: source + destination).
+	BytesPerSize float64
+	// TransferBytesPerSize converts one unit of size into link bytes
+	// (mergesort ships 4 B per element).
+	TransferBytesPerSize float64
+	// HideFactor is the GPU's latency-hiding factor H.
+	HideFactor float64
+	// Divergent marks the combine kernel as running at γ per lane even
+	// when saturated (true for one-merge-per-thread).
+	Divergent bool
+	// LaunchSec is the per-kernel-launch overhead.
+	LaunchSec float64
+	// DispatchSec is the per-chunk CPU dispatch overhead.
+	DispatchSec float64
+	// LinkLatencySec and LinkSecPerByte are the λ and δ of the link.
+	LinkLatencySec float64
+	LinkSecPerByte float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p ExtendedParams) Validate() error {
+	if p.CoreRate <= 0 || p.MemBW <= 0 {
+		return fmt.Errorf("model: extended rates must be positive, got R=%g B=%g", p.CoreRate, p.MemBW)
+	}
+	if p.LLCBytes <= 0 {
+		return fmt.Errorf("model: LLCBytes must be positive, got %d", p.LLCBytes)
+	}
+	if p.HideFactor < 1 {
+		return fmt.Errorf("model: HideFactor must be >= 1, got %g", p.HideFactor)
+	}
+	if p.BytesPerSize < 0 || p.TransferBytesPerSize < 0 {
+		return fmt.Errorf("model: byte factors must be nonnegative")
+	}
+	if p.LaunchSec < 0 || p.DispatchSec < 0 || p.LinkLatencySec < 0 || p.LinkSecPerByte < 0 {
+		return fmt.Errorf("model: overheads must be nonnegative")
+	}
+	return nil
+}
+
+// Extended is the §7 refined model: Numeric's level-by-level structure with
+// explicit cache, communication and scheduling costs. All its predictions
+// are in seconds.
+type Extended struct {
+	Num Numeric
+	Par ExtendedParams
+}
+
+// NewExtended validates and builds an extended model.
+func NewExtended(num Numeric, par ExtendedParams) (Extended, error) {
+	if err := par.Validate(); err != nil {
+		return Extended{}, err
+	}
+	return Extended{Num: num, Par: par}, nil
+}
+
+// cpuLevelSec is the CPU time for k tasks of per-task cost c ops whose batch
+// working set is ws bytes, mirroring internal/simcpu.
+func (e Extended) cpuLevelSec(k, c float64, ws int64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	p := float64(e.Num.Mach.P)
+	active := math.Min(k, p)
+	rate := e.Par.CoreRate
+	if ws > e.Par.LLCBytes {
+		if shared := e.Par.MemBW / active; shared < rate {
+			rate = shared
+		}
+	}
+	waves := math.Ceil(k / p)
+	return e.Par.DispatchSec + waves*c/rate
+}
+
+// gpuLevelSec is the device time for k work-items of effective per-item
+// cost c ops, mirroring internal/simgpu.
+func (e Extended) gpuLevelSec(k, c float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	g := float64(e.Num.Mach.G)
+	h := e.Par.HideFactor
+	satLane := e.Num.Mach.Gamma * h * e.Par.CoreRate
+	itemTime := c / satLane
+	slow := 1.0
+	if k < g && g > 1 {
+		slow = 1 + (h-1)*(g-k)/(g-1)
+	}
+	if e.Par.Divergent && h > slow {
+		slow = h
+	}
+	waves := math.Max(1, k/g)
+	return e.Par.LaunchSec + itemTime*slow*waves
+}
+
+// transferSec is one λ + δ·w link crossing for `size` units of data.
+func (e Extended) transferSec(size float64) float64 {
+	return e.Par.LinkLatencySec + size*e.Par.TransferBytesPerSize*e.Par.LinkSecPerByte
+}
+
+// SequentialSeconds is the 1-core baseline in seconds. A single core is
+// never bandwidth-capped under the calibration (B > R), matching the
+// simulator.
+func (e Extended) SequentialSeconds() float64 {
+	return e.Num.SequentialTime() / e.Par.CoreRate
+}
+
+// PredictionSec decomposes an extended prediction (all seconds).
+type PredictionSec struct {
+	CPUPhase  float64
+	GPUPhase  float64 // device levels plus both transfers
+	Tail      float64
+	Makespan  float64
+	Transfers float64
+}
+
+// PredictAdvancedSeconds predicts the advanced division's makespan with all
+// extended costs, mirroring core.RunAdvancedHybrid's structure.
+func (e Extended) PredictAdvancedSeconds(alpha float64, y, s int) (PredictionSec, error) {
+	n := e.Num
+	if alpha < 0 || alpha > 1 {
+		return PredictionSec{}, fmt.Errorf("model: alpha %g out of range [0,1]", alpha)
+	}
+	if y < 0 || y > n.L || s < 0 || s > y {
+		return PredictionSec{}, fmt.Errorf("model: invalid levels y=%d s=%d (L=%d)", y, s, n.L)
+	}
+	width := n.tasks(s)
+	cCount := math.Round(alpha * width)
+	gCount := width - cCount
+	scale := func(level int) float64 { return math.Pow(float64(n.A), float64(level-s)) }
+	ws := func(k float64, level int) int64 {
+		return int64(k * n.size(level) * e.Par.BytesPerSize)
+	}
+
+	var pr PredictionSec
+
+	if cCount > 0 {
+		kLeaf := cCount * scale(n.L)
+		pr.CPUPhase += e.cpuLevelSec(kLeaf, n.Leaf, ws(kLeaf, n.L))
+		for i := n.L - 1; i >= s; i-- {
+			k := cCount * scale(i)
+			pr.CPUPhase += e.cpuLevelSec(k, n.F(n.size(i)), ws(k, i))
+		}
+	}
+	if gCount > 0 {
+		portion := gCount * scale(n.L) * 1 // leaf units
+		_ = portion
+		sizeUnits := gCount * n.size(s)
+		pr.Transfers = 2 * e.transferSec(sizeUnits)
+		pr.GPUPhase += pr.Transfers
+		pr.GPUPhase += e.gpuLevelSec(gCount*scale(n.L), n.Leaf)
+		for i := n.L - 1; i >= y; i-- {
+			pr.GPUPhase += e.gpuLevelSec(gCount*scale(i), n.F(n.size(i)))
+		}
+		for i := y - 1; i >= s; i-- {
+			k := gCount * scale(i)
+			pr.Tail += e.cpuLevelSec(k, n.F(n.size(i)), ws(k, i))
+		}
+	}
+	for i := s - 1; i >= 0; i-- {
+		k := n.tasks(i)
+		pr.Tail += e.cpuLevelSec(k, n.F(n.size(i)), ws(k, i))
+	}
+	pr.Makespan = math.Max(pr.CPUPhase, pr.GPUPhase) + pr.Tail
+	return pr, nil
+}
+
+// BestAdvancedSeconds searches (α, y) for the minimum extended-model
+// makespan, the "determined analytically" path of §7 with the refined
+// costs.
+func (e Extended) BestAdvancedSeconds(alphaSteps int) (alpha float64, y int, best PredictionSec) {
+	if alphaSteps < 2 {
+		alphaSteps = 100
+	}
+	best.Makespan = math.Inf(1)
+	for yi := 0; yi <= e.Num.L; yi++ {
+		for i := 1; i < alphaSteps; i++ {
+			a := float64(i) / float64(alphaSteps)
+			s := e.Num.DefaultSplit(a, yi)
+			pr, err := e.PredictAdvancedSeconds(a, yi, s)
+			if err == nil && pr.Makespan < best.Makespan {
+				best, alpha, y = pr, a, yi
+			}
+		}
+	}
+	return alpha, y, best
+}

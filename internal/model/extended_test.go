@@ -1,0 +1,156 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// extParams is a simple calibration for unit-level checks: R = 1e8 ops/s,
+// ample bandwidth, no overheads.
+func extParams() ExtendedParams {
+	return ExtendedParams{
+		CoreRate: 1e8, MemBW: 4e8, LLCBytes: 1 << 20,
+		BytesPerSize: 8, TransferBytesPerSize: 4,
+		HideFactor: 10, Divergent: true,
+	}
+}
+
+func extModel(t *testing.T) Extended {
+	t.Helper()
+	num, err := NewNumeric(2, 2, 10, func(s float64) float64 { return 2 * s }, 0,
+		Machine{P: 4, G: 256, Gamma: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := NewExtended(num, extParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ext
+}
+
+func TestExtendedParamsValidate(t *testing.T) {
+	good := extParams()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []func(*ExtendedParams){
+		func(p *ExtendedParams) { p.CoreRate = 0 },
+		func(p *ExtendedParams) { p.MemBW = -1 },
+		func(p *ExtendedParams) { p.LLCBytes = 0 },
+		func(p *ExtendedParams) { p.HideFactor = 0.5 },
+		func(p *ExtendedParams) { p.BytesPerSize = -1 },
+		func(p *ExtendedParams) { p.LaunchSec = -1 },
+		func(p *ExtendedParams) { p.LinkSecPerByte = -1 },
+	}
+	for i, mutate := range bad {
+		p := extParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestExtendedSequentialSeconds(t *testing.T) {
+	ext := extModel(t)
+	// 2^10 input, f = 2·size per node, zero leaves: 10 levels × 2·1024 ops.
+	want := 10 * 2 * 1024.0 / 1e8
+	if got := ext.SequentialSeconds(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SequentialSeconds = %g, want %g", got, want)
+	}
+}
+
+func TestExtendedTransfersCounted(t *testing.T) {
+	// With link costs, a GPU-heavy split must include two transfers.
+	p := extParams()
+	p.LinkLatencySec = 0.5
+	num, _ := NewNumeric(2, 2, 10, func(s float64) float64 { return 2 * s }, 0,
+		Machine{P: 4, G: 256, Gamma: 0.01})
+	ext, err := NewExtended(num, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ext.PredictAdvancedSeconds(0.25, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Transfers < 1.0 {
+		t.Errorf("Transfers = %g, want >= 2·λ = 1.0", pr.Transfers)
+	}
+	if pr.GPUPhase < pr.Transfers {
+		t.Errorf("GPUPhase %g excludes transfers %g", pr.GPUPhase, pr.Transfers)
+	}
+	// α = 1: no GPU portion, no transfers.
+	pr1, err := ext.PredictAdvancedSeconds(1, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1.Transfers != 0 || pr1.GPUPhase != 0 {
+		t.Errorf("α=1 prediction has GPU costs: %+v", pr1)
+	}
+}
+
+func TestExtendedContentionSlowsCPU(t *testing.T) {
+	// Same work with a working set beyond the LLC must take longer when
+	// all cores stream (MemBW/4 < R).
+	small := extParams()
+	small.MemBW = 1e8 // 4 cores → 2.5e7 each, 4× slower than R
+	numBig, _ := NewNumeric(2, 2, 18, func(s float64) float64 { return 2 * s }, 0,
+		Machine{P: 4, G: 256, Gamma: 0.01})
+	fast, _ := NewExtended(numBig, extParams())
+	slow, _ := NewExtended(numBig, small)
+	pf, _ := fast.PredictAdvancedSeconds(1, 9, 4)
+	ps, _ := slow.PredictAdvancedSeconds(1, 9, 4)
+	if ps.Makespan <= pf.Makespan {
+		t.Errorf("bandwidth contention did not slow the CPU: %g vs %g",
+			ps.Makespan, pf.Makespan)
+	}
+}
+
+func TestExtendedBestSearch(t *testing.T) {
+	ext := extModel(t)
+	alpha, y, best := ext.BestAdvancedSeconds(30)
+	if alpha <= 0 || alpha >= 1 || y < 0 || y > 10 {
+		t.Fatalf("best params out of range: α=%g y=%d", alpha, y)
+	}
+	// The optimum must not lose to an arbitrary configuration.
+	other, err := ext.PredictAdvancedSeconds(0.9, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan > other.Makespan {
+		t.Errorf("BestAdvancedSeconds %g worse than arbitrary %g", best.Makespan, other.Makespan)
+	}
+}
+
+func TestExtendedValidationErrors(t *testing.T) {
+	ext := extModel(t)
+	if _, err := ext.PredictAdvancedSeconds(-0.1, 5, 2); err == nil {
+		t.Error("accepted alpha < 0")
+	}
+	if _, err := ext.PredictAdvancedSeconds(0.5, 11, 2); err == nil {
+		t.Error("accepted y > L")
+	}
+	if _, err := ext.PredictAdvancedSeconds(0.5, 5, 6); err == nil {
+		t.Error("accepted s > y")
+	}
+	num, _ := NewNumeric(2, 2, 4, func(s float64) float64 { return s }, 0,
+		Machine{P: 4, G: 64, Gamma: 0.1})
+	if _, err := NewExtended(num, ExtendedParams{}); err == nil {
+		t.Error("NewExtended accepted zero params")
+	}
+}
+
+func TestGPUWorkFractionBounds(t *testing.T) {
+	p, err := NewPoly(2, 2, 1<<20, Machine{P: 4, G: 4096, Gamma: 1.0 / 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for alpha := 0.01; alpha < 1; alpha += 0.05 {
+		f := p.GPUWorkFraction(alpha)
+		if f < 0 || f > 1 {
+			t.Fatalf("GPUWorkFraction(%g) = %g outside [0,1]", alpha, f)
+		}
+	}
+}

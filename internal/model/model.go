@@ -1,0 +1,218 @@
+// Package model implements the paper's analytic HPU model (§5): the basic
+// work-division crossover level, and the advanced division's CPU/GPU time
+// functions, transfer-level function y(α), GPU work maximization, and
+// predicted speedups.
+//
+// Two variants are provided. Poly is the closed-form model of §5.2.2 for
+// algorithms with f(n) = Θ(n^{log_b a}) (every full recursion level costs
+// the same; mergesort is the canonical example). Numeric handles arbitrary
+// per-level cost functions by direct level-by-level evaluation and also
+// yields end-to-end makespan predictions for the executors in internal/core.
+//
+// Conventions: work is measured in normalized CPU-core operations (γ_c = 1),
+// and level indices count from the root, level 0, down to the leaf level
+// L = log_b n, matching the paper's figures.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine is the HPU parameter triple of Table 2.
+type Machine struct {
+	// P is the number of CPU cores.
+	P int
+	// G is the empirical GPU parallelism (saturation thread count).
+	G int
+	// Gamma is the single-thread GPU:CPU speed ratio γ < 1.
+	Gamma float64
+}
+
+// Validate reports whether the machine parameters are usable.
+func (m Machine) Validate() error {
+	if m.P <= 0 {
+		return fmt.Errorf("model: P must be positive, got %d", m.P)
+	}
+	if m.G <= 0 {
+		return fmt.Errorf("model: G must be positive, got %d", m.G)
+	}
+	if m.Gamma <= 0 || m.Gamma >= 1 {
+		return fmt.Errorf("model: Gamma must be in (0,1), got %g", m.Gamma)
+	}
+	return nil
+}
+
+// BasicCrossover returns the level at which the basic work division (§5.1)
+// moves execution from the CPU to the GPU: i = ⌈log_a(p/γ)⌉. The second
+// return is false when γ·g < p, i.e. the GPU never wins and everything
+// should stay on the CPU.
+func BasicCrossover(a int, m Machine) (int, bool) {
+	if float64(m.G)*m.Gamma < float64(m.P) {
+		return 0, false
+	}
+	level := math.Log(float64(m.P)/m.Gamma) / math.Log(float64(a))
+	return int(math.Ceil(level)), true
+}
+
+// Poly is the closed-form advanced-division model of §5.2.2 for
+// f(n) = Θ(n^{log_b a}).
+type Poly struct {
+	// A and B are the recurrence parameters of T(n) = a·T(n/b) + f(n).
+	A, B float64
+	// N is the input size.
+	N float64
+	// Mach is the HPU parameter triple.
+	Mach Machine
+}
+
+// NewPoly validates and builds a closed-form model.
+func NewPoly(a, b int, n float64, mach Machine) (Poly, error) {
+	if a < 2 || b < 2 {
+		return Poly{}, fmt.Errorf("model: recurrence needs a,b >= 2, got a=%d b=%d", a, b)
+	}
+	if n < float64(b) {
+		return Poly{}, fmt.Errorf("model: input size %g smaller than b=%d", n, b)
+	}
+	if err := mach.Validate(); err != nil {
+		return Poly{}, err
+	}
+	return Poly{A: float64(a), B: float64(b), N: n, Mach: mach}, nil
+}
+
+// Levels returns m = log_b n, the depth of the recursion tree.
+func (p Poly) Levels() float64 { return math.Log(p.N) / math.Log(p.B) }
+
+// LevelWork returns M = n^{log_b a}: the cost of one full internal level,
+// which for this cost family is also the number of leaves.
+func (p Poly) LevelWork() float64 {
+	return math.Pow(p.N, math.Log(p.A)/math.Log(p.B))
+}
+
+// TotalWork returns the total sequential work M·(m+1) (internal levels plus
+// the leaf level at unit leaf cost).
+func (p Poly) TotalWork() float64 { return p.LevelWork() * (p.Levels() + 1) }
+
+// Tc returns the time the CPU takes, executing bottom-up with all P cores
+// busy, to reduce its α-portion to P subproblems (§5.2.2):
+//
+//	Tc = (α·M/p)·(log_b n − log_a(p/α) + 1)
+func (p Poly) Tc(alpha float64) float64 {
+	pp := float64(p.Mach.P)
+	return alpha * p.LevelWork() / pp * (p.Levels() - p.logA(pp/alpha) + 1)
+}
+
+// TmaxG returns the maximum time the GPU can run fully saturated on its
+// (1−α)-portion (§5.2.2).
+func (p Poly) TmaxG(alpha float64) float64 {
+	g := float64(p.Mach.G)
+	return (1 - alpha) * p.LevelWork() / (p.Mach.Gamma * g) *
+		(p.Levels() - p.logA(g/(1-alpha)) + 1)
+}
+
+// GPUCase identifies which branch of the piecewise Tg function (§5.2.1)
+// applies for a given α.
+type GPUCase int
+
+const (
+	// GPUNeverSaturated: (1−α)·M < g; the GPU always has more cores than
+	// tasks.
+	GPUNeverSaturated GPUCase = iota + 1
+	// GPUAlwaysSaturated: the CPU finishes its portion before the GPU
+	// drops below g tasks.
+	GPUAlwaysSaturated
+	// GPUMixed: the GPU is saturated near the leaves and unsaturated near
+	// the transfer level.
+	GPUMixed
+)
+
+// Y solves T_g(y) = T_c(α) for the transfer level y: how high the GPU gets,
+// starting at the leaves, in the time the CPU needs to reduce its portion to
+// P subproblems. The result is clamped to [0, m+1]; y = m+1 means the GPU
+// contributes nothing (its portion is empty).
+func (p Poly) Y(alpha float64) (float64, GPUCase) {
+	m := p.Levels()
+	if alpha >= 1 {
+		return m + 1, GPUNeverSaturated
+	}
+	M := p.LevelWork()
+	a := p.A
+	g := float64(p.Mach.G)
+	gamma := p.Mach.Gamma
+	tc := p.Tc(alpha)
+
+	clamp := func(y float64) float64 { return math.Max(0, math.Min(y, m+1)) }
+
+	if (1-alpha)*M < g {
+		// Case (i): never saturated.
+		// Tc = (1/γ)·(M·(a/(a−1))·a^{−y} − 1/(a−1))
+		x := (tc*gamma + 1/(a-1)) * (a - 1) / (M * a)
+		return clamp(-math.Log(x) / math.Log(a)), GPUNeverSaturated
+	}
+	if tmax := p.TmaxG(alpha); tc <= tmax {
+		// Case (ii): always saturated.
+		// Tc = ((1−α)·M/(γg))·(m − y + 1)
+		y := m + 1 - tc*gamma*g/((1-alpha)*M)
+		return clamp(y), GPUAlwaysSaturated
+	}
+	// Case (iii): saturated near the bottom, then unsaturated.
+	// Tc = TmaxG + (M·a/(γ(a−1)))·(a^{−y} − (1−α)/g)
+	x := (tc-p.TmaxG(alpha))*gamma*(a-1)/(M*a) + (1-alpha)/g
+	return clamp(-math.Log(x) / math.Log(a)), GPUMixed
+}
+
+// GPUWork returns W_g(α): the work the GPU completes between the leaves and
+// level y(α) (§5.2.1), the objective the advanced division maximizes.
+func (p Poly) GPUWork(alpha float64) float64 {
+	y, _ := p.Y(alpha)
+	return (1 - alpha) * p.LevelWork() * (p.Levels() - y + 1)
+}
+
+// GPUWorkFraction returns W_g(α) over the total work.
+func (p Poly) GPUWorkFraction(alpha float64) float64 {
+	return p.GPUWork(alpha) / p.TotalWork()
+}
+
+// MinAlpha is the smallest admissible work ratio, p/M: the CPU must start
+// the bottom level with at least p tasks (§5.2.1).
+func (p Poly) MinAlpha() float64 {
+	return float64(p.Mach.P) / p.LevelWork()
+}
+
+// Optimum maximizes W_g over α ∈ [MinAlpha, 1) and returns the optimal
+// ratio, its transfer level, and the GPU's fraction of total work — the
+// (α* ≈ 0.16, y ≈ 10, ≈52 %) triple of the paper's Fig 3/4 example.
+func (p Poly) Optimum() (alpha, y, fraction float64) {
+	lo := p.MinAlpha()
+	if lo >= 1 {
+		return 1, p.Levels() + 1, 0
+	}
+	best, bestW := lo, -1.0
+	const steps = 4000
+	for i := 0; i <= steps; i++ {
+		a := lo + (0.999-lo)*float64(i)/steps
+		if w := p.GPUWork(a); w > bestW {
+			bestW, best = w, a
+		}
+	}
+	// Local refinement around the grid winner.
+	width := (0.999 - lo) / steps
+	for pass := 0; pass < 40; pass++ {
+		improved := false
+		for _, cand := range []float64{best - width, best + width} {
+			if cand <= lo || cand >= 0.999 {
+				continue
+			}
+			if w := p.GPUWork(cand); w > bestW {
+				bestW, best, improved = w, cand, true
+			}
+		}
+		if !improved {
+			width /= 2
+		}
+	}
+	yy, _ := p.Y(best)
+	return best, yy, bestW / p.TotalWork()
+}
+
+func (p Poly) logA(x float64) float64 { return math.Log(x) / math.Log(p.A) }

@@ -1,0 +1,201 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numeric is the level-by-level model for an arbitrary divide-and-conquer
+// cost profile. Unlike Poly it makes no assumption on f, uses the same
+// integer rounding as the executors in internal/core, and produces
+// end-to-end makespan predictions (the green "predicted" series of Fig 8).
+type Numeric struct {
+	// A, B are the recurrence parameters.
+	A, B int
+	// L is the number of internal levels (leaf level is L).
+	L int
+	// N is the input size (b^L).
+	N float64
+	// F is the divide+combine cost of one subproblem of the given size, in
+	// normalized ops.
+	F func(size float64) float64
+	// Leaf is the cost of one base case.
+	Leaf float64
+	// Mach is the HPU parameter triple.
+	Mach Machine
+}
+
+// NewNumeric validates and builds a numeric model for n = b^levels.
+func NewNumeric(a, b, levels int, f func(float64) float64, leaf float64, mach Machine) (Numeric, error) {
+	if a < 2 || b < 2 {
+		return Numeric{}, fmt.Errorf("model: recurrence needs a,b >= 2, got a=%d b=%d", a, b)
+	}
+	if levels < 1 {
+		return Numeric{}, fmt.Errorf("model: need at least one level, got %d", levels)
+	}
+	if f == nil {
+		return Numeric{}, fmt.Errorf("model: nil cost function")
+	}
+	if leaf < 0 {
+		return Numeric{}, fmt.Errorf("model: negative leaf cost %g", leaf)
+	}
+	if err := mach.Validate(); err != nil {
+		return Numeric{}, err
+	}
+	return Numeric{A: a, B: b, L: levels, N: math.Pow(float64(b), float64(levels)),
+		F: f, Leaf: leaf, Mach: mach}, nil
+}
+
+// size returns the subproblem size at a level.
+func (m Numeric) size(level int) float64 {
+	return m.N / math.Pow(float64(m.B), float64(level))
+}
+
+// tasks returns a^level as a float (levels can be deep enough to overflow
+// int for a > 2).
+func (m Numeric) tasks(level int) float64 {
+	return math.Pow(float64(m.A), float64(level))
+}
+
+// cpuLevel returns the time for k tasks of cost c on the p-core CPU.
+func (m Numeric) cpuLevel(k, c float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return c * math.Ceil(k/float64(m.Mach.P))
+}
+
+// gpuLevel returns the time for k tasks of cost c on the GPU, at the §5
+// assumption of γ per lane (divergent kernels).
+func (m Numeric) gpuLevel(k, c float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return c / m.Mach.Gamma * math.Max(1, k/float64(m.Mach.G))
+}
+
+// SequentialTime is the single-core makespan: the denominator of every
+// speedup in §6.4.
+func (m Numeric) SequentialTime() float64 {
+	t := m.tasks(m.L) * m.Leaf
+	for i := 0; i < m.L; i++ {
+		t += m.tasks(i) * m.F(m.size(i))
+	}
+	return t
+}
+
+// Prediction decomposes a predicted advanced-division makespan.
+type Prediction struct {
+	// CPUPhase is the CPU chain's bottom-up time over its α-portion.
+	CPUPhase float64
+	// GPUPhase is the GPU chain's bottom-up time through the transfer
+	// level (no link cost: the model ignores transfers, as in §3.2).
+	GPUPhase float64
+	// Tail is the CPU-only remainder after the two chains join.
+	Tail float64
+	// Makespan is max(CPUPhase, GPUPhase) + Tail.
+	Makespan float64
+	// GPUWorkFraction is the share of total work the GPU executed.
+	GPUWorkFraction float64
+}
+
+// PredictAdvanced evaluates the advanced division with CPU ratio alpha,
+// transfer level y and split level s, using the same integer rounding as
+// core.RunAdvancedHybrid.
+func (m Numeric) PredictAdvanced(alpha float64, y, s int) (Prediction, error) {
+	if alpha < 0 || alpha > 1 {
+		return Prediction{}, fmt.Errorf("model: alpha %g out of range [0,1]", alpha)
+	}
+	if y < 0 || y > m.L {
+		return Prediction{}, fmt.Errorf("model: transfer level %d out of range [0,%d]", y, m.L)
+	}
+	if s < 0 || s > y {
+		return Prediction{}, fmt.Errorf("model: split level %d out of range [0,%d]", s, y)
+	}
+	width := m.tasks(s)
+	cCount := math.Round(alpha * width)
+	gCount := width - cCount
+	scale := func(level int) float64 { return math.Pow(float64(m.A), float64(level-s)) }
+
+	var pr Prediction
+	var gpuWork float64
+
+	// CPU chain: its portion, leaves up to the split level.
+	if cCount > 0 {
+		pr.CPUPhase += m.cpuLevel(cCount*scale(m.L), m.Leaf)
+		for i := m.L - 1; i >= s; i-- {
+			pr.CPUPhase += m.cpuLevel(cCount*scale(i), m.F(m.size(i)))
+		}
+	}
+	// GPU chain: its portion, leaves up to the transfer level.
+	if gCount > 0 {
+		kLeaf := gCount * scale(m.L)
+		pr.GPUPhase += m.gpuLevel(kLeaf, m.Leaf)
+		gpuWork += kLeaf * m.Leaf
+		for i := m.L - 1; i >= y; i-- {
+			k := gCount * scale(i)
+			pr.GPUPhase += m.gpuLevel(k, m.F(m.size(i)))
+			gpuWork += k * m.F(m.size(i))
+		}
+		// Above the transfer level the GPU portion finishes on the CPU.
+		for i := y - 1; i >= s; i-- {
+			pr.Tail += m.cpuLevel(gCount*scale(i), m.F(m.size(i)))
+		}
+	}
+	// Joint levels above the split.
+	for i := s - 1; i >= 0; i-- {
+		pr.Tail += m.cpuLevel(m.tasks(i), m.F(m.size(i)))
+	}
+	pr.Makespan = math.Max(pr.CPUPhase, pr.GPUPhase) + pr.Tail
+	pr.GPUWorkFraction = gpuWork / m.SequentialTime()
+	return pr, nil
+}
+
+// PredictBasic evaluates the basic division (§5.1) with the GPU running all
+// levels at and below the crossover.
+func (m Numeric) PredictBasic(crossover int) (float64, error) {
+	if crossover < 0 || crossover > m.L {
+		return 0, fmt.Errorf("model: crossover %d out of range [0,%d]", crossover, m.L)
+	}
+	var t float64
+	for i := 0; i < crossover; i++ {
+		t += m.cpuLevel(m.tasks(i), m.F(m.size(i)))
+	}
+	for i := crossover; i < m.L; i++ {
+		t += m.gpuLevel(m.tasks(i), m.F(m.size(i)))
+	}
+	t += m.gpuLevel(m.tasks(m.L), m.Leaf)
+	return t, nil
+}
+
+// DefaultSplit mirrors core.DefaultSplit: ⌈log_a(p/α)⌉ clamped to [0, y].
+func (m Numeric) DefaultSplit(alpha float64, y int) int {
+	if alpha <= 0 {
+		return 0
+	}
+	s := 0
+	for alpha*m.tasks(s) < float64(m.Mach.P) && s < y {
+		s++
+	}
+	return s
+}
+
+// BestAdvanced searches (α, y) for the minimum predicted makespan, with the
+// split level at its default. alphaSteps controls the grid resolution.
+func (m Numeric) BestAdvanced(alphaSteps int) (alpha float64, y int, best Prediction) {
+	if alphaSteps < 2 {
+		alphaSteps = 100
+	}
+	best.Makespan = math.Inf(1)
+	for yi := 0; yi <= m.L; yi++ {
+		for i := 1; i < alphaSteps; i++ {
+			a := float64(i) / float64(alphaSteps)
+			s := m.DefaultSplit(a, yi)
+			pr, err := m.PredictAdvanced(a, yi, s)
+			if err == nil && pr.Makespan < best.Makespan {
+				best, alpha, y = pr, a, yi
+			}
+		}
+	}
+	return alpha, y, best
+}

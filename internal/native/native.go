@@ -1,0 +1,212 @@
+// Package native runs the generic divide-and-conquer framework on real
+// goroutines instead of the virtual-time simulator: a fixed CPU worker pool
+// of p goroutines and, optionally, a wide "device" pool standing in for the
+// GPU. It implements core.Backend with wall-clock timing.
+//
+// On a machine without a real GPU the device pool is just more goroutines on
+// the same cores, so it cannot reproduce the paper's speed ratios — its
+// purpose is (a) making the library genuinely useful for multi-core D&C
+// parallelism, and (b) exercising every executor under real concurrency
+// (including -race) in tests. The simulated backend in internal/hpu is the
+// one that reproduces the paper's numbers.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config describes a native backend.
+type Config struct {
+	// CPUWorkers is the CPU pool size p. Defaults to runtime.GOMAXPROCS(0).
+	CPUWorkers int
+	// DeviceLanes is the device pool size (the stand-in for g). 0 disables
+	// the device, yielding a CPU-only backend.
+	DeviceLanes int
+	// Gamma is the γ the planners should assume for the device. It has no
+	// effect on actual execution speed. Defaults to 1/16 when a device is
+	// configured.
+	Gamma float64
+	// TransferDelay, if nonzero, sleeps this long per host↔device transfer
+	// to mimic link latency.
+	TransferDelay time.Duration
+}
+
+// Backend is a real-goroutine hybrid platform.
+type Backend struct {
+	cfg     Config
+	cpu     *pool
+	gpu     *pool
+	start   time.Time
+	pending sync.WaitGroup
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// New starts the worker pools. Call Close to stop them.
+func New(cfg Config) (*Backend, error) {
+	if cfg.CPUWorkers <= 0 {
+		cfg.CPUWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DeviceLanes < 0 {
+		return nil, fmt.Errorf("native: negative DeviceLanes %d", cfg.DeviceLanes)
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 1.0 / 16
+	}
+	if cfg.Gamma < 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("native: Gamma must be in (0,1), got %g", cfg.Gamma)
+	}
+	b := &Backend{cfg: cfg, start: time.Now()}
+	b.cpu = newPool(cfg.CPUWorkers, &b.pending)
+	if cfg.DeviceLanes > 0 {
+		b.gpu = newPool(cfg.DeviceLanes, &b.pending)
+	}
+	return b, nil
+}
+
+// Close stops the worker pools. The backend must be idle.
+func (b *Backend) Close() {
+	b.cpu.close()
+	if b.gpu != nil {
+		b.gpu.close()
+	}
+}
+
+// CPU implements core.Backend.
+func (b *Backend) CPU() core.LevelExecutor { return b.cpu }
+
+// GPU implements core.Backend.
+func (b *Backend) GPU() core.LevelExecutor {
+	if b.gpu == nil {
+		return nil
+	}
+	return b.gpu
+}
+
+// GPUGamma implements core.Backend.
+func (b *Backend) GPUGamma() float64 {
+	if b.gpu == nil {
+		return 0
+	}
+	return b.cfg.Gamma
+}
+
+// transfer mimics a link crossing.
+func (b *Backend) transfer(done func()) {
+	b.pending.Add(1)
+	go func() {
+		defer b.pending.Done()
+		if b.cfg.TransferDelay > 0 {
+			time.Sleep(b.cfg.TransferDelay)
+		}
+		if done != nil {
+			done()
+		}
+	}()
+}
+
+// TransferToGPU implements core.Backend.
+func (b *Backend) TransferToGPU(n int64, done func()) { b.transfer(done) }
+
+// TransferToCPU implements core.Backend.
+func (b *Backend) TransferToCPU(n int64, done func()) { b.transfer(done) }
+
+// Now implements core.Backend: wall-clock seconds since construction.
+func (b *Backend) Now() float64 { return time.Since(b.start).Seconds() }
+
+// Wait implements core.Backend: blocks until all submitted work, including
+// chained completions, has finished.
+func (b *Backend) Wait() { b.pending.Wait() }
+
+// pool is a fixed set of workers consuming task chunks.
+type pool struct {
+	workers int
+	tasks   chan func()
+	pending *sync.WaitGroup
+	stop    sync.Once
+}
+
+var _ core.LevelExecutor = (*pool)(nil)
+
+func newPool(workers int, pending *sync.WaitGroup) *pool {
+	p := &pool{
+		workers: workers,
+		tasks:   make(chan func(), 4*workers),
+		pending: pending,
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *pool) close() {
+	p.stop.Do(func() { close(p.tasks) })
+}
+
+// Parallelism implements core.LevelExecutor.
+func (p *pool) Parallelism() int { return p.workers }
+
+// Submit implements core.LevelExecutor: the batch is split into one chunk
+// per worker (tasks permitting) and done fires after the last chunk.
+func (p *pool) Submit(b core.Batch, done func()) {
+	if b.Empty() {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	chunks := p.workers
+	if b.Tasks < chunks {
+		chunks = b.Tasks
+	}
+	join := done
+	if join == nil {
+		join = func() {}
+	}
+	// The chain's continuation (done) may submit more work, so keep the
+	// backend pending until it has run.
+	p.pending.Add(chunks)
+	finish := core.Join(chunks, func() {
+		join()
+		// Release the chunks only after the continuation completed, so
+		// Wait cannot observe an idle instant mid-chain.
+		for i := 0; i < chunks; i++ {
+			p.pending.Done()
+		}
+	})
+	base, rem := b.Tasks/chunks, b.Tasks%chunks
+	lo := 0
+	for i := 0; i < chunks; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		from, to := lo, lo+n
+		lo = to
+		chunk := func() {
+			if b.Run != nil {
+				for t := from; t < to; t++ {
+					b.Run(t)
+				}
+			}
+			finish()
+		}
+		// Submit may run on a worker goroutine (chained completions); never
+		// block it on a full queue, or the pool could deadlock.
+		select {
+		case p.tasks <- chunk:
+		default:
+			go func() { p.tasks <- chunk }()
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package native
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/algos/mergesort"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func newBackend(t *testing.T, cfg Config) *Backend {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+func sortedCopy(in []int32) []int32 {
+	out := append([]int32(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{DeviceLanes: -1}); err == nil {
+		t.Error("New accepted negative DeviceLanes")
+	}
+	if _, err := New(Config{Gamma: 1.5}); err == nil {
+		t.Error("New accepted Gamma > 1")
+	}
+	b, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.CPU().Parallelism() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS", b.CPU().Parallelism())
+	}
+	if b.GPU() != nil {
+		t.Error("CPU-only config should have nil GPU")
+	}
+	if b.GPUGamma() != 0 {
+		t.Errorf("CPU-only GPUGamma = %g, want 0", b.GPUGamma())
+	}
+}
+
+func TestSubmitRunsAllTasks(t *testing.T) {
+	b := newBackend(t, Config{CPUWorkers: 4})
+	const n = 100_000
+	hits := make([]int32, n)
+	done := false
+	b.CPU().Submit(core.Batch{
+		Tasks: n,
+		Run:   func(i int) { hits[i]++ },
+	}, func() { done = true })
+	b.Wait()
+	if !done {
+		t.Fatal("done callback not invoked")
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestEmptyBatchCompletesImmediately(t *testing.T) {
+	b := newBackend(t, Config{CPUWorkers: 2})
+	called := false
+	b.CPU().Submit(core.Batch{}, func() { called = true })
+	if !called {
+		t.Error("empty batch done not called synchronously")
+	}
+}
+
+func TestChainedSubmissions(t *testing.T) {
+	// A long chain of dependent batches must not deadlock the pool.
+	b := newBackend(t, Config{CPUWorkers: 2})
+	count := 0
+	var step func()
+	step = func() {
+		if count == 500 {
+			return
+		}
+		count++
+		b.CPU().Submit(core.Batch{Tasks: 3, Run: func(int) {}}, step)
+	}
+	step()
+	b.Wait()
+	if count != 500 {
+		t.Fatalf("chain stopped at %d", count)
+	}
+}
+
+func TestSequentialMergesortNative(t *testing.T) {
+	in := workload.Uniform(1<<12, 3)
+	b := newBackend(t, Config{CPUWorkers: 4})
+	s, err := mergesort.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.RunSequential(b, s)
+	if !equal(s.Result(), sortedCopy(in)) {
+		t.Error("native sequential run unsorted")
+	}
+}
+
+func TestBreadthFirstMergesortNative(t *testing.T) {
+	in := workload.Uniform(1<<14, 4)
+	b := newBackend(t, Config{CPUWorkers: 4})
+	s, err := mergesort.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.RunBreadthFirstCPU(b, s)
+	if !equal(s.Result(), sortedCopy(in)) {
+		t.Error("native breadth-first run unsorted")
+	}
+	if rep.Seconds <= 0 {
+		t.Errorf("nonpositive duration %g", rep.Seconds)
+	}
+}
+
+func TestAdvancedHybridNative(t *testing.T) {
+	// Exercise the full hybrid plan — fork, device pool, transfers, join —
+	// on real goroutines with the device pool standing in for the GPU.
+	for _, coalesce := range []bool{false, true} {
+		in := workload.Uniform(1<<13, 5)
+		b := newBackend(t, Config{CPUWorkers: 4, DeviceLanes: 32})
+		s, err := mergesort.New(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prm := core.AdvancedParams{Alpha: 0.25, Y: 6, Split: -1}
+		if _, err := core.RunAdvancedHybrid(b, s, prm, core.Options{Coalesce: coalesce}); err != nil {
+			t.Fatal(err)
+		}
+		if !equal(s.Result(), sortedCopy(in)) {
+			t.Errorf("native advanced hybrid unsorted (coalesce=%v)", coalesce)
+		}
+	}
+}
+
+func TestBasicHybridNative(t *testing.T) {
+	in := workload.Uniform(1<<13, 6)
+	b := newBackend(t, Config{CPUWorkers: 4, DeviceLanes: 16})
+	s, err := mergesort.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RunBasicHybrid(b, s, 6, core.Options{Coalesce: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !equal(s.Result(), sortedCopy(in)) {
+		t.Error("native basic hybrid unsorted")
+	}
+}
+
+func TestGPUOnlyNative(t *testing.T) {
+	in := workload.Uniform(1<<12, 7)
+	b := newBackend(t, Config{CPUWorkers: 2, DeviceLanes: 64})
+	s, err := mergesort.NewParallel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RunGPUOnly(b, s, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !equal(s.Result(), sortedCopy(in)) {
+		t.Error("native gpu-only unsorted")
+	}
+}
+
+func TestTransferDelay(t *testing.T) {
+	b := newBackend(t, Config{CPUWorkers: 1, DeviceLanes: 1, TransferDelay: 1e6}) // 1ms
+	start := b.Now()
+	done := false
+	b.TransferToGPU(1024, func() { done = true })
+	b.Wait()
+	if !done {
+		t.Fatal("transfer done not called")
+	}
+	if b.Now()-start < 0.0009 {
+		t.Errorf("transfer completed too fast: %gs", b.Now()-start)
+	}
+}

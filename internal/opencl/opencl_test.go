@@ -1,0 +1,171 @@
+package opencl
+
+import (
+	"testing"
+
+	"repro/internal/hpu"
+	"repro/internal/workload"
+)
+
+func newCtx(t *testing.T) *Context {
+	t.Helper()
+	ctx, err := CreateContext(hpu.HPU1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestDeviceInfo(t *testing.T) {
+	d := newCtx(t).Device()
+	if d.Name == "" || d.Saturation != 4096 || d.ComputeUnit != 1600 {
+		t.Errorf("unexpected device info %+v", d)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ctx := newCtx(t)
+	q := CreateQueue(ctx)
+	buf, err := CreateBuffer[int32](ctx, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.Uniform(1024, 1)
+	out := make([]int32, 1024)
+	if err := EnqueueWrite(q, buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnqueueRead(q, buf, out); err != nil {
+		t.Fatal(err)
+	}
+	start := ctx.Now()
+	q.Finish()
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	if ctx.Now() <= start {
+		t.Error("transfers advanced no virtual time")
+	}
+}
+
+// TestAlgorithm5Sum runs the paper's GPU sum kernel verbatim: at each level
+// with k subproblems, work-item id executes v[id] += v[id+k] (Algorithm 5).
+func TestAlgorithm5Sum(t *testing.T) {
+	ctx := newCtx(t)
+	q := CreateQueue(ctx)
+	const n = 1 << 12
+	in := workload.Uniform(n, 2)
+	buf, err := CreateBuffer[int32](ctx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := EnqueueWrite(q, buf, in); err != nil {
+		t.Fatal(err)
+	}
+	mem := buf.mem // kernels close over device memory, as in Algorithm 3
+	for k := n / 2; k >= 1; k /= 2 {
+		k := k
+		kernel := func(wi WorkItem) {
+			if wi.Global < k {
+				mem[wi.Global] += mem[wi.Global+k]
+			}
+		}
+		if err := EnqueueNDRange(q, kernel, k, 64,
+			LaunchCost{Ops: 1, MemWords: 3, Coalesced: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]int32, 1)
+	if err := EnqueueRead(q, buf, out); err != nil {
+		t.Fatal(err)
+	}
+	q.Finish()
+
+	var want int32
+	for _, v := range in {
+		want += v
+	}
+	if out[0] != want {
+		t.Errorf("Algorithm 5 sum = %d, want %d", out[0], want)
+	}
+}
+
+func TestWorkItemIDs(t *testing.T) {
+	ctx := newCtx(t)
+	q := CreateQueue(ctx)
+	const global, local = 100, 16
+	seen := make([]WorkItem, global)
+	if err := EnqueueNDRange(q, func(wi WorkItem) { seen[wi.Global] = wi },
+		global, local, LaunchCost{Ops: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q.Finish()
+	for id, wi := range seen {
+		if wi.Global != id || wi.Local != id%local || wi.Group != id/local {
+			t.Fatalf("work-item %d has ids %+v", id, wi)
+		}
+	}
+}
+
+func TestInOrderQueue(t *testing.T) {
+	// A kernel enqueued after a write must observe the written data even
+	// though the link and device are separate simulated resources.
+	ctx := newCtx(t)
+	q := CreateQueue(ctx)
+	buf, _ := CreateBuffer[int32](ctx, 4)
+	if err := EnqueueWrite(q, buf, []int32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var got int32
+	if err := EnqueueNDRange(q, func(wi WorkItem) {
+		if wi.Global == 0 {
+			got = buf.mem[3]
+		}
+	}, 1, 1, LaunchCost{Ops: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q.Finish()
+	if got != 4 {
+		t.Errorf("kernel observed %d, want 4 (queue not in order?)", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ctx := newCtx(t)
+	q := CreateQueue(ctx)
+	if _, err := CreateBuffer[int32](ctx, 0); err == nil {
+		t.Error("CreateBuffer accepted size 0")
+	}
+	buf, _ := CreateBuffer[int32](ctx, 2)
+	if err := EnqueueWrite(q, buf, make([]int32, 3)); err == nil {
+		t.Error("EnqueueWrite accepted oversized host data")
+	}
+	if err := EnqueueRead(q, buf, make([]int32, 3)); err == nil {
+		t.Error("EnqueueRead accepted oversized destination")
+	}
+	if err := EnqueueNDRange(q, nil, 1, 1, LaunchCost{}); err == nil {
+		t.Error("EnqueueNDRange accepted nil kernel")
+	}
+	if err := EnqueueNDRange(q, func(WorkItem) {}, 0, 1, LaunchCost{}); err == nil {
+		t.Error("EnqueueNDRange accepted zero global size")
+	}
+}
+
+func TestDivergentKernelSlower(t *testing.T) {
+	run := func(divergent bool) float64 {
+		ctx := newCtx(t)
+		q := CreateQueue(ctx)
+		if err := EnqueueNDRange(q, func(WorkItem) {}, 1<<14, 64,
+			LaunchCost{Ops: 100, Divergent: divergent}); err != nil {
+			t.Fatal(err)
+		}
+		start := ctx.Now()
+		q.Finish()
+		return ctx.Now() - start
+	}
+	if d, u := run(true), run(false); d <= u {
+		t.Errorf("divergent launch (%g) not slower than uniform (%g)", d, u)
+	}
+}

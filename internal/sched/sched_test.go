@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/algos/dcsum"
+	"repro/internal/algos/mergesort"
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/workload"
+)
+
+func TestDynamicHybridSortsCorrectly(t *testing.T) {
+	for _, logN := range []int{8, 12, 14} {
+		in := workload.Uniform(1<<logN, int64(logN))
+		be := hpu.MustSim(hpu.HPU1())
+		s, err := mergesort.New(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunDynamicHybrid(be, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]int32(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := s.Result()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=2^%d: unsorted at %d", logN, i)
+			}
+		}
+		if rep.Seconds <= 0 {
+			t.Errorf("n=2^%d: nonpositive duration", logN)
+		}
+	}
+}
+
+func TestDynamicHybridSum(t *testing.T) {
+	in := workload.Uniform(1<<12, 9)
+	be := hpu.MustSim(hpu.HPU2())
+	s, err := dcsum.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDynamicHybrid(be, s); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Result(), dcsum.Sum(in); got != want {
+		t.Errorf("dynamic sum = %d, want %d", got, want)
+	}
+}
+
+// TestStaticBeatsDynamic encodes the paper's §2 argument: for a regular D&C
+// tree with known dependencies, the tailored two-transfer static division
+// outperforms a per-level dynamic scheme that pays the link cost every
+// level.
+func TestStaticBeatsDynamic(t *testing.T) {
+	in := workload.Uniform(1<<18, 10)
+
+	dynBe := hpu.MustSim(hpu.HPU1())
+	dynS, _ := mergesort.New(in)
+	dyn, err := RunDynamicHybrid(dynBe, dynS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	advBe := hpu.MustSim(hpu.HPU1())
+	advS, _ := mergesort.New(in)
+	adv, err := core.RunAdvancedHybrid(advBe, advS,
+		core.AdvancedParams{Alpha: 0.17, Y: 9, Split: -1}, core.Options{Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Seconds >= dyn.Seconds {
+		t.Errorf("advanced static (%.4fs) did not beat dynamic per-level (%.4fs)",
+			adv.Seconds, dyn.Seconds)
+	}
+}
+
+func TestDynamicRequiresGPU(t *testing.T) {
+	in := workload.Uniform(1<<8, 1)
+	s, _ := mergesort.New(in)
+	if _, err := RunDynamicHybrid(cpuOnly{hpu.MustSim(hpu.HPU1())}, s); err == nil {
+		t.Error("RunDynamicHybrid accepted a backend without GPU")
+	}
+}
+
+// cpuOnly masks the GPU of a backend.
+type cpuOnly struct{ *hpu.Sim }
+
+func (c cpuOnly) GPU() core.LevelExecutor { return nil }

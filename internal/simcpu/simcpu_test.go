@@ -1,0 +1,139 @@
+package simcpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+func params() Params {
+	return Params{
+		Name: "test", Cores: 4, ClockGHz: 3,
+		RateOpsPerSec: 1e8, LLCBytes: 1 << 20, MemBWOpsPerSec: 2e8,
+		MemWeight: 0.5, DispatchOverheadSec: 0,
+	}
+}
+
+func newCPU(t *testing.T, p Params) (*vtime.Engine, *CPU) {
+	t.Helper()
+	eng := vtime.New()
+	c, err := New(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{},
+		{Cores: 4},
+		{Cores: 4, RateOpsPerSec: 1},
+		{Cores: 4, RateOpsPerSec: 1, MemBWOpsPerSec: 1},
+		{Cores: 4, RateOpsPerSec: 1, MemBWOpsPerSec: 1, LLCBytes: 1, MemWeight: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := params().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestPerfectScalingInCache(t *testing.T) {
+	// 4 cores, 4 equal tasks fitting in cache: time = one task's time.
+	eng, c := newCPU(t, params())
+	b := core.Batch{Tasks: 4, Cost: core.Cost{Ops: 1e8}}
+	c.Submit(b, nil)
+	eng.Run()
+	if got := eng.Now(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("4 tasks on 4 cores took %g, want 1", got)
+	}
+}
+
+func TestSerialTaskUsesOneCore(t *testing.T) {
+	eng, c := newCPU(t, params())
+	c.Submit(core.Batch{Tasks: 1, Cost: core.Cost{Ops: 2e8}}, nil)
+	eng.Run()
+	if got := eng.Now(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("single task took %g, want 2", got)
+	}
+}
+
+func TestBandwidthContention(t *testing.T) {
+	// Out-of-cache batches: 4 streaming cores share MemBW (2e8), so per
+	// core 5e7 — four 1e8-op tasks take 2s instead of 1s.
+	eng, c := newCPU(t, params())
+	b := core.Batch{Tasks: 4, Cost: core.Cost{Ops: 1e8, WorkingSet: 4 << 20}}
+	c.Submit(b, nil)
+	eng.Run()
+	if got := eng.Now(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("contended batch took %g, want 2", got)
+	}
+	// A single out-of-cache task is not slowed (MemBW/1 > core rate).
+	eng2, c2 := newCPU(t, params())
+	c2.Submit(core.Batch{Tasks: 1, Cost: core.Cost{Ops: 1e8, WorkingSet: 4 << 20}}, nil)
+	eng2.Run()
+	if got := eng2.Now(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("single streaming task took %g, want 1", got)
+	}
+}
+
+func TestMemWeightCounts(t *testing.T) {
+	eng, c := newCPU(t, params())
+	// 1e8 words at weight 0.5 = 5e7 op-equivalents.
+	c.Submit(core.Batch{Tasks: 1, Cost: core.Cost{MemWords: 1e8}}, nil)
+	eng.Run()
+	if got := eng.Now(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("memory-only task took %g, want 0.5", got)
+	}
+}
+
+func TestFunctionalExecution(t *testing.T) {
+	eng, c := newCPU(t, params())
+	hits := make([]int, 10)
+	c.Submit(core.Batch{Tasks: 10, Cost: core.Cost{Ops: 1}, Run: func(i int) { hits[i]++ }}, nil)
+	eng.Run()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	_, c := newCPU(t, params())
+	called := false
+	c.Submit(core.Batch{}, func() { called = true })
+	if !called {
+		t.Error("empty batch done not called")
+	}
+}
+
+func TestConcurrentBatchesShareCores(t *testing.T) {
+	// Two 2-task batches on 4 cores run fully in parallel.
+	eng, c := newCPU(t, params())
+	b := core.Batch{Tasks: 2, Cost: core.Cost{Ops: 1e8}}
+	c.Submit(b, nil)
+	c.Submit(b, nil)
+	eng.Run()
+	if got := eng.Now(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("two 2-task batches took %g, want 1", got)
+	}
+	if got := c.BusySeconds(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("BusySeconds = %g, want 4", got)
+	}
+}
+
+func TestTaskSeconds(t *testing.T) {
+	_, c := newCPU(t, params())
+	cost := core.Cost{Ops: 1e8, MemWords: 2e8, WorkingSet: 1}
+	// 1e8 + 2e8·0.5 = 2e8 ops at 1e8/s.
+	if got := c.TaskSeconds(cost, 1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("TaskSeconds = %g, want 2", got)
+	}
+}

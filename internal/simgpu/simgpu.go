@@ -1,0 +1,257 @@
+// Package simgpu models an OpenCL-style GPU device under the discrete-event
+// engine of internal/vtime. It implements core.LevelExecutor.
+//
+// The model follows §3 of the paper: rather than simulating physical
+// processing elements cycle by cycle, the device is characterized by the
+// observables the HPU model needs — the empirical degree of parallelism g
+// (the number of resident work-items that saturates the device, §6.4) and
+// the single-thread scalar speed ratio γ relative to one CPU core (Fig 6) —
+// plus a latency-hiding factor that separates single-thread speed from
+// saturated throughput.
+//
+// A kernel launch of W uniform work-items of effective per-item cost c takes
+//
+//	launch + c/(γ·H·R) · slow(W) · max(1, W/g)
+//
+// seconds, where R is the platform's normalized CPU core rate, H ≥ 1 is the
+// latency-hiding factor (saturated per-lane throughput is γ·H·R ops/s), and
+//
+//	slow(W) = max(1, D, 1 + (H−1)·(g−W)/(g−1) for W < g)
+//
+// exposes latency when the device is under-occupied (W < g) or when the
+// kernel is divergent (D = H for data-dependent control flow, 1 otherwise).
+// Consequences, matching the paper:
+//
+//   - A single work-item runs at γ·R ops/s regardless of kernel shape, so
+//     the Fig 6 estimation measures exactly 1/γ.
+//   - A divergent kernel (one sequential merge per thread) runs at γ·R per
+//     lane even when saturated — the assumption behind every TGPU term in
+//     §5's analysis.
+//   - A uniform kernel (element-wise sum, the binary-search parallel merge
+//     of Fig 9) reaches γ·H·R per lane when saturated, which is what lets
+//     the GPU-only parallel mergesort hit the paper's 18–20× speedups.
+//   - Fixed total work split across w threads yields the Fig 5 saturation
+//     curve with its knee at w = g.
+//
+// Uncoalesced global access inflates the memory component of c by
+// StridePenalty (§6.3). Kernels execute functionally on host memory at
+// submit time, so data transformations really happen; only time is virtual.
+// Launches serialize on an in-order command queue, as in the paper's OpenCL
+// host programs.
+package simgpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// Params describes a simulated GPU device.
+type Params struct {
+	// Name identifies the device in reports (e.g. "ATI Radeon HD 5970").
+	Name string
+	// SatThreads is g: the number of work-items after which adding more
+	// yields no further speedup (Fig 5's knee). It exceeds the physical PE
+	// count because of latency hiding.
+	SatThreads int
+	// PhysicalPEs is the physical processing-element count, reported in
+	// the spec table only.
+	PhysicalPEs int
+	// Gamma is γ < 1: single-thread ops per unit time of one GPU core
+	// relative to one CPU core, the quantity Table 2 reports.
+	Gamma float64
+	// HideFactor is H ≥ 1: the ratio of saturated per-lane throughput to
+	// single-thread speed, achieved by latency hiding on uniform kernels.
+	// Divergent kernels never benefit from it.
+	HideFactor float64
+	// BaseRateOpsPerSec anchors γ: one GPU lane at single-thread speed
+	// executes Gamma · BaseRateOpsPerSec normalized ops per second. Set it
+	// to the platform CPU's RateOpsPerSec.
+	BaseRateOpsPerSec float64
+	// MemWeight converts one word of global-memory traffic into op
+	// equivalents (same convention as simcpu.Params.MemWeight).
+	MemWeight float64
+	// StridePenalty multiplies the memory component of un-coalesced
+	// kernels. 1 disables the coalescing model.
+	StridePenalty float64
+	// LaunchOverheadSec is the fixed host-side cost of enqueueing a kernel.
+	LaunchOverheadSec float64
+	// WavefrontWidth is the SIMD width used to price heterogeneous batches
+	// (Batch.CostOps): every lane of a wavefront pays its slowest item.
+	// 0 means 64, the width of the paper's AMD devices.
+	WavefrontWidth int
+}
+
+// wavefront returns the effective SIMD width.
+func (p Params) wavefront() int {
+	if p.WavefrontWidth <= 0 {
+		return 64
+	}
+	return p.WavefrontWidth
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.SatThreads <= 0 {
+		return fmt.Errorf("simgpu: SatThreads must be positive, got %d", p.SatThreads)
+	}
+	if p.Gamma <= 0 || p.Gamma >= 1 {
+		return fmt.Errorf("simgpu: Gamma must be in (0,1), got %g", p.Gamma)
+	}
+	if p.HideFactor < 1 {
+		return fmt.Errorf("simgpu: HideFactor must be >= 1, got %g", p.HideFactor)
+	}
+	if p.BaseRateOpsPerSec <= 0 {
+		return fmt.Errorf("simgpu: BaseRateOpsPerSec must be positive, got %g", p.BaseRateOpsPerSec)
+	}
+	if p.StridePenalty < 1 {
+		return fmt.Errorf("simgpu: StridePenalty must be >= 1, got %g", p.StridePenalty)
+	}
+	if p.MemWeight < 0 {
+		return fmt.Errorf("simgpu: MemWeight must be nonnegative, got %g", p.MemWeight)
+	}
+	return nil
+}
+
+// GPU is a simulated device with an in-order command queue.
+type GPU struct {
+	params Params
+	queue  *vtime.Resource
+}
+
+var _ core.LevelExecutor = (*GPU)(nil)
+
+// New creates a GPU bound to the given engine.
+func New(eng *vtime.Engine, p Params) (*GPU, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &GPU{params: p, queue: vtime.NewResource(eng, 1)}, nil
+}
+
+// Params returns the device parameters.
+func (g *GPU) Params() Params { return g.params }
+
+// Parallelism reports g, the saturation thread count.
+func (g *GPU) Parallelism() int { return g.params.SatThreads }
+
+// Gamma reports the single-thread ratio γ.
+func (g *GPU) Gamma() float64 { return g.params.Gamma }
+
+// BusySeconds reports accumulated device-seconds of service.
+func (g *GPU) BusySeconds() float64 { return g.queue.BusySeconds() }
+
+// itemCost is the effective normalized op cost of one work-item.
+func (g *GPU) itemCost(c core.Cost) float64 {
+	mem := c.MemWords * g.params.MemWeight
+	if !c.Coalesced {
+		mem *= g.params.StridePenalty
+	}
+	return c.Ops + mem
+}
+
+// ItemSeconds reports how long a single work-item of the given cost takes
+// when launched alone (the Fig 6 measurement): exactly c_eff/(γ·R).
+func (g *GPU) ItemSeconds(c core.Cost) float64 {
+	return g.LaunchSeconds(1, c) - g.params.LaunchOverheadSec
+}
+
+// LaunchSeconds reports the modeled duration of a launch of w work-items of
+// the given per-item cost, excluding queueing. Exposed so the estimation
+// harness (Fig 5) and tests can probe the occupancy curve directly.
+func (g *GPU) LaunchSeconds(w int, c core.Cost) float64 {
+	if w <= 0 {
+		return 0
+	}
+	p := g.params
+	satLaneRate := p.Gamma * p.HideFactor * p.BaseRateOpsPerSec
+	itemTime := g.itemCost(c) / satLaneRate
+
+	slow := 1.0
+	if w < p.SatThreads && p.SatThreads > 1 {
+		// Linear latency exposure from H at a single resident work-item
+		// down to 1 at full occupancy.
+		frac := float64(p.SatThreads-w) / float64(p.SatThreads-1)
+		slow = 1 + (p.HideFactor-1)*frac
+	}
+	if c.Divergent && p.HideFactor > slow {
+		slow = p.HideFactor
+	}
+	waves := 1.0
+	if w > p.SatThreads {
+		waves = float64(w) / float64(p.SatThreads)
+	}
+	return p.LaunchOverheadSec + itemTime*slow*waves
+}
+
+// HeterogeneousSeconds prices a batch whose items have individual op counts
+// (Batch.CostOps) at wavefront granularity: within each SIMD wavefront all
+// lanes execute in lockstep, so every lane pays the wavefront's slowest
+// item — the divergence cost the §6.1 one-merge-per-thread kernel suffers
+// when run sizes differ.
+func (g *GPU) HeterogeneousSeconds(w int, c core.Cost, costOps func(i int) float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	p := g.params
+	mem := c.MemWords * p.MemWeight
+	if !c.Coalesced {
+		mem *= p.StridePenalty
+	}
+	width := p.wavefront()
+	var effTotal, maxItem float64
+	for lo := 0; lo < w; lo += width {
+		hi := lo + width
+		if hi > w {
+			hi = w
+		}
+		waveMax := 0.0
+		for i := lo; i < hi; i++ {
+			if ops := costOps(i); ops > waveMax {
+				waveMax = ops
+			}
+		}
+		waveCost := waveMax + mem
+		effTotal += float64(hi-lo) * waveCost
+		if waveCost > maxItem {
+			maxItem = waveCost
+		}
+	}
+	satLaneRate := p.Gamma * p.HideFactor * p.BaseRateOpsPerSec
+	slow := 1.0
+	if w < p.SatThreads && p.SatThreads > 1 {
+		frac := float64(p.SatThreads-w) / float64(p.SatThreads-1)
+		slow = 1 + (p.HideFactor-1)*frac
+	}
+	if c.Divergent && p.HideFactor > slow {
+		slow = p.HideFactor
+	}
+	bound := math.Max(maxItem, effTotal/float64(p.SatThreads))
+	return p.LaunchOverheadSec + slow*bound/satLaneRate
+}
+
+// Submit implements core.LevelExecutor: the batch becomes one kernel launch.
+// Functional work runs eagerly on host memory; the launch occupies the
+// in-order queue for the modeled duration.
+func (g *GPU) Submit(b core.Batch, done func()) {
+	if b.Empty() {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if b.Run != nil {
+		for i := 0; i < b.Tasks; i++ {
+			b.Run(i)
+		}
+	}
+	var d float64
+	if b.CostOps != nil {
+		d = g.HeterogeneousSeconds(b.Tasks, b.Cost, b.CostOps)
+	} else {
+		d = g.LaunchSeconds(b.Tasks, b.Cost)
+	}
+	g.queue.RequestFixed(d, done)
+}

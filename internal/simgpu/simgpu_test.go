@@ -1,0 +1,208 @@
+package simgpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+func params() Params {
+	return Params{
+		Name: "test", SatThreads: 1024, PhysicalPEs: 256,
+		Gamma: 1.0 / 100, HideFactor: 10, BaseRateOpsPerSec: 1e8,
+		MemWeight: 0.5, StridePenalty: 4, LaunchOverheadSec: 0,
+	}
+}
+
+func newGPU(t *testing.T, p Params) (*vtime.Engine, *GPU) {
+	t.Helper()
+	eng := vtime.New()
+	g, err := New(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{},
+		{SatThreads: 1},
+		{SatThreads: 1, Gamma: 0.5},
+		{SatThreads: 1, Gamma: 0.5, HideFactor: 0.5},
+		{SatThreads: 1, Gamma: 0.5, HideFactor: 1, BaseRateOpsPerSec: 1, StridePenalty: 0.5},
+		{SatThreads: 1, Gamma: 2, HideFactor: 1, BaseRateOpsPerSec: 1, StridePenalty: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := params().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestSingleItemRunsAtGamma(t *testing.T) {
+	// One work-item of c ops must take c/(γ·R) regardless of divergence —
+	// this is what makes the Fig 6 estimate read exactly 1/γ.
+	_, g := newGPU(t, params())
+	for _, div := range []bool{false, true} {
+		c := core.Cost{Ops: 1e6, Coalesced: true, Divergent: div}
+		want := 1e6 / (1.0 / 100 * 1e8) // = 1s
+		if got := g.ItemSeconds(c); math.Abs(got-want) > 1e-9 {
+			t.Errorf("divergent=%v: ItemSeconds = %g, want %g", div, got, want)
+		}
+	}
+}
+
+func TestSaturatedUniformThroughput(t *testing.T) {
+	// W ≥ g uniform kernel: duration = total/(γ·H·R·g)·... i.e. the full
+	// hidden-latency throughput.
+	_, g := newGPU(t, params())
+	c := core.Cost{Ops: 1e6, Coalesced: true}
+	w := 2048 // 2·g
+	want := 1e6 / (1e8 / 100 * 10) * 2048 / 1024
+	if got := g.LaunchSeconds(w, c); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("saturated uniform launch = %g, want %g", got, want)
+	}
+}
+
+func TestSaturatedDivergentPaysGammaPerLane(t *testing.T) {
+	// A divergent kernel never benefits from latency hiding: the §5 model
+	// assumption that a saturated level costs k·f/(γ·g).
+	_, g := newGPU(t, params())
+	c := core.Cost{Ops: 1e6, Coalesced: true, Divergent: true}
+	w := 2048
+	want := 1e6 / (1e8 / 100) * 2048 / 1024 // per-lane at γ·R, 2 waves
+	if got := g.LaunchSeconds(w, c); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("saturated divergent launch = %g, want %g", got, want)
+	}
+}
+
+func TestStridePenaltyAppliesToMemoryOnly(t *testing.T) {
+	_, g := newGPU(t, params())
+	co := core.Cost{Ops: 100, MemWords: 200, Coalesced: true}
+	st := core.Cost{Ops: 100, MemWords: 200, Coalesced: false}
+	// coalesced: 100 + 200·0.5 = 200; strided: 100 + 200·0.5·4 = 500.
+	ratio := g.ItemSeconds(st) / g.ItemSeconds(co)
+	if math.Abs(ratio-2.5) > 1e-9 {
+		t.Errorf("stride penalty ratio = %g, want 2.5", ratio)
+	}
+}
+
+func TestSaturationCurveShape(t *testing.T) {
+	// Fixed total work split over w threads: decreasing below g, flat
+	// above (the Fig 5 shape with a knee at exactly g).
+	_, g := newGPU(t, params())
+	total := 1e9
+	timeAt := func(w int) float64 {
+		return g.LaunchSeconds(w, core.Cost{Ops: total / float64(w), Coalesced: true})
+	}
+	prev := math.Inf(1)
+	for w := 64; w <= 1024; w += 64 {
+		cur := timeAt(w)
+		if cur >= prev {
+			t.Fatalf("curve not decreasing at w=%d: %g >= %g", w, cur, prev)
+		}
+		prev = cur
+	}
+	flat := timeAt(1024)
+	for w := 1024; w <= 4096; w += 512 {
+		if got := timeAt(w); math.Abs(got-flat) > 1e-9*flat {
+			t.Fatalf("curve not flat at w=%d: %g vs %g", w, got, flat)
+		}
+	}
+}
+
+func TestLaunchOverheadAndQueueing(t *testing.T) {
+	p := params()
+	p.LaunchOverheadSec = 0.5
+	eng, g := newGPU(t, p)
+	// Two launches serialize on the in-order queue.
+	b := core.Batch{Tasks: 1, Cost: core.Cost{Ops: 1e6, Coalesced: true}}
+	g.Submit(b, nil)
+	g.Submit(b, nil)
+	eng.Run()
+	want := 2 * (0.5 + 1.0)
+	if got := eng.Now(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("two queued launches took %g, want %g", got, want)
+	}
+}
+
+func TestFunctionalExecution(t *testing.T) {
+	eng, g := newGPU(t, params())
+	hits := make([]int, 100)
+	g.Submit(core.Batch{Tasks: 100, Cost: core.Cost{Ops: 1},
+		Run: func(i int) { hits[i]++ }}, nil)
+	eng.Run()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	_, g := newGPU(t, params())
+	called := false
+	g.Submit(core.Batch{}, func() { called = true })
+	if !called {
+		t.Error("empty batch done not called")
+	}
+	if g.LaunchSeconds(0, core.Cost{Ops: 1}) != 0 {
+		t.Error("zero-item launch should take no time")
+	}
+}
+
+func TestHeterogeneousWavefrontDivergence(t *testing.T) {
+	// 128 items in wavefronts of 64: costs alternate 10 and 1000 ops within
+	// each wavefront, so every lane pays 1000 — the effective total is
+	// 128·1000, not Σc_i.
+	p := params()
+	p.WavefrontWidth = 64
+	_, g := newGPU(t, p)
+	costs := func(i int) float64 {
+		if i%2 == 0 {
+			return 10
+		}
+		return 1000
+	}
+	c := core.Cost{Coalesced: true}
+	const w = 4096 // 4·g: throughput-bound, so wavefront packing matters
+	het := g.HeterogeneousSeconds(w, c, costs)
+	uniform := g.LaunchSeconds(w, core.Cost{Ops: 1000, Coalesced: true})
+	if math.Abs(het-uniform) > 1e-12*uniform {
+		t.Errorf("divergent wavefront = %g, want lockstep max pricing %g", het, uniform)
+	}
+	// If the expensive items are packed into their own wavefronts, the
+	// cheap wavefronts no longer pay for them.
+	sorted := func(i int) float64 {
+		if i < w/2 {
+			return 10
+		}
+		return 1000
+	}
+	packed := g.HeterogeneousSeconds(w, c, sorted)
+	if packed >= het {
+		t.Errorf("packed wavefronts %g not cheaper than interleaved %g", packed, het)
+	}
+}
+
+func TestHeterogeneousMatchesUniform(t *testing.T) {
+	// Constant per-item costs must reproduce LaunchSeconds exactly, both
+	// under- and over-saturated.
+	_, g := newGPU(t, params())
+	for _, w := range []int{1, 64, 1000, 1024, 5000} {
+		c := core.Cost{MemWords: 8, Coalesced: false, Divergent: true}
+		cu := c
+		cu.Ops = 77
+		want := g.LaunchSeconds(w, cu)
+		got := g.HeterogeneousSeconds(w, c, func(int) float64 { return 77 })
+		if math.Abs(got-want) > 1e-12*want {
+			t.Errorf("w=%d: heterogeneous %g != uniform %g", w, got, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package stats provides the small numeric toolkit the experiment harness
+// needs: summaries, linear fits, and the saturation-knee detector used to
+// estimate the GPU parallelism g from a time-vs-threads curve (§6.4).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one (x, y) sample of a measured curve.
+type Point struct {
+	X, Y float64
+}
+
+// Mean returns the arithmetic mean of xs; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median of xs; NaN for empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MinMax returns the extrema of xs; NaNs for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// LinFit returns the least-squares line y = slope·x + intercept through the
+// points. It errors on fewer than two points or a degenerate x range.
+func LinFit(pts []Point) (slope, intercept float64, err error) {
+	if len(pts) < 2 {
+		return 0, 0, fmt.Errorf("stats: LinFit needs >= 2 points, got %d", len(pts))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	n := float64(len(pts))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: LinFit degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// SaturationKnee finds the knee of a decreasing-then-flat curve: the
+// smallest x whose y is within tol (relative) of the curve's floor, taken as
+// the median of the last tailFrac fraction of points. This is the paper's
+// procedure for estimating g: "the value after which no improvement in
+// performance was detected". Points must be sorted by X.
+func SaturationKnee(pts []Point, tol, tailFrac float64) (float64, error) {
+	if len(pts) < 4 {
+		return 0, fmt.Errorf("stats: SaturationKnee needs >= 4 points, got %d", len(pts))
+	}
+	if tol <= 0 || tailFrac <= 0 || tailFrac > 1 {
+		return 0, fmt.Errorf("stats: invalid tol=%g tailFrac=%g", tol, tailFrac)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X {
+			return 0, fmt.Errorf("stats: points not sorted by X at index %d", i)
+		}
+	}
+	tail := int(float64(len(pts)) * tailFrac)
+	if tail < 2 {
+		tail = 2
+	}
+	ys := make([]float64, 0, tail)
+	for _, p := range pts[len(pts)-tail:] {
+		ys = append(ys, p.Y)
+	}
+	floor := Median(ys)
+	limit := floor * (1 + tol)
+	for _, p := range pts {
+		if p.Y <= limit {
+			return p.X, nil
+		}
+	}
+	return pts[len(pts)-1].X, nil
+}

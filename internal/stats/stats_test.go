@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Errorf("Median = %g, want 2.5", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %g, want 2", got)
+	}
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Stddev = %g, want ~2.138", got)
+	}
+	min, max := MinMax(xs)
+	if min != 1 || max != 4 {
+		t.Errorf("MinMax = %g, %g", min, max)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Error("empty summaries should be NaN")
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Error("Stddev of one sample should be 0")
+	}
+}
+
+func TestLinFit(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
+	slope, intercept, err := LinFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("LinFit = (%g, %g), want (2, 1)", slope, intercept)
+	}
+	if _, _, err := LinFit(pts[:1]); err == nil {
+		t.Error("LinFit accepted one point")
+	}
+	if _, _, err := LinFit([]Point{{1, 1}, {1, 2}}); err == nil {
+		t.Error("LinFit accepted degenerate x")
+	}
+}
+
+func TestLinFitRecoversRandomLines(t *testing.T) {
+	f := func(slope, intercept float64) bool {
+		if math.Abs(slope) > 1e6 || math.Abs(intercept) > 1e6 {
+			return true
+		}
+		var pts []Point
+		for i := 0; i < 10; i++ {
+			x := float64(i)
+			pts = append(pts, Point{x, slope*x + intercept})
+		}
+		s, b, err := LinFit(pts)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s-slope) < 1e-6*(1+math.Abs(slope)) &&
+			math.Abs(b-intercept) < 1e-6*(1+math.Abs(intercept))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturationKnee(t *testing.T) {
+	// A 1/x curve that flattens at x = 100.
+	var pts []Point
+	for x := 10.0; x <= 300; x += 10 {
+		y := 1.0
+		if x < 100 {
+			y = 100 / x
+		}
+		pts = append(pts, Point{x, y})
+	}
+	knee, err := SaturationKnee(pts, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee < 90 || knee > 110 {
+		t.Errorf("knee = %g, want ~100", knee)
+	}
+}
+
+func TestSaturationKneeValidation(t *testing.T) {
+	pts := []Point{{1, 1}, {2, 1}, {3, 1}, {4, 1}}
+	if _, err := SaturationKnee(pts[:2], 0.05, 0.2); err == nil {
+		t.Error("accepted too few points")
+	}
+	if _, err := SaturationKnee(pts, -1, 0.2); err == nil {
+		t.Error("accepted negative tolerance")
+	}
+	if _, err := SaturationKnee(pts, 0.05, 2); err == nil {
+		t.Error("accepted tailFrac > 1")
+	}
+	unsorted := []Point{{2, 1}, {1, 1}, {3, 1}, {4, 1}}
+	if _, err := SaturationKnee(unsorted, 0.05, 0.5); err == nil {
+		t.Error("accepted unsorted points")
+	}
+}

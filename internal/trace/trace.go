@@ -1,0 +1,269 @@
+// Package trace records execution timelines of hybrid runs: every batch
+// submitted to a processing unit and every link transfer becomes a span.
+// A Recorder wraps any core.Backend, so both the simulated and the native
+// backends can be traced. Spans can be summarized (per-unit utilization),
+// rendered as an ASCII Gantt chart, or exported as Chrome trace-event JSON
+// for chrome://tracing.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Unit identifies a resource lane in the timeline.
+type Unit string
+
+// The units recorded by a wrapped backend.
+const (
+	UnitCPU  Unit = "cpu"
+	UnitGPU  Unit = "gpu"
+	UnitLink Unit = "link"
+)
+
+// Span is one recorded interval.
+type Span struct {
+	Unit  Unit
+	Label string
+	// Start and End are backend timestamps in seconds.
+	Start, End float64
+}
+
+// Duration returns the span length.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Recorder collects spans. It is safe for concurrent use (the native
+// backend completes batches on multiple goroutines).
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends a span.
+func (r *Recorder) Add(s Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns a copy of the recorded spans sorted by start time.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Span(nil), r.spans...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Utilization reports, per unit, the fraction of the overall makespan the
+// unit spent busy (span overlap within a unit is not double-counted).
+func (r *Recorder) Utilization() map[Unit]float64 {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	t0, t1 := spans[0].Start, spans[0].End
+	perUnit := map[Unit][]Span{}
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+		perUnit[s.Unit] = append(perUnit[s.Unit], s)
+	}
+	total := t1 - t0
+	if total <= 0 {
+		return nil
+	}
+	out := map[Unit]float64{}
+	for unit, ss := range perUnit {
+		// Merge overlapping intervals before summing.
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		busy, curS, curE := 0.0, ss[0].Start, ss[0].End
+		for _, s := range ss[1:] {
+			if s.Start > curE {
+				busy += curE - curS
+				curS, curE = s.Start, s.End
+			} else if s.End > curE {
+				curE = s.End
+			}
+		}
+		busy += curE - curS
+		out[unit] = busy / total
+	}
+	return out
+}
+
+// Gantt renders the timeline as an ASCII chart with one row per unit.
+func (r *Recorder) Gantt(width int) string {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	t0, t1 := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+	}
+	scale := float64(width) / (t1 - t0)
+	rows := map[Unit][]byte{}
+	order := []Unit{UnitCPU, UnitGPU, UnitLink}
+	for _, u := range order {
+		rows[u] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range spans {
+		row, ok := rows[s.Unit]
+		if !ok {
+			row = []byte(strings.Repeat(".", width))
+			rows[s.Unit] = row
+			order = append(order, s.Unit)
+		}
+		from := int((s.Start - t0) * scale)
+		to := int((s.End - t0) * scale)
+		if to >= width {
+			to = width - 1
+		}
+		for i := from; i <= to; i++ {
+			row[i] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %.6fs .. %.6fs\n", t0, t1)
+	for _, u := range order {
+		fmt.Fprintf(&b, "%5s |%s|\n", u, rows[u])
+	}
+	return b.String()
+}
+
+// chromeEvent is one Chrome trace-event (phase "X": complete event).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace emits the spans as a Chrome trace-event JSON array,
+// loadable in chrome://tracing or Perfetto.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	tids := map[Unit]int{UnitCPU: 1, UnitGPU: 2, UnitLink: 3}
+	var events []chromeEvent
+	for _, s := range r.Spans() {
+		tid, ok := tids[s.Unit]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Unit] = tid
+		}
+		events = append(events, chromeEvent{
+			Name: s.Label, Ph: "X",
+			Ts: s.Start * 1e6, Dur: s.Duration() * 1e6,
+			PID: 1, TID: tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// Backend wraps a core.Backend, recording every batch and transfer.
+type Backend struct {
+	inner core.Backend
+	rec   *Recorder
+	cpu   core.LevelExecutor
+	gpu   core.LevelExecutor
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// Wrap returns a tracing view of be that records into rec.
+func Wrap(be core.Backend, rec *Recorder) *Backend {
+	t := &Backend{inner: be, rec: rec}
+	t.cpu = &tracedExecutor{inner: be.CPU(), unit: UnitCPU, be: be, rec: rec}
+	if g := be.GPU(); g != nil {
+		t.gpu = &tracedExecutor{inner: g, unit: UnitGPU, be: be, rec: rec}
+	}
+	return t
+}
+
+// CPU implements core.Backend.
+func (t *Backend) CPU() core.LevelExecutor { return t.cpu }
+
+// GPU implements core.Backend.
+func (t *Backend) GPU() core.LevelExecutor { return t.gpu }
+
+// GPUGamma implements core.Backend.
+func (t *Backend) GPUGamma() float64 { return t.inner.GPUGamma() }
+
+// TransferToGPU implements core.Backend.
+func (t *Backend) TransferToGPU(n int64, done func()) {
+	start := t.inner.Now()
+	t.inner.TransferToGPU(n, func() {
+		t.rec.Add(Span{Unit: UnitLink, Label: fmt.Sprintf("to-gpu %dB", n),
+			Start: start, End: t.inner.Now()})
+		done()
+	})
+}
+
+// TransferToCPU implements core.Backend.
+func (t *Backend) TransferToCPU(n int64, done func()) {
+	start := t.inner.Now()
+	t.inner.TransferToCPU(n, func() {
+		t.rec.Add(Span{Unit: UnitLink, Label: fmt.Sprintf("to-cpu %dB", n),
+			Start: start, End: t.inner.Now()})
+		done()
+	})
+}
+
+// Now implements core.Backend.
+func (t *Backend) Now() float64 { return t.inner.Now() }
+
+// Wait implements core.Backend.
+func (t *Backend) Wait() { t.inner.Wait() }
+
+type tracedExecutor struct {
+	inner core.LevelExecutor
+	unit  Unit
+	be    core.Backend
+	rec   *Recorder
+}
+
+// Parallelism implements core.LevelExecutor.
+func (e *tracedExecutor) Parallelism() int { return e.inner.Parallelism() }
+
+// Submit implements core.LevelExecutor. The span covers queueing plus
+// service, bracketed by backend timestamps.
+func (e *tracedExecutor) Submit(b core.Batch, done func()) {
+	if b.Empty() {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	start := e.be.Now()
+	label := fmt.Sprintf("%d tasks x %.0f ops", b.Tasks, b.Cost.Ops)
+	e.inner.Submit(b, func() {
+		e.rec.Add(Span{Unit: e.unit, Label: label, Start: start, End: e.be.Now()})
+		if done != nil {
+			done()
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/algos/mergesort"
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/workload"
+)
+
+func tracedRun(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	be := Wrap(hpu.MustSim(hpu.HPU1()), rec)
+	in := workload.Uniform(1<<10, 1)
+	s, err := mergesort.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := core.AdvancedParams{Alpha: 0.25, Y: 5, Split: -1}
+	if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int32(nil), in...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, v := range s.Result() {
+		if v != want[i] {
+			t.Fatal("traced run produced unsorted output")
+		}
+	}
+	return rec
+}
+
+func TestRecorderCapturesAllUnits(t *testing.T) {
+	rec := tracedRun(t)
+	seen := map[Unit]bool{}
+	for _, s := range rec.Spans() {
+		seen[s.Unit] = true
+		if s.End < s.Start {
+			t.Errorf("span %q ends before it starts", s.Label)
+		}
+	}
+	for _, u := range []Unit{UnitCPU, UnitGPU, UnitLink} {
+		if !seen[u] {
+			t.Errorf("no spans recorded for unit %s", u)
+		}
+	}
+	// The advanced division performs exactly two transfers.
+	links := 0
+	for _, s := range rec.Spans() {
+		if s.Unit == UnitLink {
+			links++
+		}
+	}
+	if links != 2 {
+		t.Errorf("link spans = %d, want 2 (the paper's single round trip)", links)
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	spans := tracedRun(t).Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatal("Spans() not sorted by start time")
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	util := tracedRun(t).Utilization()
+	for u, f := range util {
+		if f <= 0 || f > 1 {
+			t.Errorf("utilization[%s] = %g outside (0,1]", u, f)
+		}
+	}
+	if util[UnitCPU] == 0 {
+		t.Error("CPU utilization missing")
+	}
+}
+
+func TestUtilizationMergesOverlaps(t *testing.T) {
+	rec := NewRecorder()
+	rec.Add(Span{Unit: UnitCPU, Start: 0, End: 2})
+	rec.Add(Span{Unit: UnitCPU, Start: 1, End: 3})
+	rec.Add(Span{Unit: UnitGPU, Start: 0, End: 4})
+	util := rec.Utilization()
+	if got := util[UnitCPU]; got != 0.75 {
+		t.Errorf("CPU utilization = %g, want 0.75 (merged 0..3 over 0..4)", got)
+	}
+	if got := util[UnitGPU]; got != 1.0 {
+		t.Errorf("GPU utilization = %g, want 1", got)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	out := tracedRun(t).Gantt(60)
+	for _, want := range []string{"cpu", "gpu", "link", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt output missing %q:\n%s", want, out)
+		}
+	}
+	if got := NewRecorder().Gantt(60); got != "(no spans)\n" {
+		t.Errorf("empty Gantt = %q", got)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tracedRun(t).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package tune finds the advanced division's (α, y) parameters empirically,
+// the "determined experimentally for each particular application" path of
+// the paper's §7: run trials, keep the best, refine locally. It complements
+// the analytic model (internal/model), which the paper shows gets close but
+// not exact — especially at sizes where cache effects bite (Fig 10).
+package tune
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trial runs one configuration and returns its makespan in seconds. The
+// caller decides what a trial is: a simulated run, a native run, or even a
+// model evaluation.
+type Trial func(alpha float64, y int) (float64, error)
+
+// Config bounds the search.
+type Config struct {
+	// Levels is the instance's recursion depth L; y is searched in [0, L].
+	Levels int
+	// AlphaGrid is the coarse seed grid (defaults to 0.05..0.5).
+	AlphaGrid []float64
+	// YGrid is the coarse transfer-level grid (defaults to a spread over
+	// [0, Levels]).
+	YGrid []int
+	// RefineRounds of local α bisection around the incumbent (default 4).
+	RefineRounds int
+	// MaxTrials caps the total number of trial runs (default 64).
+	MaxTrials int
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Alpha   float64
+	Y       int
+	Seconds float64
+	// Trials is the number of configurations evaluated.
+	Trials int
+}
+
+// Advanced searches for the (α, y) minimizing the trial makespan.
+func Advanced(trial Trial, cfg Config) (Result, error) {
+	if trial == nil {
+		return Result{}, fmt.Errorf("tune: nil trial function")
+	}
+	if cfg.Levels < 1 {
+		return Result{}, fmt.Errorf("tune: Levels must be >= 1, got %d", cfg.Levels)
+	}
+	if len(cfg.AlphaGrid) == 0 {
+		cfg.AlphaGrid = []float64{0.05, 0.1, 0.16, 0.25, 0.4, 0.5}
+	}
+	if len(cfg.YGrid) == 0 {
+		step := cfg.Levels / 6
+		if step < 1 {
+			step = 1
+		}
+		for y := 0; y <= cfg.Levels; y += step {
+			cfg.YGrid = append(cfg.YGrid, y)
+		}
+	}
+	if cfg.RefineRounds == 0 {
+		cfg.RefineRounds = 4
+	}
+	if cfg.MaxTrials == 0 {
+		cfg.MaxTrials = 64
+	}
+
+	best := Result{Seconds: math.Inf(1)}
+	cache := map[[2]int]float64{} // (α in 1e-4 units, y) → seconds
+	run := func(alpha float64, y int) (float64, error) {
+		if alpha < 0 {
+			alpha = 0
+		}
+		if alpha > 1 {
+			alpha = 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y > cfg.Levels {
+			y = cfg.Levels
+		}
+		key := [2]int{int(alpha * 1e4), y}
+		if s, ok := cache[key]; ok {
+			return s, nil
+		}
+		if best.Trials >= cfg.MaxTrials {
+			return math.Inf(1), nil
+		}
+		s, err := trial(alpha, y)
+		if err != nil {
+			return 0, err
+		}
+		best.Trials++
+		cache[key] = s
+		if s < best.Seconds {
+			best.Seconds = s
+			best.Alpha = alpha
+			best.Y = y
+		}
+		return s, nil
+	}
+
+	// Coarse grid.
+	for _, alpha := range cfg.AlphaGrid {
+		for _, y := range cfg.YGrid {
+			if _, err := run(alpha, y); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	// Local refinement: bisect α around the incumbent and probe adjacent
+	// transfer levels.
+	width := 0.1
+	for round := 0; round < cfg.RefineRounds; round++ {
+		a0, y0 := best.Alpha, best.Y
+		for _, alpha := range []float64{a0 - width, a0 + width} {
+			for _, y := range []int{y0 - 1, y0, y0 + 1} {
+				if _, err := run(alpha, y); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		width /= 2
+	}
+	if math.IsInf(best.Seconds, 1) {
+		return Result{}, fmt.Errorf("tune: no successful trials")
+	}
+	return best, nil
+}

@@ -1,0 +1,113 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/algos/mergesort"
+	"repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/workload"
+)
+
+func TestAdvancedFindsSyntheticOptimum(t *testing.T) {
+	// A smooth bowl with minimum at (α=0.22, y=7).
+	trial := func(alpha float64, y int) (float64, error) {
+		da := alpha - 0.22
+		dy := float64(y - 7)
+		return 1 + 10*da*da + 0.05*dy*dy, nil
+	}
+	res, err := Advanced(trial, Config{Levels: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Alpha-0.22) > 0.04 {
+		t.Errorf("tuned alpha = %.3f, want ~0.22", res.Alpha)
+	}
+	if res.Y != 7 {
+		t.Errorf("tuned y = %d, want 7", res.Y)
+	}
+	if res.Trials == 0 || res.Trials > 64 {
+		t.Errorf("trials = %d, want in (0, 64]", res.Trials)
+	}
+}
+
+func TestAdvancedRespectsMaxTrials(t *testing.T) {
+	calls := 0
+	trial := func(alpha float64, y int) (float64, error) {
+		calls++
+		return alpha + float64(y), nil
+	}
+	res, err := Advanced(trial, Config{Levels: 24, MaxTrials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 10 {
+		t.Errorf("trial called %d times, cap was 10", calls)
+	}
+	if res.Trials != calls {
+		t.Errorf("Trials = %d, want %d", res.Trials, calls)
+	}
+}
+
+func TestAdvancedPropagatesErrors(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	trial := func(alpha float64, y int) (float64, error) { return 0, boom }
+	if _, err := Advanced(trial, Config{Levels: 8}); err == nil {
+		t.Error("expected trial error to propagate")
+	}
+	if _, err := Advanced(nil, Config{Levels: 8}); err == nil {
+		t.Error("accepted nil trial")
+	}
+	if _, err := Advanced(trial, Config{}); err == nil {
+		t.Error("accepted zero levels")
+	}
+}
+
+// TestTuneMergesortBeatsModelParams runs the empirical tuner against the
+// simulator and checks it is at least as good as the closed-form model's
+// parameters — the situation of Fig 10, where measured optima drift from
+// predictions at sizes with cache effects.
+func TestTuneMergesortBeatsModelParams(t *testing.T) {
+	const logN = 16
+	pl := hpu.HPU1()
+	in := workload.Uniform(1<<logN, 4)
+
+	runOnce := func(alpha float64, y int) (float64, error) {
+		be, err := hpu.NewSim(pl)
+		if err != nil {
+			return 0, err
+		}
+		s, err := mergesort.New(in)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := core.RunAdvancedHybrid(be, s,
+			core.AdvancedParams{Alpha: alpha, Y: y, Split: -1},
+			core.Options{Coalesce: true})
+		if err != nil {
+			return 0, err
+		}
+		if !workload.IsSorted(s.Result()) {
+			return 0, fmt.Errorf("unsorted output")
+		}
+		return rep.Seconds, nil
+	}
+
+	res, err := Advanced(runOnce, Config{Levels: logN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the model's choice.
+	modelSecs, err := runOnce(0.172, 9) // Poly optimum for 2^16-ish
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds > modelSecs*1.02 {
+		t.Errorf("tuned %.5fs worse than model params %.5fs", res.Seconds, modelSecs)
+	}
+	if res.Alpha <= 0 || res.Alpha >= 1 {
+		t.Errorf("tuned alpha %.3f out of range", res.Alpha)
+	}
+}

@@ -1,0 +1,178 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %g, want 3", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New()
+	var times []Time
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(5, func() { ran++ })
+	e.RunUntil(2)
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	if e.Now() != 2 {
+		t.Errorf("Now() = %g, want 2", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 || e.Now() != 5 {
+		t.Errorf("after Run: ran=%d Now=%g", ran, e.Now())
+	}
+}
+
+func TestPanicsOnPastScheduling(t *testing.T) {
+	e := New()
+	e.At(5, func() {})
+	e.Run()
+	assertPanics(t, "past", func() { e.At(1, func() {}) })
+	assertPanics(t, "negative delay", func() { e.After(-1, func() {}) })
+	assertPanics(t, "nil fn", func() { e.At(10, nil) })
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	e := New()
+	e.MaxEvents = 10
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	assertPanics(t, "runaway loop", e.Run)
+}
+
+func TestResourceCapacityAndFIFO(t *testing.T) {
+	e := New()
+	r := NewResource(e, 2)
+	var done []int
+	for i := 0; i < 4; i++ {
+		i := i
+		r.RequestFixed(1, func() { done = append(done, i) })
+	}
+	if r.Busy() != 2 || r.QueueLen() != 2 {
+		t.Fatalf("busy=%d queued=%d, want 2/2", r.Busy(), r.QueueLen())
+	}
+	e.Run()
+	if e.Now() != 2 {
+		t.Errorf("4 unit jobs on 2 servers finished at %g, want 2", e.Now())
+	}
+	for i, v := range done {
+		if v != i {
+			t.Fatalf("completion order = %v, want FIFO", done)
+		}
+	}
+	if r.BusySeconds() != 4 {
+		t.Errorf("BusySeconds = %g, want 4", r.BusySeconds())
+	}
+}
+
+func TestResourceActiveCount(t *testing.T) {
+	e := New()
+	r := NewResource(e, 3)
+	var actives []int
+	for i := 0; i < 3; i++ {
+		r.Request(func(active int) float64 {
+			actives = append(actives, active)
+			return 1
+		}, nil)
+	}
+	e.Run()
+	if len(actives) != 3 || actives[0] != 1 || actives[1] != 2 || actives[2] != 3 {
+		t.Errorf("active counts = %v, want [1 2 3]", actives)
+	}
+}
+
+func TestResourceValidation(t *testing.T) {
+	e := New()
+	assertPanics(t, "zero capacity", func() { NewResource(e, 0) })
+	r := NewResource(e, 1)
+	assertPanics(t, "nil duration", func() { r.Request(nil, nil) })
+	assertPanics(t, "negative duration", func() {
+		r.RequestFixed(-1, nil)
+		e.Run()
+	})
+}
+
+// TestResourceConservation checks a queueing invariant with random jobs:
+// total busy time equals the sum of service durations, and the makespan is
+// at least total/capacity.
+func TestResourceConservation(t *testing.T) {
+	f := func(durRaw []uint8, capRaw uint8) bool {
+		if len(durRaw) == 0 {
+			return true
+		}
+		capacity := 1 + int(capRaw%8)
+		e := New()
+		r := NewResource(e, capacity)
+		total := 0.0
+		for _, d := range durRaw {
+			dur := float64(d%100) / 10
+			total += dur
+			r.RequestFixed(dur, nil)
+		}
+		e.Run()
+		if r.BusySeconds() != total {
+			return false
+		}
+		return e.Now() >= total/float64(capacity)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
