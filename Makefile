@@ -1,0 +1,31 @@
+# Development entry points. `make check` is the CI gate: full build, vet,
+# race-enabled tests, and the serving layer's self-checking load smoke.
+
+GO ?= go
+
+.PHONY: all build vet test race smoke check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# 5-second self-checking load test of the job server on the native backend:
+# mixed algorithms and strategies, random priorities and cancellations.
+# Exits nonzero on any failed job, accounting mismatch, or goroutine leak.
+smoke:
+	$(GO) run ./cmd/hpuserve --smoke
+
+check: build vet race smoke
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,217 @@
+// Command hpuserve is a load driver for the concurrent job server: it
+// floods one shared backend with a stream of mixed divide-and-conquer jobs
+// (mergesort, scan, sum) under random priorities and cancellations, then
+// prints the server's aggregate counters.
+//
+// With --smoke it runs a short self-checking load test (default 5s) and
+// exits nonzero if any job fails, any accounting invariant breaks, or
+// goroutines leak — the CI entry point wired into the Makefile.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		smoke     = flag.Bool("smoke", false, "run a short self-checking load test and exit nonzero on any anomaly")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to keep submitting load")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "CPU pool size of the shared native backend")
+		lanes     = flag.Int("lanes", 64, "device pool size of the shared native backend")
+		inflight  = flag.Int("inflight", 8, "max jobs in flight on the backend")
+		qdepth    = flag.Int("qdepth", 32, "admission queue depth")
+		minLog    = flag.Int("minlog", 10, "log2 of the smallest job input")
+		maxLog    = flag.Int("maxlog", 16, "log2 of the largest job input")
+		cancelPct = flag.Int("cancel", 15, "percent of jobs to cancel mid-flight")
+		seed      = flag.Int64("seed", 1, "PRNG seed for the job mix")
+	)
+	flag.Parse()
+
+	if *smoke && *duration > 5*time.Second {
+		*duration = 5 * time.Second
+	}
+	if *minLog < 1 || *maxLog < *minLog {
+		check(fmt.Errorf("need 1 <= minlog <= maxlog, got %d..%d", *minLog, *maxLog))
+	}
+	baseline := runtime.NumGoroutine()
+
+	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: *workers, DeviceLanes: *lanes})
+	check(err)
+	srv, err := hybriddc.NewServer(hybriddc.ServerConfig{
+		Backend:     be,
+		QueueDepth:  *qdepth,
+		MaxInFlight: *inflight,
+	})
+	check(err)
+
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		submitted int
+		rejected  int
+		completed int
+		canceled  int
+		failed    int
+		firstErr  error
+	)
+
+	deadline := time.Now().Add(*duration)
+	for time.Now().Before(deadline) {
+		job, err := makeJob(rng, *minLog, *maxLog, *lanes > 0)
+		check(err)
+		ctx, cancel := context.WithCancel(context.Background())
+		h, err := srv.Submit(ctx, job, hybriddc.WithPriority(1+rng.Intn(4)))
+		if err != nil {
+			cancel()
+			if errors.Is(err, hybriddc.ErrQueueFull) {
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+				time.Sleep(200 * time.Microsecond) // back off and retry later
+				continue
+			}
+			check(err)
+		}
+		mu.Lock()
+		submitted++
+		mu.Unlock()
+		doCancel := rng.Intn(100) < *cancelPct
+		cancelAfter := time.Duration(rng.Intn(500)) * time.Microsecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cancel()
+			if doCancel {
+				time.Sleep(cancelAfter)
+				cancel()
+			}
+			rep, err := h.Report()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				completed++
+			case errors.Is(err, hybriddc.ErrCanceled):
+				canceled++
+				if !rep.Partial {
+					failed++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("job %d: canceled but Report not marked partial", h.ID)
+					}
+				}
+			default:
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	check(srv.Close())
+	check(be.Close())
+	st := srv.Stats()
+
+	fmt.Printf("submitted %d  rejected(queue-full) %d\n", submitted, rejected)
+	fmt.Printf("completed %d  canceled %d  failed %d\n", completed, canceled, failed)
+	fmt.Printf("server: submitted %d rejected %d completed %d canceled %d failed %d\n",
+		st.Submitted, st.Rejected, st.Completed, st.Canceled, st.Failed)
+	fmt.Printf("queue: max depth %d  avg wait %.3fms  busy %.3fs\n",
+		st.MaxQueueDepth, 1e3*st.AvgQueueWaitSeconds, st.BusySeconds)
+
+	if !*smoke {
+		return
+	}
+	// Smoke invariants.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "smoke: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if firstErr != nil {
+		fail("job error: %v", firstErr)
+	}
+	if completed+canceled != submitted {
+		fail("accounting: %d completed + %d canceled != %d submitted", completed, canceled, submitted)
+	}
+	if st.Completed+st.Canceled+st.Failed != st.Submitted {
+		fail("server accounting: %d+%d+%d != %d", st.Completed, st.Canceled, st.Failed, st.Submitted)
+	}
+	if st.Failed != 0 {
+		fail("server reports %d failed jobs", st.Failed)
+	}
+	if submitted == 0 {
+		fail("no jobs submitted")
+	}
+	// Give transfer goroutines and pool workers a moment to exit.
+	for i := 0; i < 50 && runtime.NumGoroutine() > baseline+2; i++ {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+2 {
+		fail("goroutine leak: %d at start, %d after close", baseline, g)
+	}
+	fmt.Println("smoke: ok")
+}
+
+// makeJob draws one job from the mixed workload: algorithm, size, and
+// strategy. On a backend without device lanes only CPU strategies are drawn.
+func makeJob(rng *rand.Rand, minLog, maxLog int, hasGPU bool) (hybriddc.JobSpec, error) {
+	n := 1 << (minLog + rng.Intn(maxLog-minLog+1))
+	data := workload.Uniform(n, rng.Int63())
+
+	var alg hybriddc.Alg
+	var err error
+	switch rng.Intn(3) {
+	case 0:
+		alg, err = hybriddc.NewMergesort(data)
+	case 1:
+		alg, err = hybriddc.NewScan(data)
+	default:
+		alg, err = hybriddc.NewSum(data)
+	}
+	if err != nil {
+		return hybriddc.JobSpec{}, err
+	}
+
+	job := hybriddc.JobSpec{Alg: alg}
+	levels := job.Alg.Levels()
+	draws := 5
+	if !hasGPU {
+		draws = 2
+	}
+	switch rng.Intn(draws) {
+	case 0:
+		job.Strategy = hybriddc.JobSequential
+	case 1:
+		job.Strategy = hybriddc.JobBreadthFirstCPU
+	case 2:
+		job.Strategy = hybriddc.JobBasicHybrid
+		job.Crossover = levels / 3
+	case 3:
+		job.Strategy = hybriddc.JobAdvancedHybrid
+		job.Alpha = 0.25 + rng.Float64()/2
+		job.Y = levels / 2
+	default:
+		job.Strategy = hybriddc.JobGPUOnly
+	}
+	return job, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpuserve:", err)
+		os.Exit(1)
+	}
+}

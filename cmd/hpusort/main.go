@@ -53,7 +53,7 @@ func main() {
 			if err != nil {
 				return nil, nil, err
 			}
-			return be, be.Close, nil
+			return be, func() { be.Close() }, nil
 		default:
 			return nil, nil, fmt.Errorf("unknown backend %q", *backend)
 		}

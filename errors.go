@@ -1,0 +1,32 @@
+package hybriddc
+
+import "repro/internal/dcerr"
+
+// The framework's error taxonomy: every public constructor and executor
+// wraps exactly one of these sentinels with %w, so callers can classify any
+// failure with errors.Is regardless of which layer produced it. See
+// DESIGN.md ("Error taxonomy") for the grouping rationale.
+var (
+	// ErrNotPowerOfTwo: the instance size is not a power of two >= 2.
+	ErrNotPowerOfTwo = dcerr.ErrNotPowerOfTwo
+	// ErrBadShape: structurally invalid instance data (mismatched operand
+	// lengths, undersized inputs, out-of-range recursion depths).
+	ErrBadShape = dcerr.ErrBadShape
+	// ErrBadAlpha: a CPU work fraction α outside [0, 1].
+	ErrBadAlpha = dcerr.ErrBadAlpha
+	// ErrBadLevel: a transfer, split, or crossover level outside the tree.
+	ErrBadLevel = dcerr.ErrBadLevel
+	// ErrBadParam: an invalid machine, platform, or configuration value.
+	ErrBadParam = dcerr.ErrBadParam
+	// ErrNoGPU: a hybrid or GPU-only strategy on a CPU-only backend.
+	ErrNoGPU = dcerr.ErrNoGPU
+	// ErrQueueFull: the Server's bounded admission queue rejected the job.
+	ErrQueueFull = dcerr.ErrQueueFull
+	// ErrCanceled: an execution stopped at a level boundary because its
+	// context was canceled or its deadline expired; the Report is partial.
+	ErrCanceled = dcerr.ErrCanceled
+	// ErrBackendClosed: an operation on a backend after Close.
+	ErrBackendClosed = dcerr.ErrBackendClosed
+	// ErrServerClosed: a submission to a Server after Close.
+	ErrServerClosed = dcerr.ErrServerClosed
+)

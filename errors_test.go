@@ -1,0 +1,232 @@
+package hybriddc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	hybriddc "repro"
+)
+
+// TestConstructorErrorTaxonomy asserts that every public constructor and
+// executor wraps one of the package's sentinel errors, so callers can
+// classify any failure with errors.Is without matching message strings.
+func TestConstructorErrorTaxonomy(t *testing.T) {
+	notPow2 := []int32{1, 2, 3}
+	mach := hybriddc.Machine{P: 4, G: 64, Gamma: 0.1}
+
+	cases := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"NewMergesort/non-power-of-two", func() error {
+			_, err := hybriddc.NewMergesort(notPow2)
+			return err
+		}, hybriddc.ErrNotPowerOfTwo},
+		{"NewMergesortAny/too-short", func() error {
+			_, err := hybriddc.NewMergesortAny([]int32{1})
+			return err
+		}, hybriddc.ErrBadShape},
+		{"NewParallelMergesort/non-power-of-two", func() error {
+			_, err := hybriddc.NewParallelMergesort(notPow2)
+			return err
+		}, hybriddc.ErrNotPowerOfTwo},
+		{"NewSum/non-power-of-two", func() error {
+			_, err := hybriddc.NewSum(notPow2)
+			return err
+		}, hybriddc.ErrNotPowerOfTwo},
+		{"NewScan/non-power-of-two", func() error {
+			_, err := hybriddc.NewScan(notPow2)
+			return err
+		}, hybriddc.ErrNotPowerOfTwo},
+		{"NewMaxSubarray/non-power-of-two", func() error {
+			_, err := hybriddc.NewMaxSubarray(notPow2)
+			return err
+		}, hybriddc.ErrNotPowerOfTwo},
+		{"NewFFT/non-power-of-two", func() error {
+			_, err := hybriddc.NewFFT(make([]complex128, 3))
+			return err
+		}, hybriddc.ErrNotPowerOfTwo},
+		{"NewKaratsuba/mismatched-operands", func() error {
+			_, err := hybriddc.NewKaratsuba([]int32{1, 2}, []int32{1, 2, 3, 4})
+			return err
+		}, hybriddc.ErrBadShape},
+		{"NewMatMul/depth-out-of-range", func() error {
+			_, err := hybriddc.NewMatMul(make([]float64, 16), make([]float64, 16), 4, 10)
+			return err
+		}, hybriddc.ErrBadShape},
+		{"NewStrassen/depth-out-of-range", func() error {
+			_, err := hybriddc.NewStrassen(make([]float64, 16), make([]float64, 16), 4, 10)
+			return err
+		}, hybriddc.ErrBadShape},
+		{"NewPolyModel/bad-recurrence", func() error {
+			_, err := hybriddc.NewPolyModel(1, 2, 1024, mach)
+			return err
+		}, hybriddc.ErrBadParam},
+		{"NewNumericModel/no-levels", func() error {
+			_, err := hybriddc.NewNumericModel(2, 2, 0, func(float64) float64 { return 1 }, 1, mach)
+			return err
+		}, hybriddc.ErrBadParam},
+		{"NewSim/zero-platform", func() error {
+			_, err := hybriddc.NewSim(hybriddc.Platform{})
+			return err
+		}, hybriddc.ErrBadParam},
+		{"NewMultiSim/no-devices", func() error {
+			_, err := hybriddc.NewMultiSim(hybriddc.HPU1(), 0)
+			return err
+		}, hybriddc.ErrBadParam},
+		{"NewNative/negative-lanes", func() error {
+			_, err := hybriddc.NewNative(hybriddc.NativeConfig{DeviceLanes: -1})
+			return err
+		}, hybriddc.ErrBadParam},
+		{"NewServer/nil-backend", func() error {
+			_, err := hybriddc.NewServer(hybriddc.ServerConfig{})
+			return err
+		}, hybriddc.ErrBadParam},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("constructor accepted invalid input")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %q does not unwrap to the sentinel %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExecutorErrorTaxonomy covers the executors' parameter, capability, and
+// lifecycle sentinels through the public facade.
+func TestExecutorErrorTaxonomy(t *testing.T) {
+	sorter := func(t *testing.T) hybriddc.GPUAlg {
+		s, err := hybriddc.NewMergesort(make([]int32, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ctx := context.Background()
+
+	t.Run("bad-alpha", func(t *testing.T) {
+		be := hybriddc.MustSim(hybriddc.HPU1())
+		if _, err := hybriddc.RunAdvancedHybridCtx(ctx, be, sorter(t), 2, 3); !errors.Is(err, hybriddc.ErrBadAlpha) {
+			t.Errorf("error %v does not unwrap to ErrBadAlpha", err)
+		}
+	})
+	t.Run("bad-level", func(t *testing.T) {
+		be := hybriddc.MustSim(hybriddc.HPU1())
+		if _, err := hybriddc.RunAdvancedHybridCtx(ctx, be, sorter(t), 0.5, -1); !errors.Is(err, hybriddc.ErrBadLevel) {
+			t.Errorf("advanced y=-1: error %v does not unwrap to ErrBadLevel", err)
+		}
+		if _, err := hybriddc.RunBasicHybridCtx(ctx, be, sorter(t), -1); !errors.Is(err, hybriddc.ErrBadLevel) {
+			t.Errorf("basic crossover=-1: error %v does not unwrap to ErrBadLevel", err)
+		}
+	})
+	t.Run("no-gpu", func(t *testing.T) {
+		be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 1}) // no device lanes
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		if _, err := hybriddc.RunGPUOnlyCtx(ctx, be, sorter(t)); !errors.Is(err, hybriddc.ErrNoGPU) {
+			t.Errorf("error %v does not unwrap to ErrNoGPU", err)
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		be := hybriddc.MustSim(hybriddc.HPU1())
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		rep, err := hybriddc.RunSequentialCtx(cctx, be, sorter(t))
+		if !errors.Is(err, hybriddc.ErrCanceled) {
+			t.Errorf("error %v does not unwrap to ErrCanceled", err)
+		}
+		if !rep.Partial {
+			t.Error("canceled run's Report not marked Partial")
+		}
+	})
+	t.Run("backend-closed", func(t *testing.T) {
+		be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := be.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := be.Close(); !errors.Is(err, hybriddc.ErrBackendClosed) {
+			t.Errorf("double Close: error %v does not unwrap to ErrBackendClosed", err)
+		}
+		if _, err := hybriddc.RunSequentialCtx(ctx, be, sorter(t)); !errors.Is(err, hybriddc.ErrBackendClosed) {
+			t.Errorf("run on closed backend: error %v does not unwrap to ErrBackendClosed", err)
+		}
+	})
+	t.Run("server-lifecycle", func(t *testing.T) {
+		be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		srv, err := hybriddc.NewServer(hybriddc.ServerConfig{Backend: be, QueueDepth: 1, MaxInFlight: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate := make(chan struct{})
+		blocker := &gatedJob{gate: gate}
+		h1, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: blocker})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wait for the blocker to occupy the single slot, then fill the
+		// one-deep queue.
+		deadline := time.Now().Add(2 * time.Second)
+		for srv.Stats().InFlight != 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("blocker never dispatched")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		h2, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: &gatedJob{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: &gatedJob{}}); !errors.Is(err, hybriddc.ErrQueueFull) {
+			t.Errorf("overflow submit: error %v does not unwrap to ErrQueueFull", err)
+		}
+		close(gate)
+		for _, h := range []*hybriddc.JobHandle{h1, h2} {
+			if _, err := h.Report(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: &gatedJob{}}); !errors.Is(err, hybriddc.ErrServerClosed) {
+			t.Errorf("submit after Close: error %v does not unwrap to ErrServerClosed", err)
+		}
+	})
+}
+
+// gatedJob is a minimal two-leaf Alg whose base tasks optionally block on a
+// channel, used to pin the server's in-flight slot.
+type gatedJob struct{ gate chan struct{} }
+
+func (g *gatedJob) Name() string { return "gated" }
+func (g *gatedJob) Arity() int   { return 2 }
+func (g *gatedJob) Shrink() int  { return 2 }
+func (g *gatedJob) N() int       { return 2 }
+func (g *gatedJob) Levels() int  { return 1 }
+
+func (g *gatedJob) DivideBatch(level, lo, hi int) hybriddc.Batch { return hybriddc.Batch{} }
+func (g *gatedJob) BaseBatch(lo, hi int) hybriddc.Batch {
+	return hybriddc.Batch{Tasks: hi - lo, Cost: hybriddc.Cost{Ops: 1}, Run: func(int) {
+		if g.gate != nil {
+			<-g.gate
+		}
+	}}
+}
+func (g *gatedJob) CombineBatch(level, lo, hi int) hybriddc.Batch { return hybriddc.Batch{} }

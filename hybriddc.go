@@ -69,8 +69,14 @@ type (
 	// LevelExecutor is one processing unit of a Backend.
 	LevelExecutor = core.LevelExecutor
 	// Options are executor options.
+	//
+	// Deprecated: pass functional options (WithCoalesce, ...) to the *Ctx
+	// executors instead; Options is converted internally.
 	Options = core.Options
 	// AdvancedParams parameterize the §5.2 advanced work division.
+	//
+	// Deprecated: pass (alpha, y) and WithSplit to RunAdvancedHybridCtx
+	// instead; AdvancedParams is converted internally.
 	AdvancedParams = core.AdvancedParams
 	// Report summarizes one execution.
 	Report = core.Report

@@ -18,6 +18,8 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // Summer is a breadth-first divide-and-conquer sum over a power-of-two
@@ -47,7 +49,7 @@ var (
 func New(data []int32) (*Summer, error) {
 	n := len(data)
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("dcsum: input length %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("dcsum: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	s := &Summer{n: n, l: bits.TrailingZeros(uint(n)), v: make([]int64, n)}
 	for i, x := range data {

@@ -14,6 +14,8 @@ import (
 	"math/cmplx"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // Transform is a breadth-first FFT instance over a power-of-two-length
@@ -42,7 +44,7 @@ func NewInverse(data []complex128) (*Transform, error) { return newT(data, true)
 func newT(data []complex128, inverse bool) (*Transform, error) {
 	n := len(data)
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("fft: input length %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("fft: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	t := &Transform{
 		n: n, l: bits.TrailingZeros(uint(n)),

@@ -11,6 +11,8 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // opPair is one node's operands: two polynomials of equal length given by
@@ -41,10 +43,10 @@ var _ core.GPUAlg = (*Multiplier)(nil)
 func New(a, b []int32) (*Multiplier, error) {
 	n := len(a)
 	if len(b) != n {
-		return nil, fmt.Errorf("karatsuba: operand lengths differ: %d vs %d", n, len(b))
+		return nil, fmt.Errorf("karatsuba: operand lengths differ: %d vs %d: %w", n, len(b), dcerr.ErrBadShape)
 	}
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("karatsuba: operand length %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("karatsuba: operand length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	m := &Multiplier{n: n, l: bits.TrailingZeros(uint(n))}
 	m.ops = make([][]opPair, m.l+1)

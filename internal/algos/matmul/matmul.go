@@ -11,6 +11,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // block is a square row-major matrix.
@@ -98,13 +100,13 @@ var _ core.GPUAlg = (*Multiplier)(nil)
 // 1 ≤ depth and n>>depth ≥ 1.
 func New(a, b []float64, n, depth int) (*Multiplier, error) {
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("matmul: dimension %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("matmul: dimension %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	if len(a) != n*n || len(b) != n*n {
-		return nil, fmt.Errorf("matmul: operand sizes %d, %d do not match n²=%d", len(a), len(b), n*n)
+		return nil, fmt.Errorf("matmul: operand sizes %d, %d do not match n²=%d: %w", len(a), len(b), n*n, dcerr.ErrBadShape)
 	}
 	if depth < 1 || n>>depth < 1 {
-		return nil, fmt.Errorf("matmul: depth %d out of range for n=%d", depth, n)
+		return nil, fmt.Errorf("matmul: depth %d out of range for n=%d: %w", depth, n, dcerr.ErrBadShape)
 	}
 	m := &Multiplier{n: n, depth: depth}
 	nodes := 1

@@ -11,6 +11,8 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // node summarizes one subproblem.
@@ -56,7 +58,7 @@ var _ core.GPUAlg = (*Solver)(nil)
 func New(data []int32) (*Solver, error) {
 	n := len(data)
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("maxsubarray: input length %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("maxsubarray: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	return &Solver{
 		n:     n,

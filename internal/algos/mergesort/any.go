@@ -5,6 +5,8 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // AnySorter is the footnote-4 generalization of Sorter to arbitrary input
@@ -27,7 +29,7 @@ var _ core.GPUAlg = (*AnySorter)(nil)
 func NewAny(data []int32) (*AnySorter, error) {
 	n := len(data)
 	if n < 2 {
-		return nil, fmt.Errorf("mergesort: input length %d too short", n)
+		return nil, fmt.Errorf("mergesort: input length %d too short: %w", n, dcerr.ErrBadShape)
 	}
 	l := bits.Len(uint(n - 1)) // ceil(log2 n)
 	s := &AnySorter{n: n, l: l}

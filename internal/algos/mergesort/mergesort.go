@@ -16,6 +16,8 @@ import (
 	"sync"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // Sorter is a breadth-first mergesort instance over a power-of-two input.
@@ -54,7 +56,7 @@ var (
 func New(data []int32) (*Sorter, error) {
 	n := len(data)
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("mergesort: input length %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("mergesort: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	s := &Sorter{n: n, l: bits.TrailingZeros(uint(n))}
 	s.buf[0] = make([]int32, n)

@@ -13,6 +13,8 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // Scanner is a breadth-first inclusive-prefix-sum instance over a
@@ -33,7 +35,7 @@ var _ core.GPUAlg = (*Scanner)(nil)
 func New(data []int32) (*Scanner, error) {
 	n := len(data)
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("scan: input length %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("scan: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	s := &Scanner{n: n, l: bits.TrailingZeros(uint(n)), v: make([]int64, n)}
 	for i, x := range data {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // mat is a square row-major matrix of dimension dim.
@@ -124,13 +126,13 @@ var _ core.GPUAlg = (*Multiplier)(nil)
 // is typically small (≤ 4).
 func New(a, b []float64, n, depth int) (*Multiplier, error) {
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("strassen: dimension %d is not a power of two >= 2", n)
+		return nil, fmt.Errorf("strassen: dimension %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	if len(a) != n*n || len(b) != n*n {
-		return nil, fmt.Errorf("strassen: operand sizes %d, %d do not match n²=%d", len(a), len(b), n*n)
+		return nil, fmt.Errorf("strassen: operand sizes %d, %d do not match n²=%d: %w", len(a), len(b), n*n, dcerr.ErrBadShape)
 	}
 	if depth < 1 || n>>depth < 1 {
-		return nil, fmt.Errorf("strassen: depth %d out of range for n=%d", depth, n)
+		return nil, fmt.Errorf("strassen: depth %d out of range for n=%d: %w", depth, n, dcerr.ErrBadShape)
 	}
 	m := &Multiplier{n: n, depth: depth}
 	nodes := 1

@@ -1,10 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
+
+	"repro/internal/dcerr"
 )
 
 // Options control backend-independent execution details.
+//
+// Deprecated: use the functional Option form (WithCoalesce, ...) accepted by
+// the context-aware executors; Options is converted internally via
+// AsOptions and kept only for existing callers.
 type Options struct {
 	// Coalesce applies the §6.3 memory-layout transformation around the
 	// GPU-resident phase when the algorithm implements Transformable.
@@ -15,7 +22,8 @@ type Options struct {
 type Report struct {
 	Algorithm string
 	Strategy  string
-	// Seconds is the total makespan.
+	// Seconds is the total makespan. For a canceled (Partial) run it is the
+	// time from start to the level boundary where execution stopped.
 	Seconds float64
 	// CPUPortionSeconds is, for the advanced strategy, the time at which
 	// the CPU finished its α-portion (measured from the fork); for other
@@ -25,9 +33,16 @@ type Report struct {
 	// transfer back) finished, measured from the fork; for GPU-only runs
 	// it is the device-resident time excluding transfers.
 	GPUPortionSeconds float64
+	// Partial reports that the run was canceled at a level boundary before
+	// completing; the instance's result data is not valid.
+	Partial bool
 }
 
 // AdvancedParams configure the §5.2 advanced work division.
+//
+// Deprecated: call RunAdvancedHybridCtx with (alpha, y) and WithSplit
+// instead; AdvancedParams is converted internally and kept only for existing
+// callers.
 type AdvancedParams struct {
 	// Alpha is the fraction of subproblems assigned to the CPU.
 	Alpha float64
@@ -59,20 +74,85 @@ func DefaultSplit(alg Alg, p int, alpha float64, y int) int {
 	return s
 }
 
+// Autonomous marks backends whose submitted work progresses on its own
+// goroutines, so an executor can block on its chain's completion signal
+// without driving Wait. Event-loop backends (the simulator) lack this
+// method — or return false — and are driven via Wait instead.
+type Autonomous interface {
+	Autonomous() bool
+}
+
+// Closer is implemented by backends with an explicit shutdown; executors
+// refuse to start on a closed backend.
+type Closer interface {
+	Closed() bool
+}
+
+func autonomous(be Backend) bool {
+	a, ok := be.(Autonomous)
+	return ok && a.Autonomous()
+}
+
+// checkOpen returns ErrBackendClosed if the backend reports itself closed.
+func checkOpen(be Backend) error {
+	if c, ok := be.(Closer); ok && c.Closed() {
+		return fmt.Errorf("core: %w", dcerr.ErrBackendClosed)
+	}
+	return nil
+}
+
 // step is one asynchronous stage of an execution plan.
 type step func(next func())
 
 // runSeq chains steps sequentially, then calls done.
 func runSeq(steps []step, done func()) {
+	runSeqCtx(context.Background(), steps, func(bool) { done() })
+}
+
+// runSeqCtx chains steps sequentially, checking for cancellation before each
+// step (a level boundary). done fires exactly once, with canceled=true if
+// the chain stopped early. The in-flight step always completes before the
+// chain stops, so no batch is ever abandoned mid-service.
+func runSeqCtx(ctx context.Context, steps []step, done func(canceled bool)) {
+	cdone := ctx.Done()
 	var at func(i int)
 	at = func(i int) {
+		if cdone != nil && ctx.Err() != nil {
+			done(true)
+			return
+		}
 		if i == len(steps) {
-			done()
+			done(false)
 			return
 		}
 		steps[i](func() { at(i + 1) })
 	}
 	at(0)
+}
+
+// awaitChain blocks until the chain that will close done has finished. For
+// event-loop backends it drives Wait; for autonomous backends it blocks on
+// the signal alone, so concurrent runs sharing the backend do not wait for
+// each other.
+func awaitChain(be Backend, done <-chan struct{}) {
+	if autonomous(be) {
+		<-done
+		return
+	}
+	be.Wait()
+	select {
+	case <-done:
+	default:
+		panic("core: execution did not complete")
+	}
+}
+
+// canceledErr wraps the cancellation cause under the typed sentinel.
+func canceledErr(ctx context.Context, alg Alg, strategy string) error {
+	if cause := context.Cause(ctx); cause != nil && cause != context.Canceled {
+		return fmt.Errorf("core: %s %s: %w: %w", alg.Name(), strategy, dcerr.ErrCanceled, cause)
+	}
+	return fmt.Errorf("core: %s %s: %w", alg.Name(), strategy, dcerr.ErrCanceled)
 }
 
 // finish invokes the algorithm's Finish hook, if any.
@@ -83,10 +163,76 @@ func finish(alg Alg) {
 	}
 }
 
-// RunBreadthFirstCPU executes the algorithm breadth-first on the CPU only,
-// using all p cores per level (the multi-core baseline).
-func RunBreadthFirstCPU(be Backend, alg Alg) Report {
+// settle finalizes a report after its chain completed: stamps the makespan,
+// runs the Finish hook (only for complete runs — a partial result is not
+// valid data), applies observers, and builds the cancellation error.
+func settle(ctx context.Context, be Backend, cfg *RunConfig, alg Alg, rep *Report, start float64, canceled bool) error {
+	rep.Seconds = be.Now() - start
+	var err error
+	if canceled {
+		rep.Partial = true
+		err = canceledErr(ctx, alg, rep.Strategy)
+	} else {
+		finish(alg)
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(rep)
+	}
+	return err
+}
+
+// RunSequentialCtx executes the algorithm on a single CPU core (the paper's
+// recursive baseline), checking ctx at every level boundary. On cancellation
+// it returns a partial Report and an error wrapping dcerr.ErrCanceled.
+func RunSequentialCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) (Report, error) {
+	cfg := NewRunConfig(opts...)
+	if cfg.Wrap != nil {
+		be = cfg.Wrap(be)
+	}
+	if err := checkOpen(be); err != nil {
+		return Report{}, err
+	}
+	L := alg.Levels()
+	a := alg.Arity()
+	var steps []step
+	for l := 0; l < L; l++ {
+		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { submitSeq(be, b, next) })
+	}
+	base := alg.BaseBatch(0, TasksAtLevel(a, L))
+	steps = append(steps, func(next func()) { submitSeq(be, base, next) })
+	for l := L - 1; l >= 0; l-- {
+		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		steps = append(steps, func(next func()) { submitSeq(be, b, next) })
+	}
+
+	rep := Report{Algorithm: alg.Name(), Strategy: "seq-1cpu"}
 	start := be.Now()
+	done := make(chan struct{})
+	var canceled bool
+	runSeqCtx(ctx, steps, func(c bool) { canceled = c; close(done) })
+	awaitChain(be, done)
+	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
+}
+
+// RunSequential executes the algorithm on a single CPU core (the paper's
+// recursive baseline) and reports its makespan.
+func RunSequential(be Backend, alg Alg) Report {
+	rep, _ := RunSequentialCtx(context.Background(), be, alg)
+	return rep
+}
+
+// RunBreadthFirstCPUCtx executes the algorithm breadth-first on the CPU
+// only, using all p cores per level (the multi-core baseline), checking ctx
+// at every level boundary.
+func RunBreadthFirstCPUCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) (Report, error) {
+	cfg := NewRunConfig(opts...)
+	if cfg.Wrap != nil {
+		be = cfg.Wrap(be)
+	}
+	if err := checkOpen(be); err != nil {
+		return Report{}, err
+	}
 	L := alg.Levels()
 	a := alg.Arity()
 	var steps []step
@@ -100,50 +246,44 @@ func RunBreadthFirstCPU(be Backend, alg Alg) Report {
 		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
-	doneAll := false
-	runSeq(steps, func() { doneAll = true })
-	be.Wait()
-	if !doneAll {
-		panic("core: breadth-first execution did not complete")
-	}
-	finish(alg)
-	return Report{
-		Algorithm: alg.Name(),
-		Strategy:  "bf-cpu",
-		Seconds:   be.Now() - start,
-	}
-}
 
-// RunSequential executes the algorithm on a single CPU core (the paper's
-// recursive baseline) and reports its makespan.
-func RunSequential(be Backend, alg Alg) Report {
+	rep := Report{Algorithm: alg.Name(), Strategy: "bf-cpu"}
 	start := be.Now()
-	completed := false
-	RunRecursive(be, alg, func() { completed = true })
-	be.Wait()
-	if !completed {
-		panic("core: sequential execution did not complete")
-	}
-	finish(alg)
-	return Report{
-		Algorithm: alg.Name(),
-		Strategy:  "seq-1cpu",
-		Seconds:   be.Now() - start,
-	}
+	done := make(chan struct{})
+	var canceled bool
+	runSeqCtx(ctx, steps, func(c bool) { canceled = c; close(done) })
+	awaitChain(be, done)
+	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
 }
 
-// RunBasicHybrid executes the §5.1 basic work division: levels above the
+// RunBreadthFirstCPU executes the algorithm breadth-first on the CPU only,
+// using all p cores per level (the multi-core baseline).
+func RunBreadthFirstCPU(be Backend, alg Alg) Report {
+	rep, _ := RunBreadthFirstCPUCtx(context.Background(), be, alg)
+	return rep
+}
+
+// RunBasicHybridCtx executes the §5.1 basic work division: levels above the
 // crossover run on the CPU (full width), levels at and below it — including
 // the leaves — run on the GPU, with a single round trip across the link.
 // crossover is the level index i at which execution moves to the GPU; use
 // the model package's BasicCrossover to compute the paper's log_a(p/γ).
-func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report, error) {
+// ctx is checked at every level boundary; on cancellation the partial
+// Report's error wraps dcerr.ErrCanceled.
+func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover int, opts ...Option) (Report, error) {
+	cfg := NewRunConfig(opts...)
+	if cfg.Wrap != nil {
+		be = cfg.Wrap(be)
+	}
+	if err := checkOpen(be); err != nil {
+		return Report{}, err
+	}
 	L := alg.Levels()
 	if crossover < 0 || crossover > L {
-		return Report{}, fmt.Errorf("core: crossover level %d out of range [0,%d]", crossover, L)
+		return Report{}, fmt.Errorf("core: crossover level %d out of range [0,%d]: %w", crossover, L, dcerr.ErrBadLevel)
 	}
 	if be.GPU() == nil {
-		return Report{}, fmt.Errorf("core: backend has no GPU")
+		return Report{}, fmt.Errorf("core: %w", dcerr.ErrNoGPU)
 	}
 	a := alg.Arity()
 	x := crossover
@@ -164,7 +304,7 @@ func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report,
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
 	tr, _ := alg.(Transformable)
-	if opt.Coalesce && tr != nil {
+	if cfg.Coalesce && tr != nil {
 		b := tr.PermuteForGPU(L, 0, TasksAtLevel(a, L))
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
@@ -179,63 +319,69 @@ func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report,
 			be.GPU().Submit(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), next)
 		})
 	}
-	if opt.Coalesce && tr != nil {
+	if cfg.Coalesce && tr != nil {
 		steps = append(steps, func(next func()) {
 			be.GPU().Submit(tr.PermuteBack(x, 0, TasksAtLevel(a, x)), next)
 		})
 	}
 	steps = append(steps, func(next func()) { be.TransferToCPU(bytes, next) })
-	var gpuDone float64
-	steps = append(steps, func(next func()) { gpuDone = be.Now() - start; next() })
+	rep := Report{Algorithm: alg.Name(), Strategy: "basic-hybrid"}
+	steps = append(steps, func(next func()) { rep.GPUPortionSeconds = be.Now() - start; next() })
 	// Remaining combine levels on CPU.
 	for l := x - 1; l >= 0; l-- {
 		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
 
-	completed := false
-	runSeq(steps, func() { completed = true })
-	be.Wait()
-	if !completed {
-		panic("core: basic hybrid execution did not complete")
-	}
-	finish(alg)
-	return Report{
-		Algorithm:         alg.Name(),
-		Strategy:          "basic-hybrid",
-		Seconds:           be.Now() - start,
-		GPUPortionSeconds: gpuDone,
-	}, nil
+	done := make(chan struct{})
+	var canceled bool
+	runSeqCtx(ctx, steps, func(c bool) { canceled = c; close(done) })
+	awaitChain(be, done)
+	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
 }
 
-// RunAdvancedHybrid executes the §5.2 advanced work division (Algorithm 8).
-// At the split level the subproblems are partitioned α : (1−α); the CPU
-// solves its portion breadth-first while the GPU solves the rest bottom-up
-// through level prm.Y, hands it back (the second and last transfer), and the
-// CPU finishes everything above. CPU-side work of both chains shares the
-// same p cores, as in the paper's two-thread implementation.
-func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
+// RunBasicHybrid executes the §5.1 basic work division without cancellation.
+func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report, error) {
+	return RunBasicHybridCtx(context.Background(), be, alg, crossover, opt.AsOptions()...)
+}
+
+// RunAdvancedHybridCtx executes the §5.2 advanced work division
+// (Algorithm 8). At the split level the subproblems are partitioned
+// α : (1−α); the CPU solves its portion breadth-first while the GPU solves
+// the rest bottom-up through level y, hands it back (the second and last
+// transfer), and the CPU finishes everything above. CPU-side work of both
+// chains shares the same p cores, as in the paper's two-thread
+// implementation. The split level defaults to DefaultSplit; override it with
+// WithSplit. ctx is checked at every level boundary of all three chains.
+func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha float64, y int, opts ...Option) (Report, error) {
+	cfg := NewRunConfig(opts...)
+	if cfg.Wrap != nil {
+		be = cfg.Wrap(be)
+	}
+	if err := checkOpen(be); err != nil {
+		return Report{}, err
+	}
 	L := alg.Levels()
 	a := alg.Arity()
-	if prm.Alpha < 0 || prm.Alpha > 1 {
-		return Report{}, fmt.Errorf("core: alpha %g out of range [0,1]", prm.Alpha)
+	if alpha < 0 || alpha > 1 {
+		return Report{}, fmt.Errorf("core: alpha %g: %w", alpha, dcerr.ErrBadAlpha)
 	}
-	if prm.Y < 0 || prm.Y > L {
-		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]", prm.Y, L)
-	}
-	s := prm.Split
-	if s < 0 {
-		s = DefaultSplit(alg, be.CPU().Parallelism(), prm.Alpha, prm.Y)
-	}
-	if s > prm.Y {
-		return Report{}, fmt.Errorf("core: split level %d above transfer level %d", s, prm.Y)
+	if y < 0 || y > L {
+		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]: %w", y, L, dcerr.ErrBadLevel)
 	}
 	if be.GPU() == nil {
-		return Report{}, fmt.Errorf("core: backend has no GPU")
+		return Report{}, fmt.Errorf("core: %w", dcerr.ErrNoGPU)
+	}
+	s := DefaultSplit(alg, be.CPU().Parallelism(), alpha, y)
+	if cfg.SplitSet {
+		s = cfg.Split
+	}
+	if s > y {
+		return Report{}, fmt.Errorf("core: split level %d above transfer level %d: %w", s, y, dcerr.ErrBadLevel)
 	}
 
 	width := TasksAtLevel(a, s)
-	cCount := int(prm.Alpha*float64(width) + 0.5)
+	cCount := int(alpha*float64(width) + 0.5)
 	if cCount < 0 {
 		cCount = 0
 	}
@@ -288,7 +434,7 @@ func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) 
 			b := alg.GPUDivideBatch(l, lo, hi)
 			gpuChain = append(gpuChain, func(next func()) { be.GPU().Submit(b, next) })
 		}
-		if opt.Coalesce && tr != nil {
+		if cfg.Coalesce && tr != nil {
 			lo, hi := at(L, cCount, width)
 			b := tr.PermuteForGPU(L, lo, hi)
 			gpuChain = append(gpuChain, func(next func()) { be.GPU().Submit(b, next) })
@@ -297,24 +443,24 @@ func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) 
 			lo, hi := at(L, cCount, width)
 			be.GPU().Submit(alg.GPUBaseBatch(lo, hi), next)
 		})
-		for l := L - 1; l >= prm.Y; l-- {
+		for l := L - 1; l >= y; l-- {
 			l := l
 			gpuChain = append(gpuChain, func(next func()) {
 				lo, hi := at(l, cCount, width)
 				be.GPU().Submit(alg.GPUCombineBatch(l, lo, hi), next)
 			})
 		}
-		if opt.Coalesce && tr != nil {
+		if cfg.Coalesce && tr != nil {
 			gpuChain = append(gpuChain, func(next func()) {
-				lo, hi := at(prm.Y, cCount, width)
-				be.GPU().Submit(tr.PermuteBack(prm.Y, lo, hi), next)
+				lo, hi := at(y, cCount, width)
+				be.GPU().Submit(tr.PermuteBack(y, lo, hi), next)
 			})
 		}
 		gpuChain = append(gpuChain, func(next func()) { be.TransferToCPU(bytes, next) })
 		gpuChain = append(gpuChain, func(next func()) { gpuDeviceDone = be.Now(); next() })
 		// Above the transfer level the GPU portion continues on the CPU,
 		// competing with the CPU chain for cores, as in the paper.
-		for l := prm.Y - 1; l >= s; l-- {
+		for l := y - 1; l >= s; l-- {
 			l := l
 			gpuChain = append(gpuChain, func(next func()) {
 				lo, hi := at(l, cCount, width)
@@ -330,42 +476,67 @@ func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) 
 		tail = append(tail, func(next func()) { be.CPU().Submit(b, next) })
 	}
 
-	var rep Report
-	rep.Algorithm = alg.Name()
-	rep.Strategy = "advanced-hybrid"
-	completed := false
+	rep := Report{Algorithm: alg.Name(), Strategy: "advanced-hybrid"}
+	done := make(chan struct{})
+	var canceled bool
 
-	runSeq(top, func() {
+	runSeqCtx(ctx, top, func(c bool) {
+		if c {
+			canceled = true
+			close(done)
+			return
+		}
 		forkAt := be.Now()
+		var cpuCanceled, gpuCanceled bool
 		join := Join(2, func() {
-			runSeq(tail, func() { completed = true })
+			if cpuCanceled || gpuCanceled {
+				canceled = true
+				close(done)
+				return
+			}
+			runSeqCtx(ctx, tail, func(c bool) { canceled = c; close(done) })
 		})
-		runSeq(cpuChain, func() {
+		runSeqCtx(ctx, cpuChain, func(c bool) {
+			cpuCanceled = c
 			rep.CPUPortionSeconds = be.Now() - forkAt
 			join()
 		})
-		runSeq(gpuChain, func() {
+		runSeqCtx(ctx, gpuChain, func(c bool) {
+			gpuCanceled = c
 			if gpuDeviceDone >= forkAt {
 				rep.GPUPortionSeconds = gpuDeviceDone - forkAt
 			}
 			join()
 		})
 	})
-	be.Wait()
-	if !completed {
-		panic("core: advanced hybrid execution did not complete")
-	}
-	finish(alg)
-	rep.Seconds = be.Now() - start
-	return rep, nil
+	awaitChain(be, done)
+	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
 }
 
-// RunGPUOnly executes the whole algorithm breadth-first on the device (the
-// Fig 9 baseline). The report's GPUPortionSeconds excludes the two
-// host↔device transfers ("sort only" in the paper); Seconds includes them.
-func RunGPUOnly(be Backend, alg GPUAlg, opt Options) (Report, error) {
+// RunAdvancedHybrid executes the §5.2 advanced work division (Algorithm 8)
+// without cancellation, parameterized by the deprecated structs.
+func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
+	opts := opt.AsOptions()
+	if prm.Split >= 0 {
+		opts = append(opts, WithSplit(prm.Split))
+	}
+	return RunAdvancedHybridCtx(context.Background(), be, alg, prm.Alpha, prm.Y, opts...)
+}
+
+// RunGPUOnlyCtx executes the whole algorithm breadth-first on the device
+// (the Fig 9 baseline), checking ctx at every level boundary. The report's
+// GPUPortionSeconds excludes the two host↔device transfers ("sort only" in
+// the paper); Seconds includes them.
+func RunGPUOnlyCtx(ctx context.Context, be Backend, alg GPUAlg, opts ...Option) (Report, error) {
+	cfg := NewRunConfig(opts...)
+	if cfg.Wrap != nil {
+		be = cfg.Wrap(be)
+	}
+	if err := checkOpen(be); err != nil {
+		return Report{}, err
+	}
 	if be.GPU() == nil {
-		return Report{}, fmt.Errorf("core: backend has no GPU")
+		return Report{}, fmt.Errorf("core: %w", dcerr.ErrNoGPU)
 	}
 	L := alg.Levels()
 	a := alg.Arity()
@@ -380,7 +551,7 @@ func RunGPUOnly(be Backend, alg GPUAlg, opt Options) (Report, error) {
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
 	tr, _ := alg.(Transformable)
-	if opt.Coalesce && tr != nil {
+	if cfg.Coalesce && tr != nil {
 		b := tr.PermuteForGPU(L, 0, TasksAtLevel(a, L))
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
@@ -393,26 +564,24 @@ func RunGPUOnly(be Backend, alg GPUAlg, opt Options) (Report, error) {
 			be.GPU().Submit(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), next)
 		})
 	}
-	if opt.Coalesce && tr != nil {
+	if cfg.Coalesce && tr != nil {
 		steps = append(steps, func(next func()) {
 			be.GPU().Submit(tr.PermuteBack(0, 0, 1), next)
 		})
 	}
-	var devEnd float64
-	steps = append(steps, func(next func()) { devEnd = be.Now(); next() })
+	rep := Report{Algorithm: alg.Name(), Strategy: "gpu-only"}
+	steps = append(steps, func(next func()) { rep.GPUPortionSeconds = be.Now() - devStart; next() })
 	steps = append(steps, func(next func()) { be.TransferToCPU(bytes, next) })
 
-	completed := false
-	runSeq(steps, func() { completed = true })
-	be.Wait()
-	if !completed {
-		panic("core: gpu-only execution did not complete")
-	}
-	finish(alg)
-	return Report{
-		Algorithm:         alg.Name(),
-		Strategy:          "gpu-only",
-		Seconds:           be.Now() - start,
-		GPUPortionSeconds: devEnd - devStart,
-	}, nil
+	done := make(chan struct{})
+	var canceled bool
+	runSeqCtx(ctx, steps, func(c bool) { canceled = c; close(done) })
+	awaitChain(be, done)
+	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
+}
+
+// RunGPUOnly executes the whole algorithm on the device without
+// cancellation.
+func RunGPUOnly(be Backend, alg GPUAlg, opt Options) (Report, error) {
+	return RunGPUOnlyCtx(context.Background(), be, alg, opt.AsOptions()...)
 }

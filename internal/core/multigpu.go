@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/dcerr"
 )
 
 // MultiGPUBackend is a Backend with several GPU devices (the §3.2 extension
@@ -22,22 +24,22 @@ type MultiGPUBackend interface {
 func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
 	devices := be.GPUs()
 	if len(devices) == 0 {
-		return Report{}, fmt.Errorf("core: backend has no GPUs")
+		return Report{}, fmt.Errorf("core: %w (multi-GPU strategy)", dcerr.ErrNoGPU)
 	}
 	L := alg.Levels()
 	a := alg.Arity()
 	if prm.Alpha < 0 || prm.Alpha > 1 {
-		return Report{}, fmt.Errorf("core: alpha %g out of range [0,1]", prm.Alpha)
+		return Report{}, fmt.Errorf("core: alpha %g: %w", prm.Alpha, dcerr.ErrBadAlpha)
 	}
 	if prm.Y < 0 || prm.Y > L {
-		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]", prm.Y, L)
+		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]: %w", prm.Y, L, dcerr.ErrBadLevel)
 	}
 	s := prm.Split
 	if s < 0 {
 		s = DefaultSplit(alg, be.CPU().Parallelism(), prm.Alpha, prm.Y)
 	}
 	if s > prm.Y {
-		return Report{}, fmt.Errorf("core: split level %d above transfer level %d", s, prm.Y)
+		return Report{}, fmt.Errorf("core: split level %d above transfer level %d: %w", s, prm.Y, dcerr.ErrBadLevel)
 	}
 
 	width := TasksAtLevel(a, s)

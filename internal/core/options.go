@@ -1,0 +1,101 @@
+package core
+
+// RunConfig is the resolved form of a list of Options: the per-run knobs
+// shared by every executor. Construct it with NewRunConfig; zero values mean
+// "default".
+type RunConfig struct {
+	// Coalesce applies the §6.3 memory-layout transformation around the
+	// GPU-resident phase when the algorithm implements Transformable.
+	Coalesce bool
+	// Split is the advanced division's split level; meaningful only when
+	// SplitSet is true, otherwise DefaultSplit is used.
+	Split    int
+	SplitSet bool
+	// Priority is the scheduling weight used by serving layers (higher is
+	// dispatched sooner under contention). Direct executors ignore it.
+	Priority int
+	// Wrap, if non-nil, substitutes the backend the executor drives — the
+	// hook used by tracing and other instrumentation layers.
+	Wrap func(Backend) Backend
+	// Observe, if non-nil, runs on the final Report before the executor
+	// returns (after a partial, canceled run too).
+	Observe func(*Report)
+}
+
+// Option configures a single execution. Options are accepted by the
+// context-aware executors (RunSequentialCtx, RunBasicHybridCtx,
+// RunAdvancedHybridCtx, RunGPUOnlyCtx) and by the serving layer's Submit.
+type Option func(*RunConfig)
+
+// NewRunConfig resolves a list of options. Nil options are ignored.
+func NewRunConfig(opts ...Option) RunConfig {
+	c := RunConfig{Priority: 1}
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithCoalesce enables the §6.3 coalescing layout transformation around the
+// device-resident phase (a no-op for algorithms that are not Transformable).
+func WithCoalesce() Option {
+	return func(c *RunConfig) { c.Coalesce = true }
+}
+
+// WithSplit pins the advanced division's split level (Algorithm 8's
+// threshold level) instead of deriving it with DefaultSplit. A negative s
+// restores the default.
+func WithSplit(s int) Option {
+	return func(c *RunConfig) {
+		if s < 0 {
+			c.SplitSet = false
+			return
+		}
+		c.Split, c.SplitSet = s, true
+	}
+}
+
+// WithPriority sets the job's scheduling weight for serving layers; weights
+// below 1 are clamped to 1. Direct executors ignore it.
+func WithPriority(w int) Option {
+	return func(c *RunConfig) {
+		if w < 1 {
+			w = 1
+		}
+		c.Priority = w
+	}
+}
+
+// WithBackendWrapper substitutes the backend seen by the executor; tracing
+// uses this to interpose span recording on every Submit and transfer.
+func WithBackendWrapper(wrap func(Backend) Backend) Option {
+	return func(c *RunConfig) { c.Wrap = wrap }
+}
+
+// WithObserver registers f to run on the final Report before the executor
+// returns. Multiple observers chain in registration order.
+func WithObserver(f func(*Report)) Option {
+	return func(c *RunConfig) {
+		if f == nil {
+			return
+		}
+		prev := c.Observe
+		c.Observe = func(r *Report) {
+			if prev != nil {
+				prev(r)
+			}
+			f(r)
+		}
+	}
+}
+
+// AsOptions converts the deprecated Options struct to the functional form.
+func (o Options) AsOptions() []Option {
+	var opts []Option
+	if o.Coalesce {
+		opts = append(opts, WithCoalesce())
+	}
+	return opts
+}

@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	. "repro/internal/core"
+	"repro/internal/hpu"
+)
+
+func TestRunConfigDefaults(t *testing.T) {
+	c := NewRunConfig()
+	if c.Coalesce || c.SplitSet || c.Wrap != nil || c.Observe != nil {
+		t.Errorf("zero options resolved to non-default config %+v", c)
+	}
+	if c.Priority != 1 {
+		t.Errorf("default priority = %d, want 1", c.Priority)
+	}
+}
+
+func TestWithPriorityClamp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{-3, 1}, {0, 1}, {1, 1}, {7, 7}} {
+		if got := NewRunConfig(WithPriority(tc.in)).Priority; got != tc.want {
+			t.Errorf("WithPriority(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWithSplitNegativeRestoresDefault(t *testing.T) {
+	c := NewRunConfig(WithSplit(3))
+	if !c.SplitSet || c.Split != 3 {
+		t.Errorf("WithSplit(3) = %+v", c)
+	}
+	c = NewRunConfig(WithSplit(3), WithSplit(-1))
+	if c.SplitSet {
+		t.Errorf("WithSplit(-1) did not restore the default: %+v", c)
+	}
+}
+
+func TestWithObserverChains(t *testing.T) {
+	var order []string
+	c := NewRunConfig(
+		WithObserver(func(*Report) { order = append(order, "first") }),
+		WithObserver(nil),
+		WithObserver(func(*Report) { order = append(order, "second") }),
+	)
+	c.Observe(&Report{})
+	if want := []string{"first", "second"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("observers ran as %v, want %v", order, want)
+	}
+}
+
+func TestOptionsAsOptions(t *testing.T) {
+	if c := NewRunConfig(Options{Coalesce: true}.AsOptions()...); !c.Coalesce {
+		t.Error("Options{Coalesce: true}.AsOptions() lost the flag")
+	}
+	if c := NewRunConfig(Options{}.AsOptions()...); c.Coalesce {
+		t.Error("Options{}.AsOptions() set Coalesce")
+	}
+}
+
+// TestAdvancedParamsEquivalence asserts the deprecated struct form and the
+// functional-option form drive identical executions: same batch sequence on
+// the deterministic simulator, same virtual makespan.
+func TestAdvancedParamsEquivalence(t *testing.T) {
+	old := newProbe(2, 6)
+	repOld, err := RunAdvancedHybrid(hpu.MustSim(hpu.HPU1()), old,
+		AdvancedParams{Alpha: 0.3, Y: 4, Split: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu := newProbe(2, 6)
+	repNew, err := RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), nu,
+		0.3, 4, WithSplit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repOld.Seconds != repNew.Seconds {
+		t.Errorf("makespans differ: struct form %g, option form %g", repOld.Seconds, repNew.Seconds)
+	}
+	if !reflect.DeepEqual(old.events, nu.events) {
+		t.Errorf("batch sequences differ:\nstruct form %v\noption form %v", old.events, nu.events)
+	}
+}
+
+// TestWithBackendWrapper asserts the wrapper substitutes the backend the
+// executor drives.
+func TestWithBackendWrapper(t *testing.T) {
+	wrapped := false
+	be := hpu.MustSim(hpu.HPU1())
+	_, err := RunSequentialCtx(context.Background(), be, newProbe(2, 3),
+		WithBackendWrapper(func(inner Backend) Backend {
+			wrapped = true
+			return inner
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wrapped {
+		t.Error("backend wrapper never ran")
+	}
+}

@@ -1,0 +1,66 @@
+// Package dcerr defines the framework's error taxonomy: a small set of
+// sentinel errors that every public constructor and executor wraps with %w,
+// so callers can classify failures with errors.Is regardless of which
+// package produced them.
+//
+// The taxonomy groups errors by what the caller can do about them:
+//
+//   - Input-shape errors (ErrNotPowerOfTwo, ErrBadShape): the instance data
+//     cannot be expressed as the required recursion tree — fix the input.
+//   - Parameter errors (ErrBadAlpha, ErrBadLevel, ErrBadParam): a planner or
+//     caller supplied an out-of-range tuning value — fix the configuration.
+//   - Capability errors (ErrNoGPU): the chosen strategy needs a unit the
+//     backend does not have — pick another strategy or backend.
+//   - Lifecycle errors (ErrQueueFull, ErrCanceled, ErrBackendClosed,
+//     ErrServerClosed): a runtime condition of the serving layer — retry,
+//     shed load, or shut down cleanly.
+//
+// dcerr imports nothing from the rest of the module, so every layer (core,
+// backends, algorithms, the serving layer, the public facade) can depend on
+// it without cycles.
+package dcerr
+
+import "errors"
+
+// Input-shape errors.
+var (
+	// ErrNotPowerOfTwo reports an instance whose size is not a power of two
+	// of at least 2, required by the uniform-recursion algorithms.
+	ErrNotPowerOfTwo = errors.New("input size is not a power of two >= 2")
+	// ErrBadShape reports structurally invalid instance data other than the
+	// power-of-two requirement (mismatched operand lengths, undersized
+	// inputs, out-of-range recursion depths).
+	ErrBadShape = errors.New("invalid instance shape")
+)
+
+// Parameter errors.
+var (
+	// ErrBadAlpha reports a CPU work fraction α outside [0, 1].
+	ErrBadAlpha = errors.New("alpha out of range [0,1]")
+	// ErrBadLevel reports a level parameter (transfer level y, split level,
+	// or crossover) outside the recursion tree.
+	ErrBadLevel = errors.New("level out of range")
+	// ErrBadParam reports an invalid machine, platform, or model parameter.
+	ErrBadParam = errors.New("invalid parameter")
+)
+
+// Capability errors.
+var (
+	// ErrNoGPU reports a hybrid or GPU-only strategy on a CPU-only backend.
+	ErrNoGPU = errors.New("backend has no GPU")
+)
+
+// Lifecycle errors.
+var (
+	// ErrQueueFull reports that a job server's bounded admission queue
+	// rejected a submission; the caller should shed load or retry later.
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrCanceled reports an execution stopped at a level boundary because
+	// its context was canceled or its deadline expired; the accompanying
+	// Report is partial.
+	ErrCanceled = errors.New("execution canceled")
+	// ErrBackendClosed reports an operation on a backend after Close.
+	ErrBackendClosed = errors.New("backend closed")
+	// ErrServerClosed reports a submission to a server after Close.
+	ErrServerClosed = errors.New("server closed")
+)

@@ -11,6 +11,8 @@ import (
 	"repro/internal/simcpu"
 	"repro/internal/simgpu"
 	"repro/internal/vtime"
+
+	"repro/internal/dcerr"
 )
 
 // LinkParams describes the host↔device interconnect. Transferring w bytes
@@ -24,8 +26,8 @@ type LinkParams struct {
 // Validate reports whether the parameters are usable.
 func (l LinkParams) Validate() error {
 	if l.LatencySec < 0 || l.SecPerByte < 0 {
-		return fmt.Errorf("hpu: link parameters must be nonnegative, got λ=%g δ=%g",
-			l.LatencySec, l.SecPerByte)
+		return fmt.Errorf("hpu: link parameters must be nonnegative, got λ=%g δ=%g: %w",
+			l.LatencySec, l.SecPerByte, dcerr.ErrBadParam)
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"repro/internal/simcpu"
 	"repro/internal/simgpu"
 	"repro/internal/vtime"
+
+	"repro/internal/dcerr"
 )
 
 // MultiSim is a simulated HPU with several identical GPU devices sharing one
@@ -32,7 +34,7 @@ func NewMultiSim(p Platform, devices int) (*MultiSim, error) {
 		return nil, err
 	}
 	if devices < 1 {
-		return nil, fmt.Errorf("hpu: need at least one device, got %d", devices)
+		return nil, fmt.Errorf("hpu: need at least one device, got %d: %w", devices, dcerr.ErrBadParam)
 	}
 	eng := vtime.New()
 	cpu, err := simcpu.New(eng, p.CPU)

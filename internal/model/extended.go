@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/dcerr"
 )
 
 // ExtendedParams augment the abstract HPU model with the costs §7 of the
@@ -41,19 +43,19 @@ type ExtendedParams struct {
 // Validate reports whether the parameters are usable.
 func (p ExtendedParams) Validate() error {
 	if p.CoreRate <= 0 || p.MemBW <= 0 {
-		return fmt.Errorf("model: extended rates must be positive, got R=%g B=%g", p.CoreRate, p.MemBW)
+		return fmt.Errorf("model: extended rates must be positive, got R=%g B=%g: %w", p.CoreRate, p.MemBW, dcerr.ErrBadParam)
 	}
 	if p.LLCBytes <= 0 {
-		return fmt.Errorf("model: LLCBytes must be positive, got %d", p.LLCBytes)
+		return fmt.Errorf("model: LLCBytes must be positive, got %d: %w", p.LLCBytes, dcerr.ErrBadParam)
 	}
 	if p.HideFactor < 1 {
-		return fmt.Errorf("model: HideFactor must be >= 1, got %g", p.HideFactor)
+		return fmt.Errorf("model: HideFactor must be >= 1, got %g: %w", p.HideFactor, dcerr.ErrBadParam)
 	}
 	if p.BytesPerSize < 0 || p.TransferBytesPerSize < 0 {
-		return fmt.Errorf("model: byte factors must be nonnegative")
+		return fmt.Errorf("model: byte factors must be nonnegative: %w", dcerr.ErrBadParam)
 	}
 	if p.LaunchSec < 0 || p.DispatchSec < 0 || p.LinkLatencySec < 0 || p.LinkSecPerByte < 0 {
-		return fmt.Errorf("model: overheads must be nonnegative")
+		return fmt.Errorf("model: overheads must be nonnegative: %w", dcerr.ErrBadParam)
 	}
 	return nil
 }
@@ -139,10 +141,10 @@ type PredictionSec struct {
 func (e Extended) PredictAdvancedSeconds(alpha float64, y, s int) (PredictionSec, error) {
 	n := e.Num
 	if alpha < 0 || alpha > 1 {
-		return PredictionSec{}, fmt.Errorf("model: alpha %g out of range [0,1]", alpha)
+		return PredictionSec{}, fmt.Errorf("model: alpha %g: %w", alpha, dcerr.ErrBadAlpha)
 	}
 	if y < 0 || y > n.L || s < 0 || s > y {
-		return PredictionSec{}, fmt.Errorf("model: invalid levels y=%d s=%d (L=%d)", y, s, n.L)
+		return PredictionSec{}, fmt.Errorf("model: invalid levels y=%d s=%d (L=%d): %w", y, s, n.L, dcerr.ErrBadLevel)
 	}
 	width := n.tasks(s)
 	cCount := math.Round(alpha * width)

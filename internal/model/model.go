@@ -17,6 +17,8 @@ package model
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/dcerr"
 )
 
 // Machine is the HPU parameter triple of Table 2.
@@ -32,13 +34,13 @@ type Machine struct {
 // Validate reports whether the machine parameters are usable.
 func (m Machine) Validate() error {
 	if m.P <= 0 {
-		return fmt.Errorf("model: P must be positive, got %d", m.P)
+		return fmt.Errorf("model: P must be positive, got %d: %w", m.P, dcerr.ErrBadParam)
 	}
 	if m.G <= 0 {
-		return fmt.Errorf("model: G must be positive, got %d", m.G)
+		return fmt.Errorf("model: G must be positive, got %d: %w", m.G, dcerr.ErrBadParam)
 	}
 	if m.Gamma <= 0 || m.Gamma >= 1 {
-		return fmt.Errorf("model: Gamma must be in (0,1), got %g", m.Gamma)
+		return fmt.Errorf("model: Gamma must be in (0,1), got %g: %w", m.Gamma, dcerr.ErrBadParam)
 	}
 	return nil
 }
@@ -69,10 +71,10 @@ type Poly struct {
 // NewPoly validates and builds a closed-form model.
 func NewPoly(a, b int, n float64, mach Machine) (Poly, error) {
 	if a < 2 || b < 2 {
-		return Poly{}, fmt.Errorf("model: recurrence needs a,b >= 2, got a=%d b=%d", a, b)
+		return Poly{}, fmt.Errorf("model: recurrence needs a,b >= 2, got a=%d b=%d: %w", a, b, dcerr.ErrBadParam)
 	}
 	if n < float64(b) {
-		return Poly{}, fmt.Errorf("model: input size %g smaller than b=%d", n, b)
+		return Poly{}, fmt.Errorf("model: input size %g smaller than b=%d: %w", n, b, dcerr.ErrBadParam)
 	}
 	if err := mach.Validate(); err != nil {
 		return Poly{}, err

@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/dcerr"
 )
 
 // Numeric is the level-by-level model for an arbitrary divide-and-conquer
@@ -28,16 +30,16 @@ type Numeric struct {
 // NewNumeric validates and builds a numeric model for n = b^levels.
 func NewNumeric(a, b, levels int, f func(float64) float64, leaf float64, mach Machine) (Numeric, error) {
 	if a < 2 || b < 2 {
-		return Numeric{}, fmt.Errorf("model: recurrence needs a,b >= 2, got a=%d b=%d", a, b)
+		return Numeric{}, fmt.Errorf("model: recurrence needs a,b >= 2, got a=%d b=%d: %w", a, b, dcerr.ErrBadParam)
 	}
 	if levels < 1 {
-		return Numeric{}, fmt.Errorf("model: need at least one level, got %d", levels)
+		return Numeric{}, fmt.Errorf("model: need at least one level, got %d: %w", levels, dcerr.ErrBadParam)
 	}
 	if f == nil {
-		return Numeric{}, fmt.Errorf("model: nil cost function")
+		return Numeric{}, fmt.Errorf("model: nil cost function: %w", dcerr.ErrBadParam)
 	}
 	if leaf < 0 {
-		return Numeric{}, fmt.Errorf("model: negative leaf cost %g", leaf)
+		return Numeric{}, fmt.Errorf("model: negative leaf cost %g: %w", leaf, dcerr.ErrBadParam)
 	}
 	if err := mach.Validate(); err != nil {
 		return Numeric{}, err
@@ -104,13 +106,13 @@ type Prediction struct {
 // core.RunAdvancedHybrid.
 func (m Numeric) PredictAdvanced(alpha float64, y, s int) (Prediction, error) {
 	if alpha < 0 || alpha > 1 {
-		return Prediction{}, fmt.Errorf("model: alpha %g out of range [0,1]", alpha)
+		return Prediction{}, fmt.Errorf("model: alpha %g: %w", alpha, dcerr.ErrBadAlpha)
 	}
 	if y < 0 || y > m.L {
-		return Prediction{}, fmt.Errorf("model: transfer level %d out of range [0,%d]", y, m.L)
+		return Prediction{}, fmt.Errorf("model: transfer level %d out of range [0,%d]: %w", y, m.L, dcerr.ErrBadLevel)
 	}
 	if s < 0 || s > y {
-		return Prediction{}, fmt.Errorf("model: split level %d out of range [0,%d]", s, y)
+		return Prediction{}, fmt.Errorf("model: split level %d out of range [0,%d]: %w", s, y, dcerr.ErrBadLevel)
 	}
 	width := m.tasks(s)
 	cCount := math.Round(alpha * width)
@@ -155,7 +157,7 @@ func (m Numeric) PredictAdvanced(alpha float64, y, s int) (Prediction, error) {
 // levels at and below the crossover.
 func (m Numeric) PredictBasic(crossover int) (float64, error) {
 	if crossover < 0 || crossover > m.L {
-		return 0, fmt.Errorf("model: crossover %d out of range [0,%d]", crossover, m.L)
+		return 0, fmt.Errorf("model: crossover %d out of range [0,%d]: %w", crossover, m.L, dcerr.ErrBadLevel)
 	}
 	var t float64
 	for i := 0; i < crossover; i++ {

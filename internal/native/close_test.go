@@ -1,0 +1,117 @@
+package native
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcerr"
+)
+
+func TestCloseIdempotent(t *testing.T) {
+	b, err := New(Config{CPUWorkers: 2, DeviceLanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Closed() {
+		t.Error("backend reports closed before Close")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if !b.Closed() {
+		t.Error("backend does not report closed after Close")
+	}
+	// Subsequent Closes must return the typed error, not deadlock or panic
+	// on a double channel close.
+	for i := 0; i < 3; i++ {
+		if err := b.Close(); !errors.Is(err, dcerr.ErrBackendClosed) {
+			t.Fatalf("Close #%d: error %v does not unwrap to ErrBackendClosed", i+2, err)
+		}
+	}
+}
+
+// TestSubmitAfterCloseUnwinds submits directly to a closed pool: the work is
+// dropped but the completion callback still fires, so an in-flight chain
+// unwinds instead of deadlocking Wait.
+func TestSubmitAfterCloseUnwinds(t *testing.T) {
+	b, err := New(Config{CPUWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ran := false
+	done := make(chan struct{})
+	b.CPU().Submit(core.Batch{
+		Tasks: 4,
+		Cost:  core.Cost{Ops: 1},
+		Run:   func(int) { ran = true },
+	}, func() { close(done) })
+
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("completion callback never fired on a closed pool")
+	}
+	if ran {
+		t.Error("closed pool still executed the dropped batch")
+	}
+	waitDone := make(chan struct{})
+	go func() { b.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait deadlocked after submit-to-closed-pool")
+	}
+}
+
+// TestCloseRacesSubmit closes the backend while another goroutine floods it
+// with batches; under -race this verifies the pool's close/send guard.
+func TestCloseRacesSubmit(t *testing.T) {
+	b, err := New(Config{CPUWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	flooded := make(chan struct{})
+	go func() {
+		defer close(flooded)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fired := make(chan struct{})
+			b.CPU().Submit(core.Batch{Tasks: 3, Cost: core.Cost{Ops: 1}, Run: func(int) {}},
+				func() { close(fired) })
+			<-fired
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	select {
+	case <-flooded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("submitter hung after Close: a completion was lost")
+	}
+}
+
+func TestAutonomous(t *testing.T) {
+	b := newBackend(t, Config{CPUWorkers: 1})
+	var be core.Backend = b
+	a, ok := be.(core.Autonomous)
+	if !ok || !a.Autonomous() {
+		t.Error("native backend does not report itself Autonomous")
+	}
+	if _, ok := be.(core.Closer); !ok {
+		t.Error("native backend does not implement core.Closer")
+	}
+}

@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // Config describes a native backend.
@@ -43,6 +46,7 @@ type Backend struct {
 	gpu     *pool
 	start   time.Time
 	pending sync.WaitGroup
+	closed  atomic.Bool
 }
 
 var _ core.Backend = (*Backend)(nil)
@@ -53,13 +57,13 @@ func New(cfg Config) (*Backend, error) {
 		cfg.CPUWorkers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.DeviceLanes < 0 {
-		return nil, fmt.Errorf("native: negative DeviceLanes %d", cfg.DeviceLanes)
+		return nil, fmt.Errorf("native: negative DeviceLanes %d: %w", cfg.DeviceLanes, dcerr.ErrBadParam)
 	}
 	if cfg.Gamma == 0 {
 		cfg.Gamma = 1.0 / 16
 	}
 	if cfg.Gamma < 0 || cfg.Gamma >= 1 {
-		return nil, fmt.Errorf("native: Gamma must be in (0,1), got %g", cfg.Gamma)
+		return nil, fmt.Errorf("native: Gamma must be in (0,1), got %g: %w", cfg.Gamma, dcerr.ErrBadParam)
 	}
 	b := &Backend{cfg: cfg, start: time.Now()}
 	b.cpu = newPool(cfg.CPUWorkers, &b.pending)
@@ -69,13 +73,30 @@ func New(cfg Config) (*Backend, error) {
 	return b, nil
 }
 
-// Close stops the worker pools. The backend must be idle.
-func (b *Backend) Close() {
+// Close stops the worker pools. The backend must be idle. Close is
+// idempotent: the first call returns nil, every later call returns an error
+// wrapping dcerr.ErrBackendClosed. Work submitted after Close is not
+// executed; its completion callbacks fire immediately so chains unwind
+// instead of deadlocking (executors guard with Closed first).
+func (b *Backend) Close() error {
+	if b.closed.Swap(true) {
+		return fmt.Errorf("native: %w", dcerr.ErrBackendClosed)
+	}
 	b.cpu.close()
 	if b.gpu != nil {
 		b.gpu.close()
 	}
+	return nil
 }
+
+// Closed reports whether Close has been called. It implements core.Closer,
+// so executors and the serving layer refuse new work with ErrBackendClosed.
+func (b *Backend) Closed() bool { return b.closed.Load() }
+
+// Autonomous implements core.Autonomous: submitted work progresses on the
+// pools' own goroutines, so concurrent runs sharing this backend complete
+// independently without driving Wait.
+func (b *Backend) Autonomous() bool { return true }
 
 // CPU implements core.Backend.
 func (b *Backend) CPU() core.LevelExecutor { return b.cpu }
@@ -128,7 +149,10 @@ type pool struct {
 	workers int
 	tasks   chan func()
 	pending *sync.WaitGroup
-	stop    sync.Once
+	// mu guards closed against the channel close: senders hold it shared,
+	// close holds it exclusively, so a send never races the close.
+	mu     sync.RWMutex
+	closed bool
 }
 
 var _ core.LevelExecutor = (*pool)(nil)
@@ -150,7 +174,39 @@ func newPool(workers int, pending *sync.WaitGroup) *pool {
 }
 
 func (p *pool) close() {
-	p.stop.Do(func() { close(p.tasks) })
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+}
+
+// send enqueues a chunk, never blocking the caller (which may be a worker
+// goroutine running a chained completion). If the pool is or becomes closed
+// before the chunk can be enqueued, abort runs instead so the submitter's
+// completion accounting still unwinds.
+func (p *pool) send(chunk, abort func()) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		abort()
+		return
+	}
+	select {
+	case p.tasks <- chunk:
+	default:
+		go func() {
+			p.mu.RLock()
+			defer p.mu.RUnlock()
+			if p.closed {
+				abort()
+				return
+			}
+			p.tasks <- chunk
+		}()
+	}
 }
 
 // Parallelism implements core.LevelExecutor.
@@ -201,12 +257,8 @@ func (p *pool) Submit(b core.Batch, done func()) {
 			}
 			finish()
 		}
-		// Submit may run on a worker goroutine (chained completions); never
-		// block it on a full queue, or the pool could deadlock.
-		select {
-		case p.tasks <- chunk:
-		default:
-			go func() { p.tasks <- chunk }()
-		}
+		// On a closed pool the chunk's work is dropped but finish still
+		// runs, so the chain unwinds instead of deadlocking Wait.
+		p.send(chunk, finish)
 	}
 }

@@ -16,7 +16,7 @@ func newBackend(t *testing.T, cfg Config) *Backend {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(b.Close)
+	t.Cleanup(func() { b.Close() })
 	return b
 }
 

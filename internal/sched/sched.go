@@ -15,6 +15,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+
+	"repro/internal/dcerr"
 )
 
 // RunDynamicHybrid executes the algorithm breadth-first; at every base and
@@ -24,7 +26,7 @@ import (
 // CPU.
 func RunDynamicHybrid(be core.Backend, alg core.GPUAlg) (core.Report, error) {
 	if be.GPU() == nil {
-		return core.Report{}, fmt.Errorf("sched: backend has no GPU")
+		return core.Report{}, fmt.Errorf("sched: %w", dcerr.ErrNoGPU)
 	}
 	L := alg.Levels()
 	a := alg.Arity()

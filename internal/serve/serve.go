@@ -1,0 +1,422 @@
+// Package serve multiplexes many concurrent divide-and-conquer jobs over a
+// single shared backend. The paper's executors (Algorithms 3/8, §5) run one
+// job to completion on a dedicated HPU; a production deployment instead sees
+// a stream of jobs of mixed sizes competing for the same CPU+GPU pair, so
+// the serving layer adds what the single-run model leaves out: bounded
+// admission with backpressure, per-job context cancellation and deadlines,
+// and a weighted-fair dispatch order so one large mergesort cannot starve a
+// queue of small scans.
+//
+// Admission is a bounded queue: Submit returns an error wrapping
+// dcerr.ErrQueueFull once QueueDepth jobs are waiting, pushing load shedding
+// to the caller. Dispatch is stride scheduling over the job weights set with
+// core.WithPriority: each queued job receives a virtual finish tag
+// pass + 1/weight, and the dispatcher always starts the smallest tag, which
+// degrades to strict FIFO when all weights are equal and approaches
+// weight-proportional service under contention while remaining
+// starvation-free. Execution itself reuses the context-aware executors of
+// internal/core, so a canceled job stops at its next level boundary and
+// yields a partial core.Report.
+//
+// Backends that are not core.Autonomous (the virtual-time simulator, whose
+// event engine is single-goroutine) are driven with at most one job in
+// flight; real-goroutine backends interleave up to MaxInFlight jobs, whose
+// level batches then compete for the backend's worker pools.
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcerr"
+	"repro/internal/trace"
+)
+
+// Strategy selects which executor a job runs under.
+type Strategy int
+
+const (
+	// Sequential runs the single-core recursive baseline.
+	Sequential Strategy = iota
+	// BreadthFirstCPU runs level-parallel on the CPU only.
+	BreadthFirstCPU
+	// BasicHybrid runs the §5.1 basic work division (needs a GPUAlg and a
+	// backend with a GPU).
+	BasicHybrid
+	// AdvancedHybrid runs the §5.2 advanced work division (needs a GPUAlg
+	// and a backend with a GPU).
+	AdvancedHybrid
+	// GPUOnly runs everything on the device.
+	GPUOnly
+)
+
+// String returns the strategy's report name.
+func (s Strategy) String() string {
+	switch s {
+	case Sequential:
+		return "seq-1cpu"
+	case BreadthFirstCPU:
+		return "bf-cpu"
+	case BasicHybrid:
+		return "basic-hybrid"
+	case AdvancedHybrid:
+		return "advanced-hybrid"
+	case GPUOnly:
+		return "gpu-only"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Job describes one divide-and-conquer job.
+type Job struct {
+	// Alg is the instance to solve. For BasicHybrid, AdvancedHybrid and
+	// GPUOnly it must implement core.GPUAlg.
+	Alg core.Alg
+	// Strategy selects the executor.
+	Strategy Strategy
+	// Alpha and Y parameterize AdvancedHybrid (the §5.2 α and transfer
+	// level).
+	Alpha float64
+	Y     int
+	// Crossover parameterizes BasicHybrid (the §5.1 switch level).
+	Crossover int
+	// Opts are per-job execution options (core.WithCoalesce,
+	// core.WithSplit, core.WithPriority, ...). Options passed to Submit are
+	// appended after these.
+	Opts []core.Option
+}
+
+// Config describes a Server.
+type Config struct {
+	// Backend is the shared execution platform. Required.
+	Backend core.Backend
+	// QueueDepth bounds the admission queue; Submit rejects with
+	// ErrQueueFull beyond it. Defaults to 64.
+	QueueDepth int
+	// MaxInFlight bounds how many jobs execute concurrently on the backend.
+	// Defaults to 4. Clamped to 1 when the backend is not core.Autonomous
+	// (the single-goroutine simulator).
+	MaxInFlight int
+	// Trace, if non-nil, records one "queue" and one "job" span per job.
+	Trace *trace.Recorder
+}
+
+// Stats is a point-in-time snapshot of the server's aggregate counters.
+type Stats struct {
+	// Submitted counts accepted submissions; Rejected counts queue-full
+	// rejections (not included in Submitted).
+	Submitted, Rejected uint64
+	// Completed, Canceled and Failed partition finished jobs: clean runs,
+	// runs that stopped on a canceled context (including expired deadlines
+	// and cancellations while still queued), and runs whose executor
+	// returned any other error.
+	Completed, Canceled, Failed uint64
+	// QueueDepth and InFlight are current occupancies; MaxQueueDepth is the
+	// high-water mark of the admission queue.
+	QueueDepth, InFlight, MaxQueueDepth int
+	// AvgQueueWaitSeconds is the mean wall-clock time dispatched jobs spent
+	// queued.
+	AvgQueueWaitSeconds float64
+	// BusySeconds is total wall-clock execution time across finished jobs
+	// (virtual seconds on a simulated backend).
+	BusySeconds float64
+}
+
+// Handle tracks one submitted job.
+type Handle struct {
+	// ID is the server-assigned submission sequence number.
+	ID   uint64
+	done chan struct{}
+
+	// Written exactly once before done is closed.
+	rep       core.Report
+	err       error
+	queueWait float64
+}
+
+// Done returns a channel closed when the job has finished (successfully,
+// canceled, or failed).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Report blocks until the job finishes and returns its Report and error.
+// On cancellation the error wraps dcerr.ErrCanceled and the Report is
+// partial.
+func (h *Handle) Report() (core.Report, error) {
+	<-h.done
+	return h.rep, h.err
+}
+
+// QueueWaitSeconds reports how long the job waited for dispatch; valid after
+// Done is closed.
+func (h *Handle) QueueWaitSeconds() float64 {
+	<-h.done
+	return h.queueWait
+}
+
+// queued is one admission-queue entry.
+type queued struct {
+	h       *Handle
+	ctx     context.Context
+	job     Job
+	opts    []core.Option
+	vfinish float64
+	seq     uint64
+	wallIn  time.Time
+}
+
+// jobHeap orders queued jobs by (virtual finish tag, arrival), the stride
+// scheduling dispatch order.
+type jobHeap []*queued
+
+func (q jobHeap) Len() int { return len(q) }
+func (q jobHeap) Less(i, j int) bool {
+	if q[i].vfinish != q[j].vfinish {
+		return q[i].vfinish < q[j].vfinish
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobHeap) Push(x any)   { *q = append(*q, x.(*queued)) }
+func (q *jobHeap) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Server schedules concurrent jobs over one shared backend.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobHeap
+	pass     float64 // stride scheduling global pass (advances on dispatch)
+	seq      uint64
+	inflight int
+	closed   bool
+	stats    Stats
+	waitSum  float64
+	waitN    uint64
+
+	dispatcherDone chan struct{}
+	jobs           sync.WaitGroup
+}
+
+// New starts a server over the backend. Call Close to stop it; Close drains
+// already-accepted jobs.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("serve: nil backend: %w", dcerr.ErrBadParam)
+	}
+	if c, ok := cfg.Backend.(core.Closer); ok && c.Closed() {
+		return nil, fmt.Errorf("serve: %w", dcerr.ErrBackendClosed)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: QueueDepth %d: %w", cfg.QueueDepth, dcerr.ErrBadParam)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.MaxInFlight < 0 {
+		return nil, fmt.Errorf("serve: MaxInFlight %d: %w", cfg.MaxInFlight, dcerr.ErrBadParam)
+	}
+	s := &Server{
+		cfg:            cfg,
+		dispatcherDone: make(chan struct{}),
+	}
+	if a, ok := cfg.Backend.(core.Autonomous); !ok || !a.Autonomous() {
+		// The event-loop simulator must never be driven from two
+		// goroutines at once.
+		s.cfg.MaxInFlight = 1
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.dispatch()
+	return s, nil
+}
+
+// Submit enqueues a job. It returns immediately with a Handle, or an error
+// wrapping dcerr.ErrQueueFull when the admission queue is at capacity,
+// dcerr.ErrServerClosed after Close, or dcerr.ErrBadParam for an invalid
+// job. ctx governs the job's whole lifetime: canceling it (or passing a
+// deadline) stops the job at its next level boundary, or skips it entirely
+// if it is still queued.
+func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Handle, error) {
+	if job.Alg == nil {
+		return nil, fmt.Errorf("serve: nil algorithm: %w", dcerr.ErrBadParam)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	merged := make([]core.Option, 0, len(job.Opts)+len(opts))
+	merged = append(merged, job.Opts...)
+	merged = append(merged, opts...)
+	weight := core.NewRunConfig(merged...).Priority
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: %w", dcerr.ErrServerClosed)
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.stats.Rejected++
+		return nil, fmt.Errorf("serve: %d jobs queued: %w", len(s.queue), dcerr.ErrQueueFull)
+	}
+	s.seq++
+	h := &Handle{ID: s.seq, done: make(chan struct{})}
+	q := &queued{
+		h:       h,
+		ctx:     ctx,
+		job:     job,
+		opts:    merged,
+		vfinish: s.pass + 1/float64(weight),
+		seq:     s.seq,
+		wallIn:  time.Now(),
+	}
+	heap.Push(&s.queue, q)
+	s.stats.Submitted++
+	if len(s.queue) > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = len(s.queue)
+	}
+	s.cond.Signal()
+	return h, nil
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueDepth = len(s.queue)
+	st.InFlight = s.inflight
+	if s.waitN > 0 {
+		st.AvgQueueWaitSeconds = s.waitSum / float64(s.waitN)
+	}
+	return st
+}
+
+// Close stops admission and drains: already-accepted jobs (queued and in
+// flight) run to completion — or to their contexts' cancellation — before
+// Close returns. A second Close returns an error wrapping
+// dcerr.ErrServerClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: %w", dcerr.ErrServerClosed)
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.dispatcherDone
+	s.jobs.Wait()
+	return nil
+}
+
+// dispatch is the scheduler loop: it starts the queued job with the
+// smallest virtual finish tag whenever an in-flight slot is free.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.queue) > 0 && s.inflight < s.cfg.MaxInFlight {
+			q := heap.Pop(&s.queue).(*queued)
+			if q.vfinish > s.pass {
+				s.pass = q.vfinish
+			}
+			s.inflight++
+			s.jobs.Add(1)
+			go s.run(q)
+		}
+		if s.closed && len(s.queue) == 0 {
+			return
+		}
+		s.cond.Wait()
+	}
+}
+
+// run executes one dispatched job and settles its handle.
+func (s *Server) run(q *queued) {
+	defer s.jobs.Done()
+	q.h.queueWait = time.Since(q.wallIn).Seconds()
+
+	var rep core.Report
+	var err error
+	if q.ctx.Err() != nil {
+		// Canceled while still queued: never touches the backend.
+		rep = core.Report{Algorithm: q.job.Alg.Name(), Strategy: q.job.Strategy.String(), Partial: true}
+		err = fmt.Errorf("serve: job %d canceled while queued: %w", q.h.ID, dcerr.ErrCanceled)
+	} else {
+		rep, err = s.execute(q)
+	}
+
+	q.h.rep, q.h.err = rep, err
+	close(q.h.done)
+
+	s.mu.Lock()
+	s.inflight--
+	s.waitSum += q.h.queueWait
+	s.waitN++
+	s.stats.BusySeconds += rep.Seconds
+	switch {
+	case err == nil:
+		s.stats.Completed++
+	case errors.Is(err, dcerr.ErrCanceled):
+		s.stats.Canceled++
+	default:
+		s.stats.Failed++
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// execute runs the job's executor on the shared backend, recording trace
+// spans when configured.
+func (s *Server) execute(q *queued) (core.Report, error) {
+	be := s.cfg.Backend
+	start := be.Now()
+	rep, err := s.runStrategy(q.ctx, be, q)
+	if s.cfg.Trace != nil {
+		end := be.Now()
+		label := fmt.Sprintf("job %d %s %s n=%d", q.h.ID, q.job.Alg.Name(), q.job.Strategy, q.job.Alg.N())
+		s.cfg.Trace.Add(trace.Span{Unit: "queue", Label: label,
+			Start: start - q.h.queueWait, End: start})
+		s.cfg.Trace.Add(trace.Span{Unit: "job", Label: label, Start: start, End: end})
+	}
+	return rep, err
+}
+
+func (s *Server) runStrategy(ctx context.Context, be core.Backend, q *queued) (core.Report, error) {
+	switch q.job.Strategy {
+	case Sequential:
+		return core.RunSequentialCtx(ctx, be, q.job.Alg, q.opts...)
+	case BreadthFirstCPU:
+		return core.RunBreadthFirstCPUCtx(ctx, be, q.job.Alg, q.opts...)
+	case BasicHybrid, AdvancedHybrid, GPUOnly:
+		galg, ok := q.job.Alg.(core.GPUAlg)
+		if !ok {
+			return core.Report{}, fmt.Errorf("serve: %s is not a GPUAlg (strategy %s): %w",
+				q.job.Alg.Name(), q.job.Strategy, dcerr.ErrBadParam)
+		}
+		switch q.job.Strategy {
+		case BasicHybrid:
+			return core.RunBasicHybridCtx(ctx, be, galg, q.job.Crossover, q.opts...)
+		case AdvancedHybrid:
+			return core.RunAdvancedHybridCtx(ctx, be, galg, q.job.Alpha, q.job.Y, q.opts...)
+		default:
+			return core.RunGPUOnlyCtx(ctx, be, galg, q.opts...)
+		}
+	}
+	return core.Report{}, fmt.Errorf("serve: unknown strategy %d: %w", int(q.job.Strategy), dcerr.ErrBadParam)
+}

@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/vtime"
+
+	"repro/internal/dcerr"
 )
 
 // Params describes a simulated CPU.
@@ -51,19 +53,19 @@ type Params struct {
 // Validate reports whether the parameters are usable.
 func (p Params) Validate() error {
 	if p.Cores <= 0 {
-		return fmt.Errorf("simcpu: Cores must be positive, got %d", p.Cores)
+		return fmt.Errorf("simcpu: Cores must be positive, got %d: %w", p.Cores, dcerr.ErrBadParam)
 	}
 	if p.RateOpsPerSec <= 0 {
-		return fmt.Errorf("simcpu: RateOpsPerSec must be positive, got %g", p.RateOpsPerSec)
+		return fmt.Errorf("simcpu: RateOpsPerSec must be positive, got %g: %w", p.RateOpsPerSec, dcerr.ErrBadParam)
 	}
 	if p.MemBWOpsPerSec <= 0 {
-		return fmt.Errorf("simcpu: MemBWOpsPerSec must be positive, got %g", p.MemBWOpsPerSec)
+		return fmt.Errorf("simcpu: MemBWOpsPerSec must be positive, got %g: %w", p.MemBWOpsPerSec, dcerr.ErrBadParam)
 	}
 	if p.LLCBytes <= 0 {
-		return fmt.Errorf("simcpu: LLCBytes must be positive, got %d", p.LLCBytes)
+		return fmt.Errorf("simcpu: LLCBytes must be positive, got %d: %w", p.LLCBytes, dcerr.ErrBadParam)
 	}
 	if p.MemWeight < 0 {
-		return fmt.Errorf("simcpu: MemWeight must be nonnegative, got %g", p.MemWeight)
+		return fmt.Errorf("simcpu: MemWeight must be nonnegative, got %g: %w", p.MemWeight, dcerr.ErrBadParam)
 	}
 	return nil
 }

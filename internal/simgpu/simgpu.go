@@ -46,6 +46,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/vtime"
+
+	"repro/internal/dcerr"
 )
 
 // Params describes a simulated GPU device.
@@ -95,22 +97,22 @@ func (p Params) wavefront() int {
 // Validate reports whether the parameters are usable.
 func (p Params) Validate() error {
 	if p.SatThreads <= 0 {
-		return fmt.Errorf("simgpu: SatThreads must be positive, got %d", p.SatThreads)
+		return fmt.Errorf("simgpu: SatThreads must be positive, got %d: %w", p.SatThreads, dcerr.ErrBadParam)
 	}
 	if p.Gamma <= 0 || p.Gamma >= 1 {
-		return fmt.Errorf("simgpu: Gamma must be in (0,1), got %g", p.Gamma)
+		return fmt.Errorf("simgpu: Gamma must be in (0,1), got %g: %w", p.Gamma, dcerr.ErrBadParam)
 	}
 	if p.HideFactor < 1 {
-		return fmt.Errorf("simgpu: HideFactor must be >= 1, got %g", p.HideFactor)
+		return fmt.Errorf("simgpu: HideFactor must be >= 1, got %g: %w", p.HideFactor, dcerr.ErrBadParam)
 	}
 	if p.BaseRateOpsPerSec <= 0 {
-		return fmt.Errorf("simgpu: BaseRateOpsPerSec must be positive, got %g", p.BaseRateOpsPerSec)
+		return fmt.Errorf("simgpu: BaseRateOpsPerSec must be positive, got %g: %w", p.BaseRateOpsPerSec, dcerr.ErrBadParam)
 	}
 	if p.StridePenalty < 1 {
-		return fmt.Errorf("simgpu: StridePenalty must be >= 1, got %g", p.StridePenalty)
+		return fmt.Errorf("simgpu: StridePenalty must be >= 1, got %g: %w", p.StridePenalty, dcerr.ErrBadParam)
 	}
 	if p.MemWeight < 0 {
-		return fmt.Errorf("simgpu: MemWeight must be nonnegative, got %g", p.MemWeight)
+		return fmt.Errorf("simgpu: MemWeight must be nonnegative, got %g: %w", p.MemWeight, dcerr.ErrBadParam)
 	}
 	return nil
 }

@@ -239,6 +239,19 @@ func (t *Backend) Now() float64 { return t.inner.Now() }
 // Wait implements core.Backend.
 func (t *Backend) Wait() { t.inner.Wait() }
 
+// Autonomous forwards the wrapped backend's core.Autonomous marker, so
+// executors drive a traced native backend the same way as a bare one.
+func (t *Backend) Autonomous() bool {
+	a, ok := t.inner.(core.Autonomous)
+	return ok && a.Autonomous()
+}
+
+// Closed forwards the wrapped backend's core.Closer state.
+func (t *Backend) Closed() bool {
+	c, ok := t.inner.(core.Closer)
+	return ok && c.Closed()
+}
+
 type tracedExecutor struct {
 	inner core.LevelExecutor
 	unit  Unit

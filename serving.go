@@ -1,0 +1,120 @@
+package hybriddc
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Context-aware executors. Each checks its context at every level boundary;
+// on cancellation it stops within one boundary and returns a partial Report
+// together with an error wrapping ErrCanceled. They accept functional
+// options (WithCoalesce, WithSplit, WithTrace, ...) instead of the
+// deprecated Options/AdvancedParams structs.
+var (
+	// RunSequentialCtx is RunSequential with cancellation and options.
+	RunSequentialCtx = core.RunSequentialCtx
+	// RunBreadthFirstCPUCtx is RunBreadthFirstCPU with cancellation and
+	// options.
+	RunBreadthFirstCPUCtx = core.RunBreadthFirstCPUCtx
+	// RunBasicHybridCtx is RunBasicHybrid with cancellation and options.
+	RunBasicHybridCtx = core.RunBasicHybridCtx
+	// RunAdvancedHybridCtx is RunAdvancedHybrid with cancellation and
+	// options; alpha and y are passed directly and the split level comes
+	// from WithSplit (default: DefaultSplit).
+	RunAdvancedHybridCtx = core.RunAdvancedHybridCtx
+	// RunGPUOnlyCtx is RunGPUOnly with cancellation and options.
+	RunGPUOnlyCtx = core.RunGPUOnlyCtx
+)
+
+// Option configures a single execution or a Server submission.
+type Option = core.Option
+
+// WithCoalesce enables the §6.3 coalescing layout transformation around the
+// device-resident phase (a no-op for non-Transformable algorithms).
+func WithCoalesce() Option { return core.WithCoalesce() }
+
+// WithSplit pins the advanced division's split level instead of deriving it
+// with DefaultSplit; a negative value restores the default.
+func WithSplit(s int) Option { return core.WithSplit(s) }
+
+// WithPriority sets the job's scheduling weight for Server.Submit: under
+// contention a weight-w job is dispatched roughly w times as often as a
+// weight-1 job, and FIFO order is kept among equal weights. Direct executors
+// ignore it.
+func WithPriority(w int) Option { return core.WithPriority(w) }
+
+// WithTrace records the execution's timeline and, when the run finishes
+// (even canceled), writes a one-line summary, an ASCII Gantt chart, and
+// per-unit utilization to w.
+func WithTrace(w io.Writer) Option {
+	return func(c *core.RunConfig) {
+		rec := trace.NewRecorder()
+		core.WithBackendWrapper(func(be core.Backend) core.Backend {
+			return trace.Wrap(be, rec)
+		})(c)
+		core.WithObserver(func(r *core.Report) {
+			state := ""
+			if r.Partial {
+				state = " (partial: canceled)"
+			}
+			fmt.Fprintf(w, "%s %s: %.6fs%s\n", r.Algorithm, r.Strategy, r.Seconds, state)
+			io.WriteString(w, rec.Gantt(72))
+			for unit, u := range rec.Utilization() {
+				fmt.Fprintf(w, "%5s utilization: %.1f%%\n", unit, 100*u)
+			}
+		})(c)
+	}
+}
+
+// Serving layer: a multi-job scheduler over one shared backend.
+type (
+	// Server multiplexes concurrent D&C jobs over a single backend with
+	// bounded admission (ErrQueueFull), per-job context cancellation, and
+	// weighted-fair dispatch. See internal/serve for the full semantics.
+	Server = serve.Server
+	// ServerConfig configures a Server.
+	ServerConfig = serve.Config
+	// JobSpec describes one job for Server.Submit.
+	JobSpec = serve.Job
+	// JobHandle tracks a submitted job; Report blocks for its result.
+	JobHandle = serve.Handle
+	// ServerStats is a Server.Stats snapshot of the aggregate counters.
+	ServerStats = serve.Stats
+	// JobStrategy selects a job's executor.
+	JobStrategy = serve.Strategy
+)
+
+// Job strategies.
+const (
+	// JobSequential runs the single-core recursive baseline.
+	JobSequential = serve.Sequential
+	// JobBreadthFirstCPU runs level-parallel on the CPU only.
+	JobBreadthFirstCPU = serve.BreadthFirstCPU
+	// JobBasicHybrid runs the §5.1 basic work division.
+	JobBasicHybrid = serve.BasicHybrid
+	// JobAdvancedHybrid runs the §5.2 advanced work division.
+	JobAdvancedHybrid = serve.AdvancedHybrid
+	// JobGPUOnly runs everything on the device.
+	JobGPUOnly = serve.GPUOnly
+)
+
+// NewServer starts a job server over the backend; call Close to stop it.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// Submit is a convenience wrapper: it submits the job and returns its
+// handle. Equivalent to (*Server).Submit.
+func Submit(ctx context.Context, s *Server, job JobSpec, opts ...Option) (*JobHandle, error) {
+	return s.Submit(ctx, job, opts...)
+}
+
+// TraceRecorder collects execution spans (see ServerConfig.Trace and the
+// internal/trace package).
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns an empty span recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
