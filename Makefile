@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke check bench
+.PHONY: all build vet test race smoke obs-smoke check bench
 
 all: check
 
@@ -24,6 +24,12 @@ race:
 # Exits nonzero on any failed job, accounting mismatch, or goroutine leak.
 smoke:
 	$(GO) run ./cmd/hpuserve --smoke
+
+# Observability smoke: same load with the HTTP endpoints served on a
+# loopback port, then a self-scrape of /metrics asserting the queue-depth,
+# per-priority latency, and transfer-byte metrics advanced under load.
+obs-smoke:
+	$(GO) run ./cmd/hpuserve --obs-smoke --duration 2s
 
 check: build vet race smoke
 

@@ -3,19 +3,34 @@
 // (mergesort, scan, sum) under random priorities and cancellations, then
 // prints the server's aggregate counters.
 //
+// With --listen it exposes live observability over HTTP while the load
+// runs: /metrics (a JSON snapshot of the metrics registry), /debug/vars
+// (the standard expvar surface), and /debug/trace (a Chrome trace-event
+// download of the most recent spans, loadable in chrome://tracing or
+// Perfetto).
+//
 // With --smoke it runs a short self-checking load test (default 5s) and
 // exits nonzero if any job fails, any accounting invariant breaks, or
-// goroutines leak — the CI entry point wired into the Makefile.
+// goroutines leak. With --obs-smoke it additionally serves the HTTP
+// endpoints on a loopback port, scrapes them itself, and exits nonzero
+// unless the queue-depth, per-priority latency, and transfer-byte metrics
+// advanced under load — the CI entry points wired into the Makefile.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +41,8 @@ import (
 func main() {
 	var (
 		smoke     = flag.Bool("smoke", false, "run a short self-checking load test and exit nonzero on any anomaly")
+		obsSmoke  = flag.Bool("obs-smoke", false, "like --smoke, plus serve the HTTP endpoints on a loopback port, scrape them, and verify the metrics advanced")
+		listen    = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/trace on this address while the load runs")
 		duration  = flag.Duration("duration", 5*time.Second, "how long to keep submitting load")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "CPU pool size of the shared native backend")
 		lanes     = flag.Int("lanes", 64, "device pool size of the shared native backend")
@@ -38,7 +55,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *smoke && *duration > 5*time.Second {
+	if (*smoke || *obsSmoke) && *duration > 5*time.Second {
 		*duration = 5 * time.Second
 	}
 	if *minLog < 1 || *maxLog < *minLog {
@@ -46,13 +63,38 @@ func main() {
 	}
 	baseline := runtime.NumGoroutine()
 
+	// Observability: one registry and one bounded span recorder feed both
+	// the HTTP endpoints and the post-run assertions.
+	observing := *listen != "" || *obsSmoke
+	var reg *hybriddc.Metrics
+	var rec *hybriddc.TraceRecorder
+	srvOpts := []hybriddc.ServerOption{
+		hybriddc.WithQueueDepth(*qdepth),
+		hybriddc.WithMaxInFlight(*inflight),
+	}
+	if observing {
+		reg = hybriddc.NewMetrics()
+		rec = hybriddc.NewTraceRecorderLimit(1 << 14)
+		srvOpts = append(srvOpts,
+			hybriddc.WithServerMetrics(reg),
+			hybriddc.WithServerRecorder(rec))
+	}
+
+	var httpAddr string
+	if observing {
+		addr := *listen
+		if addr == "" {
+			addr = "127.0.0.1:0" // obs-smoke: loopback, kernel-chosen port
+		}
+		var err error
+		httpAddr, err = serveHTTP(addr, reg, rec)
+		check(err)
+		fmt.Printf("serving http://%s/metrics /debug/vars /debug/trace\n", httpAddr)
+	}
+
 	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: *workers, DeviceLanes: *lanes})
 	check(err)
-	srv, err := hybriddc.NewServer(hybriddc.ServerConfig{
-		Backend:     be,
-		QueueDepth:  *qdepth,
-		MaxInFlight: *inflight,
-	})
+	srv, err := hybriddc.NewServer(be, srvOpts...)
 	check(err)
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -121,6 +163,11 @@ func main() {
 	}
 
 	wg.Wait()
+	// Scrape before teardown so gauges still reflect the loaded server.
+	var snap snapshot
+	if *obsSmoke {
+		check(scrape(httpAddr, &snap))
+	}
 	check(srv.Close())
 	check(be.Close())
 	st := srv.Stats()
@@ -132,14 +179,14 @@ func main() {
 	fmt.Printf("queue: max depth %d  avg wait %.3fms  busy %.3fs\n",
 		st.MaxQueueDepth, 1e3*st.AvgQueueWaitSeconds, st.BusySeconds)
 
-	if !*smoke {
+	if !*smoke && !*obsSmoke {
 		return
 	}
-	// Smoke invariants.
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "smoke: "+format+"\n", args...)
 		os.Exit(1)
 	}
+	// Smoke invariants.
 	if firstErr != nil {
 		fail("job error: %v", firstErr)
 	}
@@ -155,14 +202,121 @@ func main() {
 	if submitted == 0 {
 		fail("no jobs submitted")
 	}
+	if *obsSmoke {
+		assertObserved(fail, snap, st, rec)
+	}
 	// Give transfer goroutines and pool workers a moment to exit.
-	for i := 0; i < 50 && runtime.NumGoroutine() > baseline+2; i++ {
+	for i := 0; i < 50 && runtime.NumGoroutine() > baseline+3; i++ {
 		time.Sleep(20 * time.Millisecond)
 	}
-	if g := runtime.NumGoroutine(); g > baseline+2 {
+	// The HTTP listener goroutine (if any) is still intentionally alive.
+	slack := 2
+	if observing {
+		slack++
+	}
+	if g := runtime.NumGoroutine(); g > baseline+slack {
 		fail("goroutine leak: %d at start, %d after close", baseline, g)
 	}
 	fmt.Println("smoke: ok")
+}
+
+// serveHTTP starts the observability endpoints and returns the bound
+// address. The server runs for the remainder of the process lifetime.
+func serveHTTP(addr string, reg *hybriddc.Metrics, rec *hybriddc.TraceRecorder) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	reg.PublishExpvar("hybriddc")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		rec.WriteChromeTrace(w)
+	})
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
+// snapshot mirrors the JSON shape of /metrics for the self-scrape.
+type snapshot struct {
+	Counters   map[string]uint64  `json:"counters"`
+	Gauges     map[string]int64   `json:"gauges"`
+	Floats     map[string]float64 `json:"floats"`
+	Histograms map[string]struct {
+		Count uint64  `json:"count"`
+		Sum   float64 `json:"sum"`
+	} `json:"histograms"`
+}
+
+// scrape fetches /metrics over real HTTP (exercising the full exposition
+// path, not the in-process registry) and decodes it. Keep-alives are off so
+// the connections' server goroutines don't trip the leak check.
+func scrape(addr string, snap *snapshot) error {
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(snap); err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	// The other two endpoints must at least answer.
+	for _, path := range []string{"/debug/vars", "/debug/trace"} {
+		r, err := client.Get("http://" + addr + path)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", path, r.Status)
+		}
+	}
+	return nil
+}
+
+// assertObserved verifies the scraped metrics advanced under load: the
+// serving counters match Stats, the admission queue was observed nonempty,
+// at least one per-priority latency histogram filled, and bytes crossed the
+// link in both directions.
+func assertObserved(fail func(string, ...any), snap snapshot, st hybriddc.ServerStats, rec *hybriddc.TraceRecorder) {
+	if got := snap.Counters["serve_submitted_total"]; got != st.Submitted {
+		fail("scraped serve_submitted_total = %d, server says %d", got, st.Submitted)
+	}
+	if got := snap.Counters["serve_completed_total"]; got != st.Completed {
+		fail("scraped serve_completed_total = %d, server says %d", got, st.Completed)
+	}
+	if got := snap.Gauges["serve_queue_depth_max"]; got < 1 {
+		fail("serve_queue_depth_max = %d: queue-depth metric never advanced", got)
+	}
+	waits := uint64(0)
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "serve_wait_seconds_p") {
+			waits += h.Count
+		}
+	}
+	if waits == 0 {
+		fail("no serve_wait_seconds_p* observations: per-priority latency histograms never advanced")
+	}
+	if got := snap.Counters["core_transfer_to_gpu_bytes"]; got == 0 {
+		fail("core_transfer_to_gpu_bytes = 0: transfer metrics never advanced")
+	}
+	if got := snap.Counters["core_transfer_to_cpu_bytes"]; got == 0 {
+		fail("core_transfer_to_cpu_bytes = 0: transfer metrics never advanced")
+	}
+	if rec.Len() == 0 {
+		fail("trace recorder captured no spans")
+	}
 }
 
 // makeJob draws one job from the mixed workload: algorithm, size, and

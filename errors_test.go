@@ -82,7 +82,7 @@ func TestConstructorErrorTaxonomy(t *testing.T) {
 			return err
 		}, hybriddc.ErrBadParam},
 		{"NewServer/nil-backend", func() error {
-			_, err := hybriddc.NewServer(hybriddc.ServerConfig{})
+			_, err := hybriddc.NewServer(nil)
 			return err
 		}, hybriddc.ErrBadParam},
 	}
@@ -170,7 +170,7 @@ func TestExecutorErrorTaxonomy(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer be.Close()
-		srv, err := hybriddc.NewServer(hybriddc.ServerConfig{Backend: be, QueueDepth: 1, MaxInFlight: 1})
+		srv, err := hybriddc.NewServer(be, hybriddc.WithQueueDepth(1), hybriddc.WithMaxInFlight(1))
 		if err != nil {
 			t.Fatal(err)
 		}

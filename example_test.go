@@ -1,6 +1,7 @@
 package hybriddc_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -16,15 +17,14 @@ func ExamplePlanAdvanced() {
 	// Output: alpha=0.16 y=9
 }
 
-// ExampleRunAdvancedHybrid sorts with the §5.2 advanced work division on
+// ExampleRunAdvancedHybridCtx sorts with the §5.2 advanced work division on
 // the simulated HPU1 and verifies the result.
-func ExampleRunAdvancedHybrid() {
+func ExampleRunAdvancedHybridCtx() {
 	in := workload.Uniform(1<<16, 1)
 	s, _ := hybriddc.NewMergesort(in)
 	be := hybriddc.MustSim(hybriddc.HPU1())
-	rep, err := hybriddc.RunAdvancedHybrid(be, s,
-		hybriddc.AdvancedParams{Alpha: 0.17, Y: 8, Split: -1},
-		hybriddc.Options{Coalesce: true})
+	rep, err := hybriddc.RunAdvancedHybridCtx(context.Background(), be, s, 0.17, 8,
+		hybriddc.WithCoalesce())
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -52,7 +52,7 @@ func ExampleBasicCrossover() {
 // ExampleNewSum runs the paper's §4.3 divide-and-conquer sum.
 func ExampleNewSum() {
 	s, _ := hybriddc.NewSum([]int32{3, 1, 4, 1, 5, 9, 2, 6})
-	hybriddc.RunBreadthFirstCPU(hybriddc.MustSim(hybriddc.HPU2()), s)
+	hybriddc.RunBreadthFirstCPUCtx(context.Background(), hybriddc.MustSim(hybriddc.HPU2()), s)
 	fmt.Println(s.Result())
 	// Output: 31
 }

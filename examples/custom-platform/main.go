@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,13 +67,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seqRep := hybriddc.RunSequential(be, s)
+	ctx := context.Background()
+	seqRep, err := hybriddc.RunSequentialCtx(ctx, be, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	be = hybriddc.MustSim(pl)
 	s, _ = hybriddc.NewMergesort(in)
-	rep, err := hybriddc.RunAdvancedHybrid(be, s,
-		hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1},
-		hybriddc.Options{Coalesce: true})
+	rep, err := hybriddc.RunAdvancedHybridCtx(ctx, be, s, alpha, y,
+		hybriddc.WithCoalesce())
 	if err != nil {
 		log.Fatal(err)
 	}

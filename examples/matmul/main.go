@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -39,7 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq := hybriddc.RunSequential(be, m)
+	ctx := context.Background()
+	seq, err := hybriddc.RunSequentialCtx(ctx, be, m)
+	if err != nil {
+		log.Fatal(err)
+	}
 	want := m.Result()
 	fmt.Printf("D&C matmul %dx%d, depth %d (leaves: %d blocks of %dx%d) on %s\n\n",
 		dim, dim, depth, 1<<(3*depth), dim>>depth, dim>>depth, hybriddc.HPU1().Name)
@@ -50,8 +55,7 @@ func main() {
 	be = hybriddc.MustSim(hybriddc.HPU1())
 	m, _ = hybriddc.NewMatMul(a, b, dim, depth)
 	alpha, y := hybriddc.PlanAdvanced(be, m)
-	rep, err := hybriddc.RunAdvancedHybrid(be, m,
-		hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1}, hybriddc.Options{})
+	rep, err := hybriddc.RunAdvancedHybridCtx(ctx, be, m, alpha, y)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +69,7 @@ func main() {
 	// schedules narrow levels on the CPU.
 	be = hybriddc.MustSim(hybriddc.HPU1())
 	m, _ = hybriddc.NewMatMul(a, b, dim, depth)
-	rep, err = hybriddc.RunGPUOnly(be, m, hybriddc.Options{})
+	rep, err = hybriddc.RunGPUOnlyCtx(ctx, be, m)
 	if err != nil {
 		log.Fatal(err)
 	}

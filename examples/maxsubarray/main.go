@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,7 +28,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq := hybriddc.RunSequential(be, s)
+	ctx := context.Background()
+	seq, err := hybriddc.RunSequentialCtx(ctx, be, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 	want := s.Result()
 	fmt.Printf("max subarray sum of 2^%d signed values = %d\n", logN, want)
 	fmt.Printf("sequential:      %.6fs\n", seq.Seconds)
@@ -35,8 +40,7 @@ func main() {
 	be = hybriddc.MustSim(hybriddc.HPU1())
 	s, _ = hybriddc.NewMaxSubarray(in)
 	alpha, y := hybriddc.PlanAdvanced(be, s)
-	rep, err := hybriddc.RunAdvancedHybrid(be, s,
-		hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1}, hybriddc.Options{})
+	rep, err := hybriddc.RunAdvancedHybridCtx(ctx, be, s, alpha, y)
 	if err != nil {
 		log.Fatal(err)
 	}

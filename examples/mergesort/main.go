@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,34 +40,34 @@ func main() {
 	fmt.Printf("hybrid mergesort of n = 2^%d uniform random int32 on %s\n\n",
 		logN, hybriddc.HPU1().Name)
 
+	ctx := context.Background()
 	seq := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
-		return hybriddc.RunSequential(be, s), nil
+		return hybriddc.RunSequentialCtx(ctx, be, s)
 	})
 	fmt.Printf("sequential 1-core   %.4fs\n", seq)
 
 	bf := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
-		return hybriddc.RunBreadthFirstCPU(be, s), nil
+		return hybriddc.RunBreadthFirstCPUCtx(ctx, be, s)
 	})
 	fmt.Printf("breadth-first CPU   %.4fs  (%.2fx)\n", bf, seq/bf)
 
 	x, _ := hybriddc.BasicCrossover(2, hybriddc.MachineOf(hybriddc.MustSim(hybriddc.HPU1())))
 	basic := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
-		return hybriddc.RunBasicHybrid(be, s, x, hybriddc.Options{Coalesce: true})
+		return hybriddc.RunBasicHybridCtx(ctx, be, s, x, hybriddc.WithCoalesce())
 	})
 	fmt.Printf("basic hybrid (x=%d) %.4fs  (%.2fx)\n", x, basic, seq/basic)
 
 	planner, _ := hybriddc.NewMergesort(in)
 	alpha, y := hybriddc.PlanAdvanced(hybriddc.MustSim(hybriddc.HPU1()), planner)
 	fmt.Printf("\nmodel: advanced division alpha=%.3f, transfer level y=%d\n", alpha, y)
-	prm := hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
 
 	adv := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
-		return hybriddc.RunAdvancedHybrid(be, s, prm, hybriddc.Options{Coalesce: true})
+		return hybriddc.RunAdvancedHybridCtx(ctx, be, s, alpha, y, hybriddc.WithCoalesce())
 	})
 	fmt.Printf("advanced hybrid     %.4fs  (%.2fx)\n", adv, seq/adv)
 
 	advRaw := run(in, func(be *hybriddc.Sim, s *mergesort.Sorter) (hybriddc.Report, error) {
-		return hybriddc.RunAdvancedHybrid(be, s, prm, hybriddc.Options{})
+		return hybriddc.RunAdvancedHybridCtx(ctx, be, s, alpha, y)
 	})
 	fmt.Printf("  without coalescing %.4fs (%.2fx)\n", advRaw, seq/advRaw)
 
@@ -76,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := hybriddc.RunGPUOnly(be, ps, hybriddc.Options{})
+	rep, err := hybriddc.RunGPUOnlyCtx(ctx, be, ps)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -28,7 +29,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq := hybriddc.RunSequential(be, s)
+	ctx := context.Background()
+	seq, err := hybriddc.RunSequentialCtx(ctx, be, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 	be.Close()
 	if !workload.IsSorted(s.Result()) {
 		log.Fatal("sequential output not sorted")
@@ -42,7 +47,10 @@ func main() {
 	}
 	defer be.Close()
 	s, _ = hybriddc.NewMergesort(in)
-	bf := hybriddc.RunBreadthFirstCPU(be, s)
+	bf, err := hybriddc.RunBreadthFirstCPUCtx(ctx, be, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !workload.IsSorted(s.Result()) {
 		log.Fatal("parallel output not sorted")
 	}

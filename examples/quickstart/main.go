@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq := hybriddc.RunSequential(be, s)
+	ctx := context.Background()
+	seq, err := hybriddc.RunSequentialCtx(ctx, be, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 	total := s.Result()
 	fmt.Printf("sum(2^%d elements) = %d\n", logN, total)
 	fmt.Printf("sequential:        %.6fs\n", seq.Seconds)
@@ -29,7 +34,10 @@ func main() {
 	// Breadth-first on all four CPU cores (Algorithm 2).
 	be = hybriddc.MustSim(hybriddc.HPU1())
 	s, _ = hybriddc.NewSum(in)
-	bf := hybriddc.RunBreadthFirstCPU(be, s)
+	bf, err := hybriddc.RunBreadthFirstCPUCtx(ctx, be, s)
+	if err != nil {
+		log.Fatal(err)
+	}
 	mustEqual(s.Result(), total)
 	fmt.Printf("breadth-first CPU: %.6fs (%.2fx)\n", bf.Seconds, seq.Seconds/bf.Seconds)
 
@@ -39,9 +47,8 @@ func main() {
 	be = hybriddc.MustSim(hybriddc.HPU1())
 	s, _ = hybriddc.NewSum(in)
 	alpha, y := hybriddc.PlanAdvanced(be, s)
-	rep, err := hybriddc.RunAdvancedHybrid(be, s,
-		hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1},
-		hybriddc.Options{Coalesce: true})
+	rep, err := hybriddc.RunAdvancedHybridCtx(ctx, be, s, alpha, y,
+		hybriddc.WithCoalesce())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,14 +20,18 @@
 //
 // # Quick start
 //
-//	in := workload := ...            // a power-of-two []int32
+//	in := ...                        // a power-of-two []int32
 //	sorter, _ := hybriddc.NewMergesort(in)
 //	be := hybriddc.MustSim(hybriddc.HPU1())
 //	alpha, y := hybriddc.PlanAdvanced(be, sorter)
-//	rep, _ := hybriddc.RunAdvancedHybrid(be, sorter,
-//	    hybriddc.AdvancedParams{Alpha: alpha, Y: y, Split: -1},
-//	    hybriddc.Options{Coalesce: true})
+//	rep, _ := hybriddc.RunAdvancedHybridCtx(context.Background(), be, sorter,
+//	    alpha, y, hybriddc.WithCoalesce())
 //	sorted := sorter.Result()
+//
+// The *Ctx executors accept a context for cancellation and functional
+// options (WithCoalesce, WithSplit, WithMetrics, WithSpanRecorder, ...);
+// the option-less RunSequential/RunAdvancedHybrid/... variants and their
+// Options/AdvancedParams structs are deprecated.
 //
 // See the examples/ directory for complete programs, and internal/exp for
 // the drivers that regenerate every table and figure of the paper.

@@ -116,6 +116,7 @@ func submitSeq(be Backend, b Batch, done func()) {
 	seq := Batch{
 		Tasks: 1,
 		Cost:  b.Cost.Scale(float64(tasks)),
+		Level: b.Level,
 	}
 	seq.Cost.WorkingSet = b.Cost.WorkingSet
 	if run != nil {

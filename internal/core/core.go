@@ -65,6 +65,10 @@ type Batch struct {
 	// pure cost-model runs (no data movement). Backends may invoke Run
 	// concurrently for distinct i, so it must be safe for disjoint indices.
 	Run func(i int)
+	// Level is the recursion level this batch belongs to (0 = root),
+	// stamped by the executors for observability layers (tracing, metrics).
+	// Backends do not interpret it.
+	Level int
 }
 
 // Empty reports whether the batch contains no tasks.

@@ -101,6 +101,26 @@ func checkOpen(be Backend) error {
 	return nil
 }
 
+// instrument applies the run's observability layers to the backend: first
+// the user wrapper (tracing), then — outermost, so it accounts the run
+// exactly as driven — the metrics meter.
+func instrument(be Backend, cfg *RunConfig) Backend {
+	if cfg.Wrap != nil {
+		be = cfg.Wrap(be)
+	}
+	if cfg.Metrics != nil {
+		be = meter(be, cfg.Metrics)
+	}
+	return be
+}
+
+// atLevel stamps the batch with its recursion level for observability
+// layers (trace spans, per-level metrics).
+func atLevel(b Batch, l int) Batch {
+	b.Level = l
+	return b
+}
+
 // step is one asynchronous stage of an execution plan.
 type step func(next func())
 
@@ -168,6 +188,9 @@ func finish(alg Alg) {
 // valid data), applies observers, and builds the cancellation error.
 func settle(ctx context.Context, be Backend, cfg *RunConfig, alg Alg, rep *Report, start float64, canceled bool) error {
 	rep.Seconds = be.Now() - start
+	if mb, ok := be.(*meteredBackend); ok {
+		mb.finish(rep.Seconds)
+	}
 	var err error
 	if canceled {
 		rep.Partial = true
@@ -186,9 +209,7 @@ func settle(ctx context.Context, be Backend, cfg *RunConfig, alg Alg, rep *Repor
 // it returns a partial Report and an error wrapping dcerr.ErrCanceled.
 func RunSequentialCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
-	if cfg.Wrap != nil {
-		be = cfg.Wrap(be)
-	}
+	be = instrument(be, &cfg)
 	if err := checkOpen(be); err != nil {
 		return Report{}, err
 	}
@@ -196,13 +217,13 @@ func RunSequentialCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) 
 	a := alg.Arity()
 	var steps []step
 	for l := 0; l < L; l++ {
-		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { submitSeq(be, b, next) })
 	}
-	base := alg.BaseBatch(0, TasksAtLevel(a, L))
+	base := atLevel(alg.BaseBatch(0, TasksAtLevel(a, L)), L)
 	steps = append(steps, func(next func()) { submitSeq(be, base, next) })
 	for l := L - 1; l >= 0; l-- {
-		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { submitSeq(be, b, next) })
 	}
 
@@ -227,9 +248,7 @@ func RunSequential(be Backend, alg Alg) Report {
 // at every level boundary.
 func RunBreadthFirstCPUCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
-	if cfg.Wrap != nil {
-		be = cfg.Wrap(be)
-	}
+	be = instrument(be, &cfg)
 	if err := checkOpen(be); err != nil {
 		return Report{}, err
 	}
@@ -237,13 +256,13 @@ func RunBreadthFirstCPUCtx(ctx context.Context, be Backend, alg Alg, opts ...Opt
 	a := alg.Arity()
 	var steps []step
 	for l := 0; l < L; l++ {
-		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
-	base := alg.BaseBatch(0, TasksAtLevel(a, L))
+	base := atLevel(alg.BaseBatch(0, TasksAtLevel(a, L)), L)
 	steps = append(steps, func(next func()) { be.CPU().Submit(base, next) })
 	for l := L - 1; l >= 0; l-- {
-		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
 
@@ -272,9 +291,7 @@ func RunBreadthFirstCPU(be Backend, alg Alg) Report {
 // Report's error wraps dcerr.ErrCanceled.
 func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover int, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
-	if cfg.Wrap != nil {
-		be = cfg.Wrap(be)
-	}
+	be = instrument(be, &cfg)
 	if err := checkOpen(be); err != nil {
 		return Report{}, err
 	}
@@ -292,7 +309,7 @@ func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover in
 
 	// Top divide phase on CPU.
 	for l := 0; l < x; l++ {
-		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
 	// Ship the whole instance to the device.
@@ -300,28 +317,28 @@ func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover in
 	steps = append(steps, func(next func()) { be.TransferToGPU(bytes, next) })
 	// Device-resident phase: divide down, base, combine back up to x.
 	for l := x; l < L; l++ {
-		b := alg.GPUDivideBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.GPUDivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
 	tr, _ := alg.(Transformable)
 	if cfg.Coalesce && tr != nil {
-		b := tr.PermuteForGPU(L, 0, TasksAtLevel(a, L))
+		b := atLevel(tr.PermuteForGPU(L, 0, TasksAtLevel(a, L)), L)
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
 	steps = append(steps, func(next func()) {
 		// Constructed lazily: a preceding permute step may have changed
 		// the algorithm's device layout state.
-		be.GPU().Submit(alg.GPUBaseBatch(0, TasksAtLevel(a, L)), next)
+		be.GPU().Submit(atLevel(alg.GPUBaseBatch(0, TasksAtLevel(a, L)), L), next)
 	})
 	for l := L - 1; l >= x; l-- {
 		l := l
 		steps = append(steps, func(next func()) {
-			be.GPU().Submit(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), next)
+			be.GPU().Submit(atLevel(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), l), next)
 		})
 	}
 	if cfg.Coalesce && tr != nil {
 		steps = append(steps, func(next func()) {
-			be.GPU().Submit(tr.PermuteBack(x, 0, TasksAtLevel(a, x)), next)
+			be.GPU().Submit(atLevel(tr.PermuteBack(x, 0, TasksAtLevel(a, x)), x), next)
 		})
 	}
 	steps = append(steps, func(next func()) { be.TransferToCPU(bytes, next) })
@@ -329,7 +346,7 @@ func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover in
 	steps = append(steps, func(next func()) { rep.GPUPortionSeconds = be.Now() - start; next() })
 	// Remaining combine levels on CPU.
 	for l := x - 1; l >= 0; l-- {
-		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
 
@@ -355,9 +372,7 @@ func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report,
 // WithSplit. ctx is checked at every level boundary of all three chains.
 func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha float64, y int, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
-	if cfg.Wrap != nil {
-		be = cfg.Wrap(be)
-	}
+	be = instrument(be, &cfg)
 	if err := checkOpen(be); err != nil {
 		return Report{}, err
 	}
@@ -400,7 +415,7 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	// Joint top divide phase, full width, on CPU.
 	var top []step
 	for l := 0; l < s; l++ {
-		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		top = append(top, func(next func()) { be.CPU().Submit(b, next) })
 	}
 
@@ -409,15 +424,15 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	if cCount > 0 {
 		for l := s; l < L; l++ {
 			lo, hi := at(l, 0, cCount)
-			b := alg.DivideBatch(l, lo, hi)
+			b := atLevel(alg.DivideBatch(l, lo, hi), l)
 			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
 		}
 		lo, hi := at(L, 0, cCount)
-		base := alg.BaseBatch(lo, hi)
+		base := atLevel(alg.BaseBatch(lo, hi), L)
 		cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(base, next) })
 		for l := L - 1; l >= s; l-- {
 			lo, hi := at(l, 0, cCount)
-			b := alg.CombineBatch(l, lo, hi)
+			b := atLevel(alg.CombineBatch(l, lo, hi), l)
 			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
 		}
 	}
@@ -431,29 +446,29 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 		gpuChain = append(gpuChain, func(next func()) { be.TransferToGPU(bytes, next) })
 		for l := s; l < L; l++ {
 			lo, hi := at(l, cCount, width)
-			b := alg.GPUDivideBatch(l, lo, hi)
+			b := atLevel(alg.GPUDivideBatch(l, lo, hi), l)
 			gpuChain = append(gpuChain, func(next func()) { be.GPU().Submit(b, next) })
 		}
 		if cfg.Coalesce && tr != nil {
 			lo, hi := at(L, cCount, width)
-			b := tr.PermuteForGPU(L, lo, hi)
+			b := atLevel(tr.PermuteForGPU(L, lo, hi), L)
 			gpuChain = append(gpuChain, func(next func()) { be.GPU().Submit(b, next) })
 		}
 		gpuChain = append(gpuChain, func(next func()) {
 			lo, hi := at(L, cCount, width)
-			be.GPU().Submit(alg.GPUBaseBatch(lo, hi), next)
+			be.GPU().Submit(atLevel(alg.GPUBaseBatch(lo, hi), L), next)
 		})
 		for l := L - 1; l >= y; l-- {
 			l := l
 			gpuChain = append(gpuChain, func(next func()) {
 				lo, hi := at(l, cCount, width)
-				be.GPU().Submit(alg.GPUCombineBatch(l, lo, hi), next)
+				be.GPU().Submit(atLevel(alg.GPUCombineBatch(l, lo, hi), l), next)
 			})
 		}
 		if cfg.Coalesce && tr != nil {
 			gpuChain = append(gpuChain, func(next func()) {
 				lo, hi := at(y, cCount, width)
-				be.GPU().Submit(tr.PermuteBack(y, lo, hi), next)
+				be.GPU().Submit(atLevel(tr.PermuteBack(y, lo, hi), y), next)
 			})
 		}
 		gpuChain = append(gpuChain, func(next func()) { be.TransferToCPU(bytes, next) })
@@ -464,7 +479,7 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 			l := l
 			gpuChain = append(gpuChain, func(next func()) {
 				lo, hi := at(l, cCount, width)
-				be.CPU().Submit(alg.CombineBatch(l, lo, hi), next)
+				be.CPU().Submit(atLevel(alg.CombineBatch(l, lo, hi), l), next)
 			})
 		}
 	}
@@ -472,7 +487,7 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	// Joint combine phase above the split, full width, on CPU.
 	var tail []step
 	for l := s - 1; l >= 0; l-- {
-		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
 		tail = append(tail, func(next func()) { be.CPU().Submit(b, next) })
 	}
 
@@ -529,9 +544,7 @@ func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) 
 // the paper); Seconds includes them.
 func RunGPUOnlyCtx(ctx context.Context, be Backend, alg GPUAlg, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
-	if cfg.Wrap != nil {
-		be = cfg.Wrap(be)
-	}
+	be = instrument(be, &cfg)
 	if err := checkOpen(be); err != nil {
 		return Report{}, err
 	}
@@ -547,21 +560,21 @@ func RunGPUOnlyCtx(ctx context.Context, be Backend, alg GPUAlg, opts ...Option) 
 	var devStart float64
 	steps = append(steps, func(next func()) { devStart = be.Now(); next() })
 	for l := 0; l < L; l++ {
-		b := alg.GPUDivideBatch(l, 0, TasksAtLevel(a, l))
+		b := atLevel(alg.GPUDivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
 	tr, _ := alg.(Transformable)
 	if cfg.Coalesce && tr != nil {
-		b := tr.PermuteForGPU(L, 0, TasksAtLevel(a, L))
+		b := atLevel(tr.PermuteForGPU(L, 0, TasksAtLevel(a, L)), L)
 		steps = append(steps, func(next func()) { be.GPU().Submit(b, next) })
 	}
 	steps = append(steps, func(next func()) {
-		be.GPU().Submit(alg.GPUBaseBatch(0, TasksAtLevel(a, L)), next)
+		be.GPU().Submit(atLevel(alg.GPUBaseBatch(0, TasksAtLevel(a, L)), L), next)
 	})
 	for l := L - 1; l >= 0; l-- {
 		l := l
 		steps = append(steps, func(next func()) {
-			be.GPU().Submit(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), next)
+			be.GPU().Submit(atLevel(alg.GPUCombineBatch(l, 0, TasksAtLevel(a, l)), l), next)
 		})
 	}
 	if cfg.Coalesce && tr != nil {

@@ -1,0 +1,166 @@
+package core
+
+import "repro/internal/metrics"
+
+// Metric names recorded by the metered backend. They are package-level so
+// exposition layers and tests can reference them without typos; semantics
+// are documented in DESIGN.md §9.
+const (
+	MetricRuns            = "core_runs_total"
+	MetricRunSeconds      = "core_run_seconds"
+	MetricCPUBatchSeconds = "core_cpu_batch_seconds"
+	MetricGPUBatchSeconds = "core_gpu_batch_seconds"
+	MetricCPUBusySeconds  = "core_cpu_busy_seconds"
+	MetricGPUBusySeconds  = "core_gpu_busy_seconds"
+	MetricCPUIdleSeconds  = "core_cpu_idle_seconds"
+	MetricGPUIdleSeconds  = "core_gpu_idle_seconds"
+	MetricToGPUTransfers  = "core_transfer_to_gpu_total"
+	MetricToCPUTransfers  = "core_transfer_to_cpu_total"
+	MetricToGPUBytes      = "core_transfer_to_gpu_bytes"
+	MetricToCPUBytes      = "core_transfer_to_cpu_bytes"
+)
+
+// meteredBackend interposes on a backend to account every batch and
+// transfer into a metrics registry. One instance is created per run (by
+// instrument), so it can also accumulate the run's own busy time and charge
+// the unit idle remainder when the run settles.
+type meteredBackend struct {
+	inner Backend
+	cpu   *meteredExecutor
+	gpu   *meteredExecutor
+
+	toGPUCount, toCPUCount *metrics.Counter
+	toGPUBytes, toCPUBytes *metrics.Counter
+	runs                   *metrics.Counter
+	runSeconds             *metrics.Histogram
+	cpuIdle, gpuIdle       *metrics.Float
+}
+
+var _ Backend = (*meteredBackend)(nil)
+
+// meter wraps be so every batch and transfer is accounted into reg.
+func meter(be Backend, reg *metrics.Registry) *meteredBackend {
+	m := &meteredBackend{
+		inner:      be,
+		toGPUCount: reg.Counter(MetricToGPUTransfers),
+		toCPUCount: reg.Counter(MetricToCPUTransfers),
+		toGPUBytes: reg.Counter(MetricToGPUBytes),
+		toCPUBytes: reg.Counter(MetricToCPUBytes),
+		runs:       reg.Counter(MetricRuns),
+		runSeconds: reg.Histogram(MetricRunSeconds),
+		cpuIdle:    reg.Float(MetricCPUIdleSeconds),
+		gpuIdle:    reg.Float(MetricGPUIdleSeconds),
+	}
+	m.cpu = &meteredExecutor{
+		inner: be.CPU(), be: be,
+		batch: reg.Histogram(MetricCPUBatchSeconds),
+		busy:  reg.Float(MetricCPUBusySeconds),
+	}
+	if g := be.GPU(); g != nil {
+		m.gpu = &meteredExecutor{
+			inner: g, be: be,
+			batch: reg.Histogram(MetricGPUBatchSeconds),
+			busy:  reg.Float(MetricGPUBusySeconds),
+		}
+	}
+	return m
+}
+
+// finish settles the run's derived metrics: the makespan observation and the
+// per-unit idle remainder makespan − Σ batch time. Batches overlapping on a
+// unit (two chains of the advanced division sharing the CPU) can push the
+// busy sum past the makespan, in which case the idle charge clamps at zero.
+func (m *meteredBackend) finish(makespan float64) {
+	m.runs.Inc()
+	m.runSeconds.Observe(makespan)
+	charge := func(idle *metrics.Float, e *meteredExecutor) {
+		if e == nil {
+			return
+		}
+		if d := makespan - e.runBusy.Value(); d > 0 {
+			idle.Add(d)
+		}
+	}
+	charge(m.cpuIdle, m.cpu)
+	charge(m.gpuIdle, m.gpu)
+}
+
+// CPU implements Backend.
+func (m *meteredBackend) CPU() LevelExecutor { return m.cpu }
+
+// GPU implements Backend.
+func (m *meteredBackend) GPU() LevelExecutor {
+	if m.gpu == nil {
+		return nil
+	}
+	return m.gpu
+}
+
+// GPUGamma implements Backend.
+func (m *meteredBackend) GPUGamma() float64 { return m.inner.GPUGamma() }
+
+// TransferToGPU implements Backend.
+func (m *meteredBackend) TransferToGPU(n int64, done func()) {
+	m.toGPUCount.Inc()
+	m.toGPUBytes.Add(uint64(n))
+	m.inner.TransferToGPU(n, done)
+}
+
+// TransferToCPU implements Backend.
+func (m *meteredBackend) TransferToCPU(n int64, done func()) {
+	m.toCPUCount.Inc()
+	m.toCPUBytes.Add(uint64(n))
+	m.inner.TransferToCPU(n, done)
+}
+
+// Now implements Backend.
+func (m *meteredBackend) Now() float64 { return m.inner.Now() }
+
+// Wait implements Backend.
+func (m *meteredBackend) Wait() { m.inner.Wait() }
+
+// Autonomous forwards the wrapped backend's marker so executors drive a
+// metered backend exactly like the bare one.
+func (m *meteredBackend) Autonomous() bool { return autonomous(m.inner) }
+
+// Closed forwards the wrapped backend's Closer state.
+func (m *meteredBackend) Closed() bool {
+	c, ok := m.inner.(Closer)
+	return ok && c.Closed()
+}
+
+// meteredExecutor accounts every submitted batch: its queue+service latency
+// into a histogram (whose Sum is total batch time), and into both the
+// registry-wide and the per-run busy accumulators.
+type meteredExecutor struct {
+	inner   LevelExecutor
+	be      Backend
+	batch   *metrics.Histogram
+	busy    *metrics.Float
+	runBusy metrics.Float // per-run accumulation, feeds the idle remainder
+}
+
+var _ LevelExecutor = (*meteredExecutor)(nil)
+
+// Parallelism implements LevelExecutor.
+func (e *meteredExecutor) Parallelism() int { return e.inner.Parallelism() }
+
+// Submit implements LevelExecutor.
+func (e *meteredExecutor) Submit(b Batch, done func()) {
+	if b.Empty() {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	start := e.be.Now()
+	e.inner.Submit(b, func() {
+		d := e.be.Now() - start
+		e.batch.Observe(d)
+		e.busy.Add(d)
+		e.runBusy.Add(d)
+		if done != nil {
+			done()
+		}
+	})
+}

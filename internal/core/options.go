@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/metrics"
+
 // RunConfig is the resolved form of a list of Options: the per-run knobs
 // shared by every executor. Construct it with NewRunConfig; zero values mean
 // "default".
@@ -20,6 +22,9 @@ type RunConfig struct {
 	// Observe, if non-nil, runs on the final Report before the executor
 	// returns (after a partial, canceled run too).
 	Observe func(*Report)
+	// Metrics, if non-nil, receives the run's execution metrics (batch
+	// latencies, busy/idle time, transfer traffic; names in DESIGN.md §9).
+	Metrics *metrics.Registry
 }
 
 // Option configures a single execution. Options are accepted by the
@@ -66,6 +71,15 @@ func WithPriority(w int) Option {
 		}
 		c.Priority = w
 	}
+}
+
+// WithMetrics directs the run's execution metrics into the registry:
+// per-level batch latency histograms per unit, CPU/GPU busy and idle time,
+// and transfer bytes/counts split by direction (metric names in DESIGN.md
+// §9). A nil registry disables metrics (the default); the disabled path
+// performs no allocation and no atomic work.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *RunConfig) { c.Metrics = reg }
 }
 
 // WithBackendWrapper substitutes the backend seen by the executor; tracing

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/simcpu"
 	"repro/internal/simgpu"
 	"repro/internal/vtime"
@@ -99,6 +100,12 @@ func MustSim(p Platform) *Sim {
 
 // Platform returns the simulated platform's specification.
 func (s *Sim) Platform() Platform { return s.platform }
+
+// SetMetrics attaches a registry to the simulated device so kernel-launch
+// observability (wavefront occupancy, coalesced vs uncoalesced word
+// traffic) is recorded; see simgpu.SetMetrics. Host-side transfer metrics
+// come from the executors' core.WithMetrics instead.
+func (s *Sim) SetMetrics(reg *metrics.Registry) { s.gpu.SetMetrics(reg) }
 
 // Engine exposes the event engine (for estimation harnesses that schedule
 // their own probes).

@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+)
+
+// WriteJSON emits the registry snapshot as indented JSON (map keys sort, so
+// output is deterministic for a quiescent registry). Safe on a nil registry,
+// which emits an empty snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar exposes the registry under the given name on the standard
+// library's expvar surface (/debug/vars). The snapshot is taken lazily on
+// every scrape. Publishing the same registry again is a no-op; publishing a
+// second registry under an already-taken name panics, as expvar does. No-op
+// on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	r.published.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

@@ -1,0 +1,61 @@
+package native
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestPoolMetrics pins that a metered backend records chunk and task counts
+// per pool, and that the busy-worker gauge returns to zero once idle.
+func TestPoolMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := newBackend(t, Config{CPUWorkers: 2, DeviceLanes: 2, Metrics: reg})
+
+	var ran sync.WaitGroup
+	ran.Add(2)
+	batch := core.Batch{Tasks: 8, Run: func(int) {}}
+	b.CPU().Submit(batch, ran.Done)
+	b.GPU().Submit(batch, ran.Done)
+	ran.Wait()
+	b.Wait()
+
+	s := reg.Snapshot()
+	for _, pool := range []string{PoolCPU, PoolGPU} {
+		if got := s.Counters[pool+MetricTasks]; got != 8 {
+			t.Errorf("%s%s = %d, want 8", pool, MetricTasks, got)
+		}
+		// 8 tasks across 2 workers → 2 chunks.
+		if got := s.Counters[pool+MetricChunks]; got != 2 {
+			t.Errorf("%s%s = %d, want 2", pool, MetricChunks, got)
+		}
+		if got := s.Gauges[pool+MetricBusyWorkers]; got != 0 {
+			t.Errorf("%s%s = %d after Wait, want 0", pool, MetricBusyWorkers, got)
+		}
+	}
+	if got := s.Counters[MetricSubmitAfterClose]; got != 0 {
+		t.Errorf("%s = %d before Close, want 0", MetricSubmitAfterClose, got)
+	}
+}
+
+// TestSubmitAfterCloseCounted pins that work dropped by the close race is
+// visible in the metrics rather than silently discarded.
+func TestSubmitAfterCloseCounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b, err := New(Config{CPUWorkers: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var done sync.WaitGroup
+	done.Add(1)
+	b.CPU().Submit(core.Batch{Tasks: 1, Run: func(int) {}}, done.Done)
+	done.Wait() // abort path still unwinds the completion chain
+	if got := reg.Snapshot().Counters[MetricSubmitAfterClose]; got == 0 {
+		t.Errorf("%s = 0 after submit-after-close, want > 0", MetricSubmitAfterClose)
+	}
+}

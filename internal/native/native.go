@@ -19,8 +19,25 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 
 	"repro/internal/dcerr"
+)
+
+// Metric names recorded by the backend when Config.Metrics is set;
+// semantics in DESIGN.md §9. The {cpu,gpu} pair of each name is produced by
+// prefixing PoolCPU or PoolGPU.
+const (
+	MetricChunks           = "_chunks_total"
+	MetricTasks            = "_tasks_total"
+	MetricBusyWorkers      = "_busy_workers"
+	MetricSubmitAfterClose = "native_submit_after_close_total"
+)
+
+// Pool name prefixes for the per-pool metrics.
+const (
+	PoolCPU = "native_cpu"
+	PoolGPU = "native_gpu"
 )
 
 // Config describes a native backend.
@@ -37,6 +54,11 @@ type Config struct {
 	// TransferDelay, if nonzero, sleeps this long per host↔device transfer
 	// to mimic link latency.
 	TransferDelay time.Duration
+	// Metrics, if non-nil, receives pool occupancy gauges, chunk/task
+	// counters, and the count of submissions that raced Close (whose work
+	// is dropped while their completion chains still unwind). Nil disables
+	// metrics at zero cost.
+	Metrics *metrics.Registry
 }
 
 // Backend is a real-goroutine hybrid platform.
@@ -66,9 +88,9 @@ func New(cfg Config) (*Backend, error) {
 		return nil, fmt.Errorf("native: Gamma must be in (0,1), got %g: %w", cfg.Gamma, dcerr.ErrBadParam)
 	}
 	b := &Backend{cfg: cfg, start: time.Now()}
-	b.cpu = newPool(cfg.CPUWorkers, &b.pending)
+	b.cpu = newPool(cfg.CPUWorkers, &b.pending, cfg.Metrics, PoolCPU)
 	if cfg.DeviceLanes > 0 {
-		b.gpu = newPool(cfg.DeviceLanes, &b.pending)
+		b.gpu = newPool(cfg.DeviceLanes, &b.pending, cfg.Metrics, PoolGPU)
 	}
 	return b, nil
 }
@@ -153,20 +175,31 @@ type pool struct {
 	// close holds it exclusively, so a send never races the close.
 	mu     sync.RWMutex
 	closed bool
+	// Observability instruments; nil (no-op) unless Config.Metrics was set.
+	busyWorkers *metrics.Gauge
+	chunks      *metrics.Counter
+	tasksRun    *metrics.Counter
+	closeRaces  *metrics.Counter
 }
 
 var _ core.LevelExecutor = (*pool)(nil)
 
-func newPool(workers int, pending *sync.WaitGroup) *pool {
+func newPool(workers int, pending *sync.WaitGroup, reg *metrics.Registry, prefix string) *pool {
 	p := &pool{
-		workers: workers,
-		tasks:   make(chan func(), 4*workers),
-		pending: pending,
+		workers:     workers,
+		tasks:       make(chan func(), 4*workers),
+		pending:     pending,
+		busyWorkers: reg.Gauge(prefix + MetricBusyWorkers),
+		chunks:      reg.Counter(prefix + MetricChunks),
+		tasksRun:    reg.Counter(prefix + MetricTasks),
+		closeRaces:  reg.Counter(MetricSubmitAfterClose),
 	}
 	for i := 0; i < workers; i++ {
 		go func() {
 			for f := range p.tasks {
+				p.busyWorkers.Add(1)
 				f()
+				p.busyWorkers.Add(-1)
 			}
 		}()
 	}
@@ -191,6 +224,7 @@ func (p *pool) send(chunk, abort func()) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
+		p.closeRaces.Inc()
 		abort()
 		return
 	}
@@ -201,6 +235,7 @@ func (p *pool) send(chunk, abort func()) {
 			p.mu.RLock()
 			defer p.mu.RUnlock()
 			if p.closed {
+				p.closeRaces.Inc()
 				abort()
 				return
 			}
@@ -225,6 +260,8 @@ func (p *pool) Submit(b core.Batch, done func()) {
 	if b.Tasks < chunks {
 		chunks = b.Tasks
 	}
+	p.chunks.Add(uint64(chunks))
+	p.tasksRun.Add(uint64(b.Tasks))
 	join := done
 	if join == nil {
 		join = func() {}

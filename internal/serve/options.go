@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Option configures a Server at construction. Options are accepted by New
+// and applied over the defaults (QueueDepth 64, MaxInFlight 4, no metrics,
+// no tracing).
+type Option func(*Config)
+
+// WithQueueDepth bounds the admission queue: Submit rejects with
+// ErrQueueFull once n jobs are waiting. n <= 0 is rejected by New.
+func WithQueueDepth(n int) Option {
+	return func(c *Config) { c.QueueDepth = n }
+}
+
+// WithMaxInFlight bounds how many jobs execute concurrently on the backend.
+// The bound is clamped to 1 when the backend is not core.Autonomous (the
+// single-goroutine simulator must never be driven from two goroutines).
+func WithMaxInFlight(n int) Option {
+	return func(c *Config) { c.MaxInFlight = n }
+}
+
+// WithMetrics directs the server's operational metrics into the registry:
+// submission/outcome counters, queue-depth and in-flight gauges, and
+// per-priority wait and turnaround histograms (names in DESIGN.md §9). The
+// registry is also forwarded to every job's executor via core.WithMetrics,
+// so one scrape sees both layers. A nil registry disables metrics (the
+// default) at zero per-submit cost.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithRecorder records spans into rec: one "queue" and one "job" span per
+// job, plus — through a per-job scope wrapped around the backend — every
+// batch and transfer the job's executor submits, all stamped with the job
+// ID. Use trace.NewRecorderLimit for a server that should trace
+// continuously at bounded memory.
+func WithRecorder(rec *trace.Recorder) Option {
+	return func(c *Config) { c.Trace = rec }
+}
+
+// Metric names recorded when WithMetrics is configured; semantics in
+// DESIGN.md §9.
+const (
+	// MetricSubmitted counts accepted submissions; MetricRejected counts
+	// queue-full rejections (disjoint).
+	MetricSubmitted = "serve_submitted_total"
+	MetricRejected  = "serve_rejected_total"
+	// MetricCompleted/MetricCanceled/MetricFailed partition finished jobs.
+	MetricCompleted = "serve_completed_total"
+	MetricCanceled  = "serve_canceled_total"
+	MetricFailed    = "serve_failed_total"
+	// MetricQueueDepth and MetricInFlight are current occupancies;
+	// MetricQueueDepthMax is the queue's high-water mark.
+	MetricQueueDepth    = "serve_queue_depth"
+	MetricQueueDepthMax = "serve_queue_depth_max"
+	MetricInFlight      = "serve_inflight"
+)
+
+// Per-priority histogram name formats (the %d is the job's scheduling
+// weight): wall-clock wait from admission to dispatch, and turnaround from
+// admission to settlement.
+const (
+	MetricWaitSecondsFmt       = "serve_wait_seconds_p%d"
+	MetricTurnaroundSecondsFmt = "serve_turnaround_seconds_p%d"
+)

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dcerr"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -92,6 +93,10 @@ type Job struct {
 }
 
 // Config describes a Server.
+//
+// Deprecated: construct servers with New(backend, options...); Config
+// remains only as the resolved form of the options and for
+// NewFromConfig-based callers.
 type Config struct {
 	// Backend is the shared execution platform. Required.
 	Backend core.Backend
@@ -102,8 +107,12 @@ type Config struct {
 	// Defaults to 4. Clamped to 1 when the backend is not core.Autonomous
 	// (the single-goroutine simulator).
 	MaxInFlight int
-	// Trace, if non-nil, records one "queue" and one "job" span per job.
+	// Trace, if non-nil, records one "queue" and one "job" span per job,
+	// plus the job's batches and transfers through a per-job scope.
 	Trace *trace.Recorder
+	// Metrics, if non-nil, receives the server's operational metrics and is
+	// forwarded to every job's executor.
+	Metrics *metrics.Registry
 }
 
 // Stats is a point-in-time snapshot of the server's aggregate counters.
@@ -164,6 +173,7 @@ type queued struct {
 	ctx     context.Context
 	job     Job
 	opts    []core.Option
+	weight  int
 	vfinish float64
 	seq     uint64
 	wallIn  time.Time
@@ -208,11 +218,34 @@ type Server struct {
 
 	dispatcherDone chan struct{}
 	jobs           sync.WaitGroup
+
+	// Operational instruments; nil (no-op) unless Config.Metrics was set.
+	mSubmitted, mRejected  *metrics.Counter
+	mCompleted             *metrics.Counter
+	mCanceled, mFailed     *metrics.Counter
+	mQueueDepth, mQueueMax *metrics.Gauge
+	mInFlight              *metrics.Gauge
+	waitHists, turnHists   map[int]*metrics.Histogram // keyed by priority, under mu
 }
 
-// New starts a server over the backend. Call Close to stop it; Close drains
+// New starts a server multiplexing jobs over the shared backend,
+// configured by functional options (WithQueueDepth, WithMaxInFlight,
+// WithMetrics, WithRecorder). Call Close to stop it; Close drains
 // already-accepted jobs.
-func New(cfg Config) (*Server, error) {
+func New(be core.Backend, opts ...Option) (*Server, error) {
+	cfg := Config{Backend: be}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return NewFromConfig(cfg)
+}
+
+// NewFromConfig starts a server from a resolved Config.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) (*Server, error) {
 	if cfg.Backend == nil {
 		return nil, fmt.Errorf("serve: nil backend: %w", dcerr.ErrBadParam)
 	}
@@ -234,6 +267,18 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:            cfg,
 		dispatcherDone: make(chan struct{}),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.mSubmitted = reg.Counter(MetricSubmitted)
+		s.mRejected = reg.Counter(MetricRejected)
+		s.mCompleted = reg.Counter(MetricCompleted)
+		s.mCanceled = reg.Counter(MetricCanceled)
+		s.mFailed = reg.Counter(MetricFailed)
+		s.mQueueDepth = reg.Gauge(MetricQueueDepth)
+		s.mQueueMax = reg.Gauge(MetricQueueDepthMax)
+		s.mInFlight = reg.Gauge(MetricInFlight)
+		s.waitHists = map[int]*metrics.Histogram{}
+		s.turnHists = map[int]*metrics.Histogram{}
 	}
 	if a, ok := cfg.Backend.(core.Autonomous); !ok || !a.Autonomous() {
 		// The event-loop simulator must never be driven from two
@@ -270,6 +315,7 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.stats.Rejected++
+		s.mRejected.Inc()
 		return nil, fmt.Errorf("serve: %d jobs queued: %w", len(s.queue), dcerr.ErrQueueFull)
 	}
 	s.seq++
@@ -279,17 +325,39 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 		ctx:     ctx,
 		job:     job,
 		opts:    merged,
+		weight:  weight,
 		vfinish: s.pass + 1/float64(weight),
 		seq:     s.seq,
 		wallIn:  time.Now(),
 	}
 	heap.Push(&s.queue, q)
 	s.stats.Submitted++
+	s.mSubmitted.Inc()
+	s.mQueueDepth.Set(int64(len(s.queue)))
+	s.mQueueMax.Max(int64(len(s.queue)))
 	if len(s.queue) > s.stats.MaxQueueDepth {
 		s.stats.MaxQueueDepth = len(s.queue)
 	}
 	s.cond.Signal()
 	return h, nil
+}
+
+// latencyHists returns the wait and turnaround histograms for a priority,
+// creating and caching them on first use. Must be called with s.mu held;
+// returns nils when metrics are disabled.
+func (s *Server) latencyHists(priority int) (wait, turnaround *metrics.Histogram) {
+	if s.waitHists == nil {
+		return nil, nil
+	}
+	wait, ok := s.waitHists[priority]
+	if !ok {
+		wait = s.cfg.Metrics.Histogram(fmt.Sprintf(MetricWaitSecondsFmt, priority))
+		s.waitHists[priority] = wait
+		turnaround = s.cfg.Metrics.Histogram(fmt.Sprintf(MetricTurnaroundSecondsFmt, priority))
+		s.turnHists[priority] = turnaround
+		return wait, turnaround
+	}
+	return wait, s.turnHists[priority]
 }
 
 // Stats returns a snapshot of the aggregate counters.
@@ -336,6 +404,8 @@ func (s *Server) dispatch() {
 				s.pass = q.vfinish
 			}
 			s.inflight++
+			s.mQueueDepth.Set(int64(len(s.queue)))
+			s.mInFlight.Set(int64(s.inflight))
 			s.jobs.Add(1)
 			go s.run(q)
 		}
@@ -366,43 +436,69 @@ func (s *Server) run(q *queued) {
 
 	s.mu.Lock()
 	s.inflight--
+	s.mInFlight.Set(int64(s.inflight))
 	s.waitSum += q.h.queueWait
 	s.waitN++
 	s.stats.BusySeconds += rep.Seconds
 	switch {
 	case err == nil:
 		s.stats.Completed++
+		s.mCompleted.Inc()
 	case errors.Is(err, dcerr.ErrCanceled):
 		s.stats.Canceled++
+		s.mCanceled.Inc()
 	default:
 		s.stats.Failed++
+		s.mFailed.Inc()
 	}
+	wait, turnaround := s.latencyHists(q.weight)
+	wait.Observe(q.h.queueWait)
+	turnaround.Observe(time.Since(q.wallIn).Seconds())
 	s.cond.Signal()
 	s.mu.Unlock()
 }
 
-// execute runs the job's executor on the shared backend, recording trace
-// spans when configured.
+// execute runs the job's executor on the shared backend. When observability
+// is configured the job's options are prefixed with the server's: the
+// metrics registry (so executor metrics land beside the serving metrics)
+// and a per-job trace scope wrapped around the backend (so every batch and
+// transfer is recorded stamped with the job ID). Being prefixes, a job's
+// own WithMetrics or WithBackendWrapper still wins.
 func (s *Server) execute(q *queued) (core.Report, error) {
 	be := s.cfg.Backend
+	opts := q.opts
+	var scope *trace.Scope
+	if s.cfg.Metrics != nil || s.cfg.Trace != nil {
+		pre := make([]core.Option, 0, 2)
+		if s.cfg.Metrics != nil {
+			pre = append(pre, core.WithMetrics(s.cfg.Metrics))
+		}
+		if s.cfg.Trace != nil {
+			scope = s.cfg.Trace.Scope(q.h.ID)
+			pre = append(pre, core.WithBackendWrapper(func(inner core.Backend) core.Backend {
+				return trace.Wrap(inner, scope)
+			}))
+		}
+		opts = append(pre, q.opts...)
+	}
 	start := be.Now()
-	rep, err := s.runStrategy(q.ctx, be, q)
-	if s.cfg.Trace != nil {
+	rep, err := s.runStrategy(q.ctx, be, q, opts)
+	if scope != nil {
 		end := be.Now()
 		label := fmt.Sprintf("job %d %s %s n=%d", q.h.ID, q.job.Alg.Name(), q.job.Strategy, q.job.Alg.N())
-		s.cfg.Trace.Add(trace.Span{Unit: "queue", Label: label,
+		scope.Add(trace.Span{Unit: "queue", Label: label,
 			Start: start - q.h.queueWait, End: start})
-		s.cfg.Trace.Add(trace.Span{Unit: "job", Label: label, Start: start, End: end})
+		scope.Add(trace.Span{Unit: "job", Label: label, Start: start, End: end})
 	}
 	return rep, err
 }
 
-func (s *Server) runStrategy(ctx context.Context, be core.Backend, q *queued) (core.Report, error) {
+func (s *Server) runStrategy(ctx context.Context, be core.Backend, q *queued, opts []core.Option) (core.Report, error) {
 	switch q.job.Strategy {
 	case Sequential:
-		return core.RunSequentialCtx(ctx, be, q.job.Alg, q.opts...)
+		return core.RunSequentialCtx(ctx, be, q.job.Alg, opts...)
 	case BreadthFirstCPU:
-		return core.RunBreadthFirstCPUCtx(ctx, be, q.job.Alg, q.opts...)
+		return core.RunBreadthFirstCPUCtx(ctx, be, q.job.Alg, opts...)
 	case BasicHybrid, AdvancedHybrid, GPUOnly:
 		galg, ok := q.job.Alg.(core.GPUAlg)
 		if !ok {
@@ -411,11 +507,11 @@ func (s *Server) runStrategy(ctx context.Context, be core.Backend, q *queued) (c
 		}
 		switch q.job.Strategy {
 		case BasicHybrid:
-			return core.RunBasicHybridCtx(ctx, be, galg, q.job.Crossover, q.opts...)
+			return core.RunBasicHybridCtx(ctx, be, galg, q.job.Crossover, opts...)
 		case AdvancedHybrid:
-			return core.RunAdvancedHybridCtx(ctx, be, galg, q.job.Alpha, q.job.Y, q.opts...)
+			return core.RunAdvancedHybridCtx(ctx, be, galg, q.job.Alpha, q.job.Y, opts...)
 		default:
-			return core.RunGPUOnlyCtx(ctx, be, galg, q.opts...)
+			return core.RunGPUOnlyCtx(ctx, be, galg, opts...)
 		}
 	}
 	return core.Report{}, fmt.Errorf("serve: unknown strategy %d: %w", int(q.job.Strategy), dcerr.ErrBadParam)

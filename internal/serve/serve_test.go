@@ -94,7 +94,7 @@ func TestServerStressMixedJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.New(serve.Config{Backend: be, QueueDepth: 8, MaxInFlight: 4})
+	srv, err := serve.New(be, serve.WithQueueDepth(8), serve.WithMaxInFlight(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestServerQueueFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.New(serve.Config{Backend: be, QueueDepth: 1, MaxInFlight: 1})
+	srv, err := serve.New(be, serve.WithQueueDepth(1), serve.WithMaxInFlight(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestServerPriorityOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer be.Close()
-	srv, err := serve.New(serve.Config{Backend: be, QueueDepth: 8, MaxInFlight: 1})
+	srv, err := serve.New(be, serve.WithQueueDepth(8), serve.WithMaxInFlight(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestServerCancelWhileQueued(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer be.Close()
-	srv, err := serve.New(serve.Config{Backend: be, QueueDepth: 4, MaxInFlight: 1})
+	srv, err := serve.New(be, serve.WithQueueDepth(4), serve.WithMaxInFlight(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +394,7 @@ func TestServerClosedLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer be.Close()
-	srv, err := serve.New(serve.Config{Backend: be})
+	srv, err := serve.New(be)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestServerClosedLifecycle(t *testing.T) {
 
 // TestServerRejectsBadConfig covers construction-time validation.
 func TestServerRejectsBadConfig(t *testing.T) {
-	if _, err := serve.New(serve.Config{}); !errors.Is(err, dcerr.ErrBadParam) {
+	if _, err := serve.New(nil); !errors.Is(err, dcerr.ErrBadParam) {
 		t.Errorf("nil backend: error %v does not unwrap to ErrBadParam", err)
 	}
 	be, err := native.New(native.Config{CPUWorkers: 1})
@@ -419,7 +419,7 @@ func TestServerRejectsBadConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	be.Close()
-	if _, err := serve.New(serve.Config{Backend: be}); !errors.Is(err, dcerr.ErrBackendClosed) {
+	if _, err := serve.New(be); !errors.Is(err, dcerr.ErrBackendClosed) {
 		t.Errorf("closed backend: error %v does not unwrap to ErrBackendClosed", err)
 	}
 	be2, err := native.New(native.Config{CPUWorkers: 1})
@@ -427,10 +427,10 @@ func TestServerRejectsBadConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer be2.Close()
-	if _, err := serve.New(serve.Config{Backend: be2, QueueDepth: -1}); !errors.Is(err, dcerr.ErrBadParam) {
+	if _, err := serve.New(be2, serve.WithQueueDepth(-1)); !errors.Is(err, dcerr.ErrBadParam) {
 		t.Errorf("negative QueueDepth: error %v does not unwrap to ErrBadParam", err)
 	}
-	srv, err := serve.New(serve.Config{Backend: be2})
+	srv, err := serve.New(be2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,7 +455,7 @@ func TestServerRejectsBadConfig(t *testing.T) {
 // and every result stays correct.
 func TestServerSimBackend(t *testing.T) {
 	be := hpu.MustSim(hpu.HPU1())
-	srv, err := serve.New(serve.Config{Backend: be, QueueDepth: 16, MaxInFlight: 8})
+	srv, err := serve.New(be, serve.WithQueueDepth(16), serve.WithMaxInFlight(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +521,7 @@ func TestServerQueueWait(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer be.Close()
-	srv, err := serve.New(serve.Config{Backend: be, QueueDepth: 4, MaxInFlight: 1})
+	srv, err := serve.New(be, serve.WithQueueDepth(4), serve.WithMaxInFlight(1))
 	if err != nil {
 		t.Fatal(err)
 	}

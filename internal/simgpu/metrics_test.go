@@ -1,0 +1,56 @@
+package simgpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestKernelMetrics pins the wavefront, occupancy, and memory-coalescing
+// accounting recorded per launch.
+func TestKernelMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	eng, g := newGPU(t, params())
+	g.SetMetrics(reg)
+
+	// params() leaves WavefrontWidth at 0 → default SIMD width 64.
+	coalesced := core.Batch{Tasks: 512, Cost: core.Cost{Ops: 100, MemWords: 2, Coalesced: true}}
+	strided := core.Batch{Tasks: 100, Cost: core.Cost{Ops: 100, MemWords: 3}}
+	g.Submit(coalesced, nil)
+	g.Submit(strided, nil)
+	eng.Run()
+
+	s := reg.Snapshot()
+	if got := s.Counters[MetricLaunches]; got != 2 {
+		t.Errorf("%s = %d, want 2", MetricLaunches, got)
+	}
+	if got := s.Counters[MetricWorkItems]; got != 612 {
+		t.Errorf("%s = %d, want 612", MetricWorkItems, got)
+	}
+	// 512/64 = 8 full wavefronts, plus ceil(100/64) = 2 partial.
+	if got := s.Counters[MetricWavefronts]; got != 10 {
+		t.Errorf("%s = %d, want 10", MetricWavefronts, got)
+	}
+	if got := s.Counters[MetricCoalescedWords]; got != 512*2 {
+		t.Errorf("%s = %d, want %d", MetricCoalescedWords, got, 512*2)
+	}
+	if got := s.Counters[MetricUncoalescedWords]; got != 100*3 {
+		t.Errorf("%s = %d, want %d", MetricUncoalescedWords, got, 100*3)
+	}
+	occ := s.Histograms[MetricOccupancy]
+	if occ.Count != 2 {
+		t.Fatalf("%s count = %d, want 2", MetricOccupancy, occ.Count)
+	}
+	// Occupancies 0.5 and ~0.098, both below saturation.
+	if occ.Sum > 1 {
+		t.Errorf("%s sum = %g, want < 1", MetricOccupancy, occ.Sum)
+	}
+}
+
+// TestNoMetricsZeroCost pins that an uninstrumented GPU skips accounting.
+func TestNoMetricsZeroCost(t *testing.T) {
+	eng, g := newGPU(t, params())
+	g.Submit(core.Batch{Tasks: 4, Cost: core.Cost{Ops: 1}}, nil)
+	eng.Run() // must not panic on nil instruments
+}

@@ -45,10 +45,29 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 
 	"repro/internal/dcerr"
 )
+
+// Metric names recorded by the device when metrics are attached with
+// SetMetrics; semantics in DESIGN.md §9. The coalesced/uncoalesced word
+// counters surface the §6.3 access-pattern split that previously only
+// inflated modeled cost internally.
+const (
+	MetricLaunches         = "simgpu_launches_total"
+	MetricWavefronts       = "simgpu_wavefronts_total"
+	MetricWorkItems        = "simgpu_work_items_total"
+	MetricCoalescedWords   = "simgpu_coalesced_words_total"
+	MetricUncoalescedWords = "simgpu_uncoalesced_words_total"
+	MetricOccupancy        = "simgpu_occupancy"
+)
+
+// OccupancyBuckets bound the occupancy histogram: the fraction W/g of the
+// device's saturation thread count a launch brings (values above 1 mean
+// multiple waves).
+var OccupancyBuckets = []float64{0.01, 0.05, 0.25, 0.5, 1, 2, 8}
 
 // Params describes a simulated GPU device.
 type Params struct {
@@ -121,6 +140,14 @@ func (p Params) Validate() error {
 type GPU struct {
 	params Params
 	queue  *vtime.Resource
+
+	// Observability instruments; nil (no-op) until SetMetrics.
+	launches    *metrics.Counter
+	wavefronts  *metrics.Counter
+	workItems   *metrics.Counter
+	coalesced   *metrics.Counter
+	uncoalesced *metrics.Counter
+	occupancy   *metrics.Histogram
 }
 
 var _ core.LevelExecutor = (*GPU)(nil)
@@ -131,6 +158,19 @@ func New(eng *vtime.Engine, p Params) (*GPU, error) {
 		return nil, err
 	}
 	return &GPU{params: p, queue: vtime.NewResource(eng, 1)}, nil
+}
+
+// SetMetrics attaches a registry to the device: every kernel launch then
+// records its wavefront count, occupancy (work-items over g), and the
+// coalesced vs uncoalesced global-memory word traffic of §6.3. Call before
+// submitting work; a nil registry detaches.
+func (g *GPU) SetMetrics(reg *metrics.Registry) {
+	g.launches = reg.Counter(MetricLaunches)
+	g.wavefronts = reg.Counter(MetricWavefronts)
+	g.workItems = reg.Counter(MetricWorkItems)
+	g.coalesced = reg.Counter(MetricCoalescedWords)
+	g.uncoalesced = reg.Counter(MetricUncoalescedWords)
+	g.occupancy = reg.Histogram(MetricOccupancy, OccupancyBuckets...)
 }
 
 // Params returns the device parameters.
@@ -249,6 +289,7 @@ func (g *GPU) Submit(b core.Batch, done func()) {
 			b.Run(i)
 		}
 	}
+	g.account(b)
 	var d float64
 	if b.CostOps != nil {
 		d = g.HeterogeneousSeconds(b.Tasks, b.Cost, b.CostOps)
@@ -256,4 +297,23 @@ func (g *GPU) Submit(b core.Batch, done func()) {
 		d = g.LaunchSeconds(b.Tasks, b.Cost)
 	}
 	g.queue.RequestFixed(d, done)
+}
+
+// account records the launch's observability counters (no-ops when metrics
+// are not attached).
+func (g *GPU) account(b core.Batch) {
+	if g.launches == nil {
+		return
+	}
+	g.launches.Inc()
+	g.workItems.Add(uint64(b.Tasks))
+	width := g.params.wavefront()
+	g.wavefronts.Add(uint64((b.Tasks + width - 1) / width))
+	g.occupancy.Observe(float64(b.Tasks) / float64(g.params.SatThreads))
+	words := uint64(b.Cost.MemWords * float64(b.Tasks))
+	if b.Cost.Coalesced {
+		g.coalesced.Add(words)
+	} else {
+		g.uncoalesced.Add(words)
+	}
 }

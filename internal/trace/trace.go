@@ -1,9 +1,16 @@
 // Package trace records execution timelines of hybrid runs: every batch
 // submitted to a processing unit and every link transfer becomes a span.
 // A Recorder wraps any core.Backend, so both the simulated and the native
-// backends can be traced. Spans can be summarized (per-unit utilization),
-// rendered as an ASCII Gantt chart, or exported as Chrome trace-event JSON
-// for chrome://tracing.
+// backends can be traced. Spans carry a job ID and recursion level, so a
+// serving deployment can trace many concurrent jobs into one recorder and
+// still attribute every interval. Spans can be summarized (per-unit
+// utilization), rendered as an ASCII Gantt chart, or exported as Chrome
+// trace-event JSON for chrome://tracing — grouped per job in the viewer.
+//
+// A Recorder built with NewRecorder grows without bound, which suits one-off
+// runs; a busy server should use NewRecorderLimit, whose bounded ring buffer
+// keeps only the most recent spans (Dropped reports how many were evicted),
+// so tracing can stay on continuously at a fixed memory cost.
 package trace
 
 import (
@@ -31,6 +38,12 @@ const (
 type Span struct {
 	Unit  Unit
 	Label string
+	// Job attributes the span to a serving-layer job; 0 means a direct
+	// (unserved) run. Scoped recorders (Recorder.Scope) stamp it.
+	Job uint64
+	// Level is the recursion level the span's batch belongs to (0 = root);
+	// meaningful only for unit spans whose batch was stamped by an executor.
+	Level int
 	// Start and End are backend timestamps in seconds.
 	Start, End float64
 }
@@ -38,21 +51,77 @@ type Span struct {
 // Duration returns the span length.
 func (s Span) Duration() float64 { return s.End - s.Start }
 
-// Recorder collects spans. It is safe for concurrent use (the native
-// backend completes batches on multiple goroutines).
-type Recorder struct {
-	mu    sync.Mutex
-	spans []Span
+// Adder is anything spans can be recorded into: a *Recorder, or a scoped
+// view of one.
+type Adder interface {
+	Add(Span)
 }
 
-// NewRecorder returns an empty recorder.
+// Recorder collects spans. It is safe for concurrent use (the native
+// backend completes batches on multiple goroutines). With a capacity limit
+// it is a ring buffer: the newest span evicts the oldest.
+type Recorder struct {
+	mu      sync.Mutex
+	spans   []Span
+	limit   int // 0 = unbounded
+	next    int // ring write index, used once len(spans) == limit
+	dropped uint64
+}
+
+// NewRecorder returns an empty, unbounded recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Add appends a span.
+// NewRecorderLimit returns a recorder that retains at most limit spans,
+// evicting the oldest when full. limit <= 0 means unbounded.
+func NewRecorderLimit(limit int) *Recorder {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Recorder{limit: limit}
+}
+
+// Add appends a span, evicting the oldest if the recorder is at capacity.
 func (r *Recorder) Add(s Span) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.spans) == r.limit {
+		r.spans[r.next] = s
+		r.next = (r.next + 1) % r.limit
+		r.dropped++
+		return
+	}
 	r.spans = append(r.spans, s)
+}
+
+// Dropped reports how many spans the ring buffer has evicted.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports how many spans are currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Scope returns a view of the recorder that stamps every added span with the
+// given job ID. Concurrent jobs can each hold their own scope over one
+// shared recorder.
+func (r *Recorder) Scope(job uint64) *Scope { return &Scope{r: r, job: job} }
+
+// Scope is a per-job view of a Recorder.
+type Scope struct {
+	r   *Recorder
+	job uint64
+}
+
+// Add stamps the span with the scope's job ID and records it.
+func (s *Scope) Add(sp Span) {
+	sp.Job = s.job
+	s.r.Add(sp)
 }
 
 // Spans returns a copy of the recorded spans sorted by start time.
@@ -164,7 +233,9 @@ type chromeEvent struct {
 }
 
 // WriteChromeTrace emits the spans as a Chrome trace-event JSON array,
-// loadable in chrome://tracing or Perfetto.
+// loadable in chrome://tracing or Perfetto. Each job becomes one process
+// group (pid = job ID + 1; direct runs are pid 1), with one thread lane per
+// unit, so a multi-job server trace stays readable.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	tids := map[Unit]int{UnitCPU: 1, UnitGPU: 2, UnitLink: 3}
 	var events []chromeEvent
@@ -174,10 +245,14 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			tid = len(tids) + 1
 			tids[s.Unit] = tid
 		}
+		name := s.Label
+		if s.Level > 0 {
+			name = fmt.Sprintf("L%d %s", s.Level, s.Label)
+		}
 		events = append(events, chromeEvent{
-			Name: s.Label, Ph: "X",
+			Name: name, Ph: "X",
 			Ts: s.Start * 1e6, Dur: s.Duration() * 1e6,
-			PID: 1, TID: tid,
+			PID: int(s.Job) + 1, TID: tid,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -187,15 +262,16 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 // Backend wraps a core.Backend, recording every batch and transfer.
 type Backend struct {
 	inner core.Backend
-	rec   *Recorder
+	rec   Adder
 	cpu   core.LevelExecutor
 	gpu   core.LevelExecutor
 }
 
 var _ core.Backend = (*Backend)(nil)
 
-// Wrap returns a tracing view of be that records into rec.
-func Wrap(be core.Backend, rec *Recorder) *Backend {
+// Wrap returns a tracing view of be that records into rec — a *Recorder, or
+// a per-job Scope of one.
+func Wrap(be core.Backend, rec Adder) *Backend {
 	t := &Backend{inner: be, rec: rec}
 	t.cpu = &tracedExecutor{inner: be.CPU(), unit: UnitCPU, be: be, rec: rec}
 	if g := be.GPU(); g != nil {
@@ -256,14 +332,15 @@ type tracedExecutor struct {
 	inner core.LevelExecutor
 	unit  Unit
 	be    core.Backend
-	rec   *Recorder
+	rec   Adder
 }
 
 // Parallelism implements core.LevelExecutor.
 func (e *tracedExecutor) Parallelism() int { return e.inner.Parallelism() }
 
 // Submit implements core.LevelExecutor. The span covers queueing plus
-// service, bracketed by backend timestamps.
+// service, bracketed by backend timestamps, and carries the batch's
+// recursion level.
 func (e *tracedExecutor) Submit(b core.Batch, done func()) {
 	if b.Empty() {
 		if done != nil {
@@ -273,8 +350,9 @@ func (e *tracedExecutor) Submit(b core.Batch, done func()) {
 	}
 	start := e.be.Now()
 	label := fmt.Sprintf("%d tasks x %.0f ops", b.Tasks, b.Cost.Ops)
+	level := b.Level
 	e.inner.Submit(b, func() {
-		e.rec.Add(Span{Unit: e.unit, Label: label, Start: start, End: e.be.Now()})
+		e.rec.Add(Span{Unit: e.unit, Label: label, Level: level, Start: start, End: e.be.Now()})
 		if done != nil {
 			done()
 		}

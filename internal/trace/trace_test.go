@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/algos/mergesort"
@@ -125,5 +126,114 @@ func TestChromeTrace(t *testing.T) {
 		if e["ph"] != "X" {
 			t.Errorf("unexpected phase %v", e["ph"])
 		}
+	}
+}
+
+func TestRingBufferEvictsOldest(t *testing.T) {
+	rec := NewRecorderLimit(3)
+	for i := 0; i < 5; i++ {
+		rec.Add(Span{Unit: UnitCPU, Start: float64(i), End: float64(i) + 0.5})
+	}
+	if got := rec.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := rec.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	// The two oldest spans (starts 0 and 1) were evicted.
+	for _, s := range rec.Spans() {
+		if s.Start < 2 {
+			t.Errorf("span with start %g survived eviction", s.Start)
+		}
+	}
+	// Unbounded recorders never drop.
+	un := NewRecorder()
+	for i := 0; i < 5; i++ {
+		un.Add(Span{Unit: UnitCPU, Start: float64(i), End: float64(i) + 1})
+	}
+	if un.Dropped() != 0 || un.Len() != 5 {
+		t.Errorf("unbounded recorder dropped %d of %d", un.Dropped(), 5-un.Len())
+	}
+}
+
+func TestScopeStampsJob(t *testing.T) {
+	rec := NewRecorder()
+	rec.Scope(7).Add(Span{Unit: UnitCPU, Start: 0, End: 1})
+	rec.Scope(9).Add(Span{Unit: UnitGPU, Start: 1, End: 2})
+	rec.Add(Span{Unit: UnitLink, Start: 2, End: 3}) // direct, job 0
+	jobs := map[Unit]uint64{}
+	for _, s := range rec.Spans() {
+		jobs[s.Unit] = s.Job
+	}
+	if jobs[UnitCPU] != 7 || jobs[UnitGPU] != 9 || jobs[UnitLink] != 0 {
+		t.Errorf("job stamping wrong: %v", jobs)
+	}
+}
+
+func TestUtilizationEdgeCases(t *testing.T) {
+	// Empty recorder: nil.
+	if got := NewRecorder().Utilization(); got != nil {
+		t.Errorf("empty Utilization = %v, want nil", got)
+	}
+	// All spans zero-duration: makespan 0, nil rather than NaN.
+	zero := NewRecorder()
+	zero.Add(Span{Unit: UnitCPU, Start: 1, End: 1})
+	zero.Add(Span{Unit: UnitGPU, Start: 1, End: 1})
+	if got := zero.Utilization(); got != nil {
+		t.Errorf("zero-makespan Utilization = %v, want nil", got)
+	}
+	// A single span: its unit is 100% busy.
+	one := NewRecorder()
+	one.Add(Span{Unit: UnitCPU, Start: 2, End: 5})
+	util := one.Utilization()
+	if got := util[UnitCPU]; got != 1 {
+		t.Errorf("single-span utilization = %g, want 1", got)
+	}
+	// A zero-duration span alongside a real one contributes nothing.
+	mixed := NewRecorder()
+	mixed.Add(Span{Unit: UnitCPU, Start: 0, End: 4})
+	mixed.Add(Span{Unit: UnitGPU, Start: 2, End: 2})
+	util = mixed.Utilization()
+	if got := util[UnitGPU]; got != 0 {
+		t.Errorf("zero-duration span utilization = %g, want 0", got)
+	}
+}
+
+// TestChromeTraceGolden pins the exact export format: pid grouping by job,
+// tid lanes per unit, and the level prefix in names.
+func TestChromeTraceGolden(t *testing.T) {
+	rec := NewRecorder()
+	rec.Add(Span{Unit: UnitCPU, Label: "4 tasks x 10 ops", Level: 2, Start: 0, End: 0.001})
+	rec.Scope(3).Add(Span{Unit: UnitLink, Label: "to-gpu 64B", Start: 0.001, End: 0.002})
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"L2 4 tasks x 10 ops","ph":"X","ts":0,"dur":1000,"pid":1,"tid":1},` +
+		`{"name":"to-gpu 64B","ph":"X","ts":1000,"dur":1000,"pid":4,"tid":3}]` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("chrome trace mismatch:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	rec := NewRecorderLimit(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := rec.Scope(uint64(g))
+			for i := 0; i < 100; i++ {
+				sc.Add(Span{Unit: UnitCPU, Start: float64(i), End: float64(i) + 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := rec.Len(); got != 64 {
+		t.Errorf("Len = %d, want 64", got)
+	}
+	if got := rec.Dropped(); got != 8*100-64 {
+		t.Errorf("Dropped = %d, want %d", got, 8*100-64)
 	}
 }

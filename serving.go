@@ -77,7 +77,12 @@ type (
 	// bounded admission (ErrQueueFull), per-job context cancellation, and
 	// weighted-fair dispatch. See internal/serve for the full semantics.
 	Server = serve.Server
+	// ServerOption configures a Server at construction (WithQueueDepth,
+	// WithMaxInFlight, WithServerMetrics, WithServerRecorder).
+	ServerOption = serve.Option
 	// ServerConfig configures a Server.
+	//
+	// Deprecated: pass ServerOptions to NewServer instead.
 	ServerConfig = serve.Config
 	// JobSpec describes one job for Server.Submit.
 	JobSpec = serve.Job
@@ -104,7 +109,40 @@ const (
 )
 
 // NewServer starts a job server over the backend; call Close to stop it.
-func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+// The defaults (queue depth 64, four jobs in flight, no observability) are
+// adjusted with ServerOptions:
+//
+//	reg := hybriddc.NewMetrics()
+//	srv, err := hybriddc.NewServer(be,
+//	    hybriddc.WithQueueDepth(256),
+//	    hybriddc.WithServerMetrics(reg))
+func NewServer(be Backend, opts ...ServerOption) (*Server, error) {
+	return serve.New(be, opts...)
+}
+
+// NewServerFromConfig starts a job server from a resolved ServerConfig.
+//
+// Deprecated: use NewServer with ServerOptions.
+func NewServerFromConfig(cfg ServerConfig) (*Server, error) { return serve.NewFromConfig(cfg) }
+
+// WithQueueDepth bounds the server's admission queue: Submit rejects with
+// ErrQueueFull once n jobs are waiting.
+func WithQueueDepth(n int) ServerOption { return serve.WithQueueDepth(n) }
+
+// WithMaxInFlight bounds how many jobs the server executes concurrently
+// (clamped to 1 on non-autonomous backends such as the simulator).
+func WithMaxInFlight(n int) ServerOption { return serve.WithMaxInFlight(n) }
+
+// WithServerMetrics directs the server's operational metrics — admission
+// and outcome counters, queue-depth and in-flight gauges, per-priority wait
+// and turnaround histograms — into the registry, and forwards the registry
+// to every job's executor. One scrape therefore sees both layers.
+func WithServerMetrics(reg *Metrics) ServerOption { return serve.WithMetrics(reg) }
+
+// WithServerRecorder records per-job spans into rec: one "queue" and one
+// "job" span per job plus every batch and transfer, all stamped with the
+// job ID. Combine with NewTraceRecorderLimit for bounded memory.
+func WithServerRecorder(rec *TraceRecorder) ServerOption { return serve.WithRecorder(rec) }
 
 // Submit is a convenience wrapper: it submits the job and returns its
 // handle. Equivalent to (*Server).Submit.
