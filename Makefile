@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke check bench
+.PHONY: all build vet test race smoke obs-smoke check bench bench-serve
 
 all: check
 
@@ -35,3 +35,11 @@ check: build vet race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Fused vs unfused serving throughput on the simulator: 64 GPU-only jobs at
+# three sizes through a plain and a fusing server, timed in deterministic
+# virtual seconds and written to BENCH_serve.json. Exits nonzero if any
+# per-job result differs between the two or the small-job speedup falls
+# below the 1.5x acceptance floor.
+bench-serve:
+	$(GO) run ./cmd/hpuserve --bench-fusion --bench-out BENCH_serve.json

@@ -6,6 +6,8 @@
 package hybriddc
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/algos/mergesort"
@@ -176,7 +178,7 @@ func BenchmarkFig10OptimalParams(b *testing.B) {
 
 // runHybrid executes one advanced hybrid mergesort on a fresh simulated
 // HPU1 and returns (sequential, hybrid) times.
-func runHybrid(b *testing.B, in []int32, opt core.Options) (float64, float64) {
+func runHybrid(b *testing.B, in []int32, opts ...core.Option) (float64, float64) {
 	b.Helper()
 	seqBe := hpu.MustSim(hpu.HPU1())
 	seqS, err := mergesort.New(in)
@@ -190,8 +192,7 @@ func runHybrid(b *testing.B, in []int32, opt core.Options) (float64, float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rep, err := core.RunAdvancedHybrid(be, s,
-		core.AdvancedParams{Alpha: 0.17, Y: 9, Split: -1}, opt)
+	rep, err := core.RunAdvancedHybridCtx(context.Background(), be, s, 0.17, 9, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func BenchmarkAblationCoalescing(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var seq, hyb float64
 			for i := 0; i < b.N; i++ {
-				seq, hyb = runHybrid(b, in, core.Options{Coalesce: coalesce})
+				seq, hyb = runHybrid(b, in, coalesceOpts(coalesce)...)
 			}
 			b.ReportMetric(seq/hyb, "speedup")
 		})
@@ -237,7 +238,7 @@ func BenchmarkAblationStrategies(b *testing.B) {
 		{"basic-hybrid", func() float64 {
 			be := hpu.MustSim(hpu.HPU1())
 			s, _ := mergesort.New(in)
-			rep, err := core.RunBasicHybrid(be, s, 10, core.Options{Coalesce: true})
+			rep, err := core.RunBasicHybridCtx(context.Background(), be, s, 10, core.WithCoalesce())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -246,9 +247,7 @@ func BenchmarkAblationStrategies(b *testing.B) {
 		{"advanced-hybrid", func() float64 {
 			be := hpu.MustSim(hpu.HPU1())
 			s, _ := mergesort.New(in)
-			rep, err := core.RunAdvancedHybrid(be, s,
-				core.AdvancedParams{Alpha: 0.17, Y: 9, Split: -1},
-				core.Options{Coalesce: true})
+			rep, err := core.RunAdvancedHybridCtx(context.Background(), be, s, 0.17, 9, core.WithCoalesce())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -257,7 +256,7 @@ func BenchmarkAblationStrategies(b *testing.B) {
 		{"gpu-only-parallel", func() float64 {
 			be := hpu.MustSim(hpu.HPU1())
 			s, _ := mergesort.NewParallel(in)
-			rep, err := core.RunGPUOnly(be, s, core.Options{})
+			rep, err := core.RunGPUOnlyCtx(context.Background(), be, s)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -282,7 +281,7 @@ func BenchmarkAblationDynamicSched(b *testing.B) {
 	b.Run("static-advanced", func(b *testing.B) {
 		var seq, hyb float64
 		for i := 0; i < b.N; i++ {
-			seq, hyb = runHybrid(b, in, core.Options{Coalesce: true})
+			seq, hyb = runHybrid(b, in, core.WithCoalesce())
 		}
 		b.ReportMetric(seq/hyb, "speedup")
 	})
@@ -338,9 +337,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		be := hpu.MustSim(hpu.HPU1())
 		s, _ := mergesort.New(in)
-		if _, err := core.RunAdvancedHybrid(be, s,
-			core.AdvancedParams{Alpha: 0.16, Y: 8, Split: -1},
-			core.Options{Coalesce: true}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, 0.16, 8, core.WithCoalesce()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -384,8 +381,7 @@ func BenchmarkExtensionAnySorter(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep, err := core.RunAdvancedHybrid(be, s,
-			core.AdvancedParams{Alpha: 0.17, Y: 9, Split: -1}, core.Options{})
+		rep, err := core.RunAdvancedHybridCtx(context.Background(), be, s, 0.17, 9)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -422,4 +418,13 @@ func BenchmarkExtensionExtendedModel(b *testing.B) {
 		alpha, _, _ = ext.BestAdvancedSeconds(60)
 	}
 	b.ReportMetric(alpha, "alpha")
+}
+
+// coalesceOpts returns the coalescing option when on, for benchmarks that
+// toggle it.
+func coalesceOpts(on bool) []core.Option {
+	if on {
+		return []core.Option{core.WithCoalesce()}
+	}
+	return nil
 }

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// benchResult is one row of BENCH_serve.json: fused vs unfused throughput
+// for one job size, measured in the simulator's virtual time so the numbers
+// are deterministic and hardware-independent.
+type benchResult struct {
+	Size              int     `json:"size"`
+	Jobs              int     `json:"jobs"`
+	UnfusedJobsPerSec float64 `json:"unfused_jobs_per_sec"`
+	FusedJobsPerSec   float64 `json:"fused_jobs_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	FusedRuns         uint64  `json:"fused_runs"`
+	FusedJobs         uint64  `json:"fused_jobs"`
+	Identical         bool    `json:"results_identical"`
+}
+
+// runFusionBench measures fused vs unfused serving throughput on the HPU1
+// simulator: for each job size it submits 64 GPU-only prefix-sum jobs to a
+// plain server and to a fusing server, times both workloads in virtual
+// seconds, verifies every per-job result is bit-identical across the two,
+// and writes the rows to out. It fails (nonzero exit) when any result
+// differs, when nothing fused, or when the small-job speedup falls below
+// the 1.5x acceptance floor.
+func runFusionBench(out string) error {
+	sizes := []int{1024, 4096, 16384}
+	const jobs = 64
+	var rows []benchResult
+
+	for _, n := range sizes {
+		datas := make([][]int32, jobs)
+		for i := range datas {
+			datas[i] = workload.Uniform(n, int64(1000*n+i))
+		}
+
+		runAll := func(fused bool) (jobsPerSec float64, outs [][]int64, st hybriddc.ServerStats, err error) {
+			be := hybriddc.MustSim(hybriddc.HPU1())
+			opts := []hybriddc.ServerOption{hybriddc.WithQueueDepth(jobs)}
+			if fused {
+				opts = append(opts,
+					hybriddc.WithMaxFusedJobs(jobs),
+					hybriddc.WithBatchWindow(100*time.Millisecond))
+			}
+			srv, err := hybriddc.NewServer(be, opts...)
+			if err != nil {
+				return 0, nil, st, err
+			}
+			scanners := make([]interface{ Result() []int64 }, jobs)
+			handles := make([]*hybriddc.JobHandle, jobs)
+			start := be.Now()
+			for i := range handles {
+				sc, err := hybriddc.NewScan(datas[i])
+				if err != nil {
+					return 0, nil, st, err
+				}
+				scanners[i] = sc
+				handles[i], err = srv.Submit(context.Background(),
+					hybriddc.JobSpec{Alg: sc, Strategy: hybriddc.JobGPUOnly})
+				if err != nil {
+					return 0, nil, st, err
+				}
+			}
+			for i, h := range handles {
+				if _, err := h.Report(); err != nil {
+					return 0, nil, st, fmt.Errorf("job %d: %w", i, err)
+				}
+			}
+			elapsed := be.Now() - start
+			if err := srv.Close(); err != nil {
+				return 0, nil, st, err
+			}
+			outs = make([][]int64, jobs)
+			for i, sc := range scanners {
+				outs[i] = sc.Result()
+			}
+			if elapsed <= 0 {
+				return 0, nil, st, fmt.Errorf("virtual clock did not advance")
+			}
+			return float64(jobs) / elapsed, outs, srv.Stats(), nil
+		}
+
+		plainRate, plainOuts, _, err := runAll(false)
+		if err != nil {
+			return fmt.Errorf("bench-fusion n=%d unfused: %w", n, err)
+		}
+		fusedRate, fusedOuts, st, err := runAll(true)
+		if err != nil {
+			return fmt.Errorf("bench-fusion n=%d fused: %w", n, err)
+		}
+
+		identical := true
+		for i := range plainOuts {
+			if len(plainOuts[i]) != len(fusedOuts[i]) {
+				identical = false
+				break
+			}
+			for j := range plainOuts[i] {
+				if plainOuts[i][j] != fusedOuts[i][j] {
+					identical = false
+					break
+				}
+			}
+			if !identical {
+				break
+			}
+		}
+
+		row := benchResult{
+			Size: n, Jobs: jobs,
+			UnfusedJobsPerSec: plainRate,
+			FusedJobsPerSec:   fusedRate,
+			Speedup:           fusedRate / plainRate,
+			FusedRuns:         st.FusedRuns,
+			FusedJobs:         st.FusedJobs,
+			Identical:         identical,
+		}
+		rows = append(rows, row)
+		fmt.Printf("n=%-6d %d jobs: unfused %8.1f jobs/s  fused %8.1f jobs/s  speedup %.2fx  (%d fused runs, %d fused jobs)\n",
+			n, jobs, plainRate, fusedRate, row.Speedup, st.FusedRuns, st.FusedJobs)
+
+		if !identical {
+			return fmt.Errorf("bench-fusion n=%d: fused results differ from unfused", n)
+		}
+		if st.FusedJobs == 0 {
+			return fmt.Errorf("bench-fusion n=%d: nothing fused", n)
+		}
+		if n <= 4096 && row.Speedup < 1.5 {
+			return fmt.Errorf("bench-fusion n=%d: speedup %.2fx below the 1.5x acceptance floor", n, row.Speedup)
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"benchmarks": rows}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

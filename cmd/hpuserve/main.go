@@ -52,8 +52,19 @@ func main() {
 		maxLog    = flag.Int("maxlog", 16, "log2 of the largest job input")
 		cancelPct = flag.Int("cancel", 15, "percent of jobs to cancel mid-flight")
 		seed      = flag.Int64("seed", 1, "PRNG seed for the job mix")
+
+		fuse        = flag.Int("fuse", 0, "fuse up to this many queued same-kind GPU-only jobs into one launch (< 2 disables fusion)")
+		batchWindow = flag.Duration("batch-window", 0, "how long a dispatched fusable job waits for companions to arrive")
+		fuseBytes   = flag.Int64("fuse-bytes-cap", 0, "cap on a fused group's summed transfer bytes (0 = unbounded)")
+		benchFusion = flag.Bool("bench-fusion", false, "benchmark fused vs unfused job throughput on the simulator, write BENCH_serve.json, and exit")
+		benchOut    = flag.String("bench-out", "BENCH_serve.json", "output path for --bench-fusion results")
 	)
 	flag.Parse()
+
+	if *benchFusion {
+		check(runFusionBench(*benchOut))
+		return
+	}
 
 	if (*smoke || *obsSmoke) && *duration > 5*time.Second {
 		*duration = 5 * time.Second
@@ -71,6 +82,12 @@ func main() {
 	srvOpts := []hybriddc.ServerOption{
 		hybriddc.WithQueueDepth(*qdepth),
 		hybriddc.WithMaxInFlight(*inflight),
+	}
+	if *fuse >= 2 {
+		srvOpts = append(srvOpts,
+			hybriddc.WithMaxFusedJobs(*fuse),
+			hybriddc.WithBatchWindow(*batchWindow),
+			hybriddc.WithFusedBytesCap(*fuseBytes))
 	}
 	if observing {
 		reg = hybriddc.NewMetrics()
@@ -135,11 +152,20 @@ func main() {
 		go func() {
 			defer wg.Done()
 			defer cancel()
+			// Composable completion: select over Done instead of parking in
+			// Report, so the cancellation timer shares this one goroutine.
+			var timer <-chan time.Time
 			if doCancel {
-				time.Sleep(cancelAfter)
-				cancel()
+				timer = time.After(cancelAfter)
 			}
-			rep, err := h.Report()
+			select {
+			case <-h.Done():
+			case <-timer:
+				cancel()
+				<-h.Done()
+			}
+			err := h.Err() // settled: never blocks
+			rep, _ := h.Report()
 			mu.Lock()
 			defer mu.Unlock()
 			switch {
@@ -178,6 +204,9 @@ func main() {
 		st.Submitted, st.Rejected, st.Completed, st.Canceled, st.Failed)
 	fmt.Printf("queue: max depth %d  avg wait %.3fms  busy %.3fs\n",
 		st.MaxQueueDepth, 1e3*st.AvgQueueWaitSeconds, st.BusySeconds)
+	if *fuse >= 2 {
+		fmt.Printf("fusion: %d fused runs covering %d jobs\n", st.FusedRuns, st.FusedJobs)
+	}
 
 	if !*smoke && !*obsSmoke {
 		return

@@ -1,6 +1,8 @@
 package hybriddc
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/workload"
@@ -22,8 +24,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if y < 0 || y > s.Levels() {
 		t.Fatalf("planned y = %d", y)
 	}
-	rep, err := RunAdvancedHybrid(be, s,
-		AdvancedParams{Alpha: alpha, Y: y, Split: -1}, Options{Coalesce: true})
+	rep, err := RunAdvancedHybridCtx(context.Background(), be, s, alpha, y, WithCoalesce())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package dcsum
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -54,7 +56,7 @@ func TestBasicHybrid(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := core.RunBasicHybrid(be, s, x, core.Options{Coalesce: coalesce}); err != nil {
+			if _, err := core.RunBasicHybridCtx(context.Background(), be, s, x, coalesceOpts(coalesce)...); err != nil {
 				t.Fatal(err)
 			}
 			if got, want := s.Result(), Sum(in); got != want {
@@ -66,7 +68,7 @@ func TestBasicHybrid(t *testing.T) {
 
 func TestAdvancedHybrid(t *testing.T) {
 	for _, coalesce := range []bool{false, true} {
-		for _, prm := range []core.AdvancedParams{
+		for _, prm := range []advParams{
 			{Alpha: 0.16, Y: 5, Split: -1},
 			{Alpha: 0.5, Y: 8, Split: 2},
 			{Alpha: 0, Y: 4, Split: 0},
@@ -78,7 +80,8 @@ func TestAdvancedHybrid(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: coalesce}); err != nil {
+			if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y,
+				append(coalesceOpts(coalesce), core.WithSplit(prm.Split))...); err != nil {
 				t.Fatal(err)
 			}
 			if got, want := s.Result(), Sum(in); got != want {
@@ -95,7 +98,7 @@ func TestGPUOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.RunGPUOnly(be, s, core.Options{Coalesce: true}); err != nil {
+	if _, err := core.RunGPUOnlyCtx(context.Background(), be, s, core.WithCoalesce()); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := s.Result(), Sum(in); got != want {
@@ -114,8 +117,8 @@ func TestNativeAdvanced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prm := core.AdvancedParams{Alpha: 0.25, Y: 6, Split: -1}
-	if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+	prm := advParams{Alpha: 0.25, Y: 6, Split: -1}
+	if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithCoalesce(), core.WithSplit(prm.Split)); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := s.Result(), Sum(in); got != want {
@@ -134,12 +137,12 @@ func TestQuickProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prm := core.AdvancedParams{
+		prm := advParams{
 			Alpha: float64(alphaRaw) / 65535,
 			Y:     int(yRaw) % (logN + 1),
 			Split: -1,
 		}
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithCoalesce(), core.WithSplit(prm.Split)); err != nil {
 			return false
 		}
 		return s.Result() == Sum(in)
@@ -157,4 +160,21 @@ func TestResultBeforeRunPanics(t *testing.T) {
 		}
 	}()
 	_ = s.Result()
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
+}
+
+// coalesceOpts returns the coalescing option when on, for table-driven
+// tests that toggle it.
+func coalesceOpts(on bool) []core.Option {
+	if on {
+		return []core.Option{core.WithCoalesce()}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package fft
 
 import (
+	"context"
+
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -58,16 +60,15 @@ func TestMatchesDFTAllExecutors(t *testing.T) {
 			return nil
 		}},
 		{"basic-hybrid", func(tr *Transform) error {
-			_, err := core.RunBasicHybrid(hpu.MustSim(hpu.HPU1()), tr, 4, core.Options{})
+			_, err := core.RunBasicHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr, 4)
 			return err
 		}},
 		{"advanced-hybrid", func(tr *Transform) error {
-			_, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU2()), tr,
-				core.AdvancedParams{Alpha: 0.25, Y: 5, Split: -1}, core.Options{})
+			_, err := core.RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU2()), tr, 0.25, 5)
 			return err
 		}},
 		{"gpu-only", func(tr *Transform) error {
-			_, err := core.RunGPUOnly(hpu.MustSim(hpu.HPU1()), tr, core.Options{})
+			_, err := core.RunGPUOnlyCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr)
 			return err
 		}},
 	}
@@ -168,8 +169,7 @@ func TestNativeBackend(t *testing.T) {
 	}
 	defer be.Close()
 	tr, _ := New(x)
-	if _, err := core.RunAdvancedHybrid(be, tr,
-		core.AdvancedParams{Alpha: 0.3, Y: 5, Split: -1}, core.Options{}); err != nil {
+	if _, err := core.RunAdvancedHybridCtx(context.Background(), be, tr, 0.3, 5); err != nil {
 		t.Fatal(err)
 	}
 	if !closeTo(tr.Result(), want, 1e-9*float64(n)) {

@@ -1,6 +1,8 @@
 package karatsuba
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -79,7 +81,7 @@ func TestExecutors(t *testing.T) {
 	t.Run("basic-hybrid", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b)
-		if _, err := core.RunBasicHybrid(be, m, 3, core.Options{}); err != nil {
+		if _, err := core.RunBasicHybridCtx(context.Background(), be, m, 3); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(m.Result(), want) {
@@ -89,8 +91,8 @@ func TestExecutors(t *testing.T) {
 	t.Run("advanced-hybrid", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU2())
 		m, _ := New(a, b)
-		prm := core.AdvancedParams{Alpha: 0.3, Y: 4, Split: -1}
-		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.3, Y: 4, Split: -1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(m.Result(), want) {
@@ -100,7 +102,7 @@ func TestExecutors(t *testing.T) {
 	t.Run("gpu-only", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b)
-		if _, err := core.RunGPUOnly(be, m, core.Options{}); err != nil {
+		if _, err := core.RunGPUOnlyCtx(context.Background(), be, m); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(m.Result(), want) {
@@ -114,8 +116,8 @@ func TestExecutors(t *testing.T) {
 		}
 		defer be.Close()
 		m, _ := New(a, b)
-		prm := core.AdvancedParams{Alpha: 0.4, Y: 3, Split: 1}
-		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.4, Y: 3, Split: 1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(m.Result(), want) {
@@ -130,7 +132,7 @@ func TestArityThreeSplits(t *testing.T) {
 	n := 1 << 5
 	a, b := coeffs(n, 3), coeffs(n, 4)
 	want := Multiply(a, b)
-	for _, prm := range []core.AdvancedParams{
+	for _, prm := range []advParams{
 		{Alpha: 0.1, Y: 3, Split: 1},
 		{Alpha: 0.34, Y: 2, Split: 2},
 		{Alpha: 0.67, Y: 4, Split: 0},
@@ -138,7 +140,7 @@ func TestArityThreeSplits(t *testing.T) {
 	} {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b)
-		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatalf("%+v: %v", prm, err)
 		}
 		if !equal(m.Result(), want) {
@@ -158,12 +160,12 @@ func TestQuickProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prm := core.AdvancedParams{
+		prm := advParams{
 			Alpha: float64(alphaRaw) / 65535,
 			Y:     int(yRaw) % (logN + 1),
 			Split: -1,
 		}
-		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			return false
 		}
 		return equal(m.Result(), Multiply(a, b))
@@ -171,4 +173,12 @@ func TestQuickProperty(t *testing.T) {
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
 }

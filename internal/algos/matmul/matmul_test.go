@@ -1,6 +1,8 @@
 package matmul
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -88,7 +90,7 @@ func TestExecutors(t *testing.T) {
 	t.Run("basic-hybrid", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b, n, depth)
-		if _, err := core.RunBasicHybrid(be, m, 2, core.Options{}); err != nil {
+		if _, err := core.RunBasicHybridCtx(context.Background(), be, m, 2); err != nil {
 			t.Fatal(err)
 		}
 		if !close(m.Result(), want) {
@@ -98,8 +100,8 @@ func TestExecutors(t *testing.T) {
 	t.Run("advanced-hybrid", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU2())
 		m, _ := New(a, b, n, depth)
-		prm := core.AdvancedParams{Alpha: 0.25, Y: 2, Split: 1}
-		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.25, Y: 2, Split: 1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !close(m.Result(), want) {
@@ -109,7 +111,7 @@ func TestExecutors(t *testing.T) {
 	t.Run("gpu-only", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b, n, depth)
-		if _, err := core.RunGPUOnly(be, m, core.Options{}); err != nil {
+		if _, err := core.RunGPUOnlyCtx(context.Background(), be, m); err != nil {
 			t.Fatal(err)
 		}
 		if !close(m.Result(), want) {
@@ -123,8 +125,8 @@ func TestExecutors(t *testing.T) {
 		}
 		defer be.Close()
 		m, _ := New(a, b, n, depth)
-		prm := core.AdvancedParams{Alpha: 0.5, Y: 2, Split: 1}
-		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.5, Y: 2, Split: 1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !close(m.Result(), want) {
@@ -155,18 +157,26 @@ func TestArityEightSplits(t *testing.T) {
 	n := 16
 	a, b := randomMatrix(n, 6), randomMatrix(n, 7)
 	want := Multiply(a, b, n)
-	for _, prm := range []core.AdvancedParams{
+	for _, prm := range []advParams{
 		{Alpha: 0.1, Y: 1, Split: 1},
 		{Alpha: 0.4, Y: 2, Split: 1},
 		{Alpha: 0.8, Y: 2, Split: 2},
 	} {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b, n, 3)
-		if _, err := core.RunAdvancedHybrid(be, m, prm, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatalf("%+v: %v", prm, err)
 		}
 		if !close(m.Result(), want) {
 			t.Errorf("%+v: product incorrect", prm)
 		}
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
 }

@@ -1,6 +1,8 @@
 package maxsubarray
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -87,7 +89,7 @@ func TestExecutors(t *testing.T) {
 	t.Run("basic-hybrid", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		s, _ := New(in)
-		if _, err := core.RunBasicHybrid(be, s, 6, core.Options{}); err != nil {
+		if _, err := core.RunBasicHybridCtx(context.Background(), be, s, 6); err != nil {
 			t.Fatal(err)
 		}
 		if got := s.Result(); got != want {
@@ -97,8 +99,8 @@ func TestExecutors(t *testing.T) {
 	t.Run("advanced-hybrid", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU2())
 		s, _ := New(in)
-		prm := core.AdvancedParams{Alpha: 0.2, Y: 7, Split: -1}
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.2, Y: 7, Split: -1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if got := s.Result(); got != want {
@@ -108,7 +110,7 @@ func TestExecutors(t *testing.T) {
 	t.Run("gpu-only", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		s, _ := New(in)
-		if _, err := core.RunGPUOnly(be, s, core.Options{}); err != nil {
+		if _, err := core.RunGPUOnlyCtx(context.Background(), be, s); err != nil {
 			t.Fatal(err)
 		}
 		if got := s.Result(); got != want {
@@ -122,8 +124,8 @@ func TestExecutors(t *testing.T) {
 		}
 		defer be.Close()
 		s, _ := New(in)
-		prm := core.AdvancedParams{Alpha: 0.3, Y: 6, Split: -1}
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.3, Y: 6, Split: -1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if got := s.Result(); got != want {
@@ -143,12 +145,12 @@ func TestQuickProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prm := core.AdvancedParams{
+		prm := advParams{
 			Alpha: float64(alphaRaw) / 65535,
 			Y:     int(yRaw) % (logN + 1),
 			Split: -1,
 		}
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			return false
 		}
 		return s.Result() == Kadane(in)
@@ -156,4 +158,12 @@ func TestQuickProperty(t *testing.T) {
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
 }

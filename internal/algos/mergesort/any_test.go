@@ -1,6 +1,8 @@
 package mergesort
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -51,7 +53,7 @@ func TestAnySorterAllExecutors(t *testing.T) {
 	})
 	t.Run("basic-hybrid", func(t *testing.T) {
 		s, _ := NewAny(in)
-		if _, err := core.RunBasicHybrid(hpu.MustSim(hpu.HPU1()), s, 8, core.Options{Coalesce: true}); err != nil {
+		if _, err := core.RunBasicHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s, 8, core.WithCoalesce()); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), want) {
@@ -59,12 +61,12 @@ func TestAnySorterAllExecutors(t *testing.T) {
 		}
 	})
 	t.Run("advanced-hybrid", func(t *testing.T) {
-		for _, prm := range []core.AdvancedParams{
+		for _, prm := range []advParams{
 			{Alpha: 0.17, Y: 9, Split: -1},
 			{Alpha: 0.4, Y: 6, Split: 3},
 		} {
 			s, _ := NewAny(in)
-			if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU2()), s, prm, core.Options{}); err != nil {
+			if _, err := core.RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU2()), s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 				t.Fatal(err)
 			}
 			if !equal(s.Result(), want) {
@@ -79,8 +81,7 @@ func TestAnySorterAllExecutors(t *testing.T) {
 		}
 		defer be.Close()
 		s, _ := NewAny(in)
-		if _, err := core.RunAdvancedHybrid(be, s,
-			core.AdvancedParams{Alpha: 0.25, Y: 7, Split: -1}, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, 0.25, 7); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), want) {
@@ -119,12 +120,12 @@ func TestAnySorterQuick(t *testing.T) {
 			return false
 		}
 		levels := s.Levels()
-		prm := core.AdvancedParams{
+		prm := advParams{
 			Alpha: float64(alphaRaw) / 65535,
 			Y:     int(yRaw) % (levels + 1),
 			Split: -1,
 		}
-		if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU1()), s, prm, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			return false
 		}
 		return equal(s.Result(), reference(in))

@@ -1,6 +1,8 @@
 package mergesort
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/binary"
 	"testing"
@@ -61,13 +63,13 @@ func FuzzAnySorter(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prm := core.AdvancedParams{
+		prm := advParams{
 			Alpha: float64(alphaRaw) / 65535,
 			Y:     int(yRaw) % (s.Levels() + 1),
 			Split: -1,
 		}
 		be := hpu.MustSim(hpu.HPU1())
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), reference(in)) {
@@ -94,13 +96,13 @@ func FuzzSorterPow2(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prm := core.AdvancedParams{
+		prm := advParams{
 			Alpha: 0.3,
 			Y:     int(yRaw) % (s.Levels() + 1),
 			Split: -1,
 		}
 		be := hpu.MustSim(hpu.HPU2())
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithCoalesce(), core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), reference(in)) {

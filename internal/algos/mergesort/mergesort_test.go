@@ -1,6 +1,8 @@
 package mergesort
 
 import (
+	"context"
+
 	"math/rand"
 	"sort"
 	"testing"
@@ -139,7 +141,7 @@ func TestBasicHybridExecutor(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep, err := core.RunBasicHybrid(be, s, crossover, core.Options{Coalesce: coalesce})
+			rep, err := core.RunBasicHybridCtx(context.Background(), be, s, crossover, coalesceOpts(coalesce)...)
 			if err != nil {
 				t.Fatalf("basic(x=%d,coalesce=%v): %v", crossover, coalesce, err)
 			}
@@ -166,8 +168,9 @@ func TestAdvancedHybridExecutor(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			prm := core.AdvancedParams{Alpha: c.alpha, Y: c.y, Split: -1}
-			rep, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: coalesce})
+			prm := advParams{Alpha: c.alpha, Y: c.y, Split: -1}
+			rep, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y,
+				append(coalesceOpts(coalesce), core.WithSplit(prm.Split))...)
 			if err != nil {
 				t.Fatalf("advanced(α=%g,y=%d,coalesce=%v): %v", c.alpha, c.y, coalesce, err)
 			}
@@ -187,8 +190,8 @@ func TestAdvancedHybridExplicitSplits(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prm := core.AdvancedParams{Alpha: 0.25, Y: 5, Split: split}
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+		prm := advParams{Alpha: 0.25, Y: 5, Split: split}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithCoalesce(), core.WithSplit(prm.Split)); err != nil {
 			t.Fatalf("split=%d: %v", split, err)
 		}
 		checkSorted(t, "advanced-split", s, in)
@@ -199,14 +202,14 @@ func TestAdvancedHybridRejectsBadParams(t *testing.T) {
 	in := workload.Uniform(1<<10, 5)
 	be := hpu.MustSim(hpu.HPU1())
 	s, _ := New(in)
-	bad := []core.AdvancedParams{
+	bad := []advParams{
 		{Alpha: -0.1, Y: 5, Split: 0},
 		{Alpha: 1.1, Y: 5, Split: 0},
 		{Alpha: 0.5, Y: 99, Split: 0},
 		{Alpha: 0.5, Y: 3, Split: 4},
 	}
 	for _, prm := range bad {
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{}); err == nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err == nil {
 			t.Errorf("accepted bad params %+v", prm)
 		}
 	}
@@ -219,7 +222,7 @@ func TestGPUOnlyParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := core.RunGPUOnly(be, s, core.Options{})
+	rep, err := core.RunGPUOnlyCtx(context.Background(), be, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +245,7 @@ func TestParallelSorterDuplicatesStable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := core.RunGPUOnly(be, s, core.Options{}); err != nil {
+		if _, err := core.RunGPUOnlyCtx(context.Background(), be, s); err != nil {
 			t.Fatal(err)
 		}
 		checkSorted(t, "gpu-only-dups", s.Sorter, in)
@@ -261,8 +264,7 @@ func TestHybridSpeedupOverSequential(t *testing.T) {
 
 	hyBe := hpu.MustSim(hpu.HPU1())
 	hyS, _ := New(in)
-	rep, err := core.RunAdvancedHybrid(hyBe, hyS,
-		core.AdvancedParams{Alpha: 0.16, Y: 8, Split: -1}, core.Options{Coalesce: true})
+	rep, err := core.RunAdvancedHybridCtx(context.Background(), hyBe, hyS, 0.16, 8, core.WithCoalesce())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +283,7 @@ func TestCoalescingHelps(t *testing.T) {
 	run := func(coalesce bool) float64 {
 		be := hpu.MustSim(hpu.HPU1())
 		s, _ := New(in)
-		rep, err := core.RunBasicHybrid(be, s, 10, core.Options{Coalesce: coalesce})
+		rep, err := core.RunBasicHybridCtx(context.Background(), be, s, 10, coalesceOpts(coalesce)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,8 +311,9 @@ func TestHybridQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prm := core.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: coalesce%2 == 0}); err != nil {
+		prm := advParams{Alpha: alpha, Y: y, Split: -1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y,
+			append(coalesceOpts(coalesce%2 == 0), core.WithSplit(prm.Split))...); err != nil {
 			return false
 		}
 		return equal(s.Result(), reference(in))
@@ -328,4 +331,21 @@ func TestResultBeforeRunPanics(t *testing.T) {
 		}
 	}()
 	_ = s.Result()
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
+}
+
+// coalesceOpts returns the coalescing option when on, for table-driven
+// tests that toggle it.
+func coalesceOpts(on bool) []core.Option {
+	if on {
+		return []core.Option{core.WithCoalesce()}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package scan
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -59,7 +61,7 @@ func TestExecutors(t *testing.T) {
 	})
 	t.Run("basic-hybrid", func(t *testing.T) {
 		s, _ := New(in)
-		if _, err := core.RunBasicHybrid(hpu.MustSim(hpu.HPU1()), s, 6, core.Options{}); err != nil {
+		if _, err := core.RunBasicHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s, 6); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), want) {
@@ -68,8 +70,8 @@ func TestExecutors(t *testing.T) {
 	})
 	t.Run("advanced-hybrid", func(t *testing.T) {
 		s, _ := New(in)
-		prm := core.AdvancedParams{Alpha: 0.2, Y: 7, Split: -1}
-		if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU2()), s, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.2, Y: 7, Split: -1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU2()), s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), want) {
@@ -78,7 +80,7 @@ func TestExecutors(t *testing.T) {
 	})
 	t.Run("gpu-only", func(t *testing.T) {
 		s, _ := New(in)
-		if _, err := core.RunGPUOnly(hpu.MustSim(hpu.HPU1()), s, core.Options{}); err != nil {
+		if _, err := core.RunGPUOnlyCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), want) {
@@ -106,8 +108,8 @@ func TestExecutors(t *testing.T) {
 		}
 		defer be.Close()
 		s, _ := New(in)
-		prm := core.AdvancedParams{Alpha: 0.3, Y: 6, Split: -1}
-		if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{}); err != nil {
+		prm := advParams{Alpha: 0.3, Y: 6, Split: -1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), want) {
@@ -145,12 +147,12 @@ func TestQuickProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prm := core.AdvancedParams{
+		prm := advParams{
 			Alpha: float64(alphaRaw) / 65535,
 			Y:     int(yRaw) % (logN + 1),
 			Split: -1,
 		}
-		if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU1()), s, prm, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 			return false
 		}
 		return equal(s.Result(), Prefix(in))
@@ -158,4 +160,12 @@ func TestQuickProperty(t *testing.T) {
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
 }

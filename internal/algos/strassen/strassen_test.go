@@ -1,6 +1,8 @@
 package strassen
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -89,7 +91,7 @@ func TestExecutorsAritySeven(t *testing.T) {
 	})
 	t.Run("basic-hybrid", func(t *testing.T) {
 		m, _ := New(a, b, n, depth)
-		if _, err := core.RunBasicHybrid(hpu.MustSim(hpu.HPU1()), m, 1, core.Options{}); err != nil {
+		if _, err := core.RunBasicHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), m, 1); err != nil {
 			t.Fatal(err)
 		}
 		if !closeTo(m.Result(), want) {
@@ -97,13 +99,13 @@ func TestExecutorsAritySeven(t *testing.T) {
 		}
 	})
 	t.Run("advanced-hybrid", func(t *testing.T) {
-		for _, prm := range []core.AdvancedParams{
+		for _, prm := range []advParams{
 			{Alpha: 0.2, Y: 1, Split: 1},
 			{Alpha: 0.45, Y: 2, Split: 1},
 			{Alpha: 0.7, Y: 2, Split: 2},
 		} {
 			m, _ := New(a, b, n, depth)
-			if _, err := core.RunAdvancedHybrid(hpu.MustSim(hpu.HPU2()), m, prm, core.Options{}); err != nil {
+			if _, err := core.RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU2()), m, prm.Alpha, prm.Y, core.WithSplit(prm.Split)); err != nil {
 				t.Fatalf("%+v: %v", prm, err)
 			}
 			if !closeTo(m.Result(), want) {
@@ -113,7 +115,7 @@ func TestExecutorsAritySeven(t *testing.T) {
 	})
 	t.Run("gpu-only", func(t *testing.T) {
 		m, _ := New(a, b, n, depth)
-		if _, err := core.RunGPUOnly(hpu.MustSim(hpu.HPU1()), m, core.Options{}); err != nil {
+		if _, err := core.RunGPUOnlyCtx(context.Background(), hpu.MustSim(hpu.HPU1()), m); err != nil {
 			t.Fatal(err)
 		}
 		if !closeTo(m.Result(), want) {
@@ -127,8 +129,7 @@ func TestExecutorsAritySeven(t *testing.T) {
 		}
 		defer be.Close()
 		m, _ := New(a, b, n, depth)
-		if _, err := core.RunAdvancedHybrid(be, m,
-			core.AdvancedParams{Alpha: 0.3, Y: 2, Split: 1}, core.Options{}); err != nil {
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), be, m, 0.3, 2, core.WithSplit(1)); err != nil {
 			t.Fatal(err)
 		}
 		if !closeTo(m.Result(), want) {
@@ -149,4 +150,12 @@ func TestIdentity(t *testing.T) {
 	if !closeTo(m.Result(), a) {
 		t.Error("A·I != A")
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
 }

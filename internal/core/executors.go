@@ -358,6 +358,8 @@ func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover in
 }
 
 // RunBasicHybrid executes the §5.1 basic work division without cancellation.
+//
+// Deprecated: use RunBasicHybridCtx with functional options.
 func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report, error) {
 	return RunBasicHybridCtx(context.Background(), be, alg, crossover, opt.AsOptions()...)
 }
@@ -530,6 +532,8 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 
 // RunAdvancedHybrid executes the §5.2 advanced work division (Algorithm 8)
 // without cancellation, parameterized by the deprecated structs.
+//
+// Deprecated: use RunAdvancedHybridCtx with (alpha, y) and WithSplit.
 func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
 	opts := opt.AsOptions()
 	if prm.Split >= 0 {
@@ -595,6 +599,8 @@ func RunGPUOnlyCtx(ctx context.Context, be Backend, alg GPUAlg, opts ...Option) 
 
 // RunGPUOnly executes the whole algorithm on the device without
 // cancellation.
+//
+// Deprecated: use RunGPUOnlyCtx with functional options.
 func RunGPUOnly(be Backend, alg GPUAlg, opt Options) (Report, error) {
 	return RunGPUOnlyCtx(context.Background(), be, alg, opt.AsOptions()...)
 }

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -128,7 +130,7 @@ func TestBasicHybridStructure(t *testing.T) {
 	p := newProbe(2, 8)
 	be := hpu.MustSim(hpu.HPU1())
 	const x = 3
-	if _, err := RunBasicHybrid(be, p, x, Options{}); err != nil {
+	if _, err := RunBasicHybridCtx(context.Background(), be, p, x); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range p.events {
@@ -151,8 +153,8 @@ func TestAdvancedHybridPartition(t *testing.T) {
 	for _, arity := range []int{2, 3} {
 		p := newProbe(arity, 6)
 		be := hpu.MustSim(hpu.HPU1())
-		prm := AdvancedParams{Alpha: 0.3, Y: 4, Split: 2}
-		if _, err := RunAdvancedHybrid(be, p, prm, Options{}); err != nil {
+		prm := advParams{Alpha: 0.3, Y: 4, Split: 2}
+		if _, err := RunAdvancedHybridCtx(context.Background(), be, p, prm.Alpha, prm.Y, WithSplit(prm.Split)); err != nil {
 			t.Fatal(err)
 		}
 		width := TasksAtLevel(arity, 2)
@@ -194,7 +196,7 @@ func TestAdvancedHybridAlphaExtremes(t *testing.T) {
 	// α=1: no GPU events at all. α=0: no CPU-portion combine below split.
 	p := newProbe(2, 6)
 	be := hpu.MustSim(hpu.HPU1())
-	if _, err := RunAdvancedHybrid(be, p, AdvancedParams{Alpha: 1, Y: 4, Split: 2}, Options{}); err != nil {
+	if _, err := RunAdvancedHybridCtx(context.Background(), be, p, 1, 4, WithSplit(2)); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range p.events {
@@ -205,7 +207,7 @@ func TestAdvancedHybridAlphaExtremes(t *testing.T) {
 
 	p2 := newProbe(2, 6)
 	be2 := hpu.MustSim(hpu.HPU1())
-	if _, err := RunAdvancedHybrid(be2, p2, AdvancedParams{Alpha: 0, Y: 4, Split: 2}, Options{}); err != nil {
+	if _, err := RunAdvancedHybridCtx(context.Background(), be2, p2, 0, 4, WithSplit(2)); err != nil {
 		t.Fatal(err)
 	}
 	sawGPU := false
@@ -225,7 +227,7 @@ func TestAdvancedHybridAlphaExtremes(t *testing.T) {
 func TestGPUOnlyStructure(t *testing.T) {
 	p := newProbe(2, 5)
 	be := hpu.MustSim(hpu.HPU1())
-	rep, err := RunGPUOnly(be, p, Options{})
+	rep, err := RunGPUOnlyCtx(context.Background(), be, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,13 +250,13 @@ func (n noGPU) GPU() LevelExecutor { return nil }
 func TestExecutorsRequireGPU(t *testing.T) {
 	p := newProbe(2, 4)
 	be := noGPU{hpu.MustSim(hpu.HPU1())}
-	if _, err := RunBasicHybrid(be, p, 2, Options{}); err == nil {
+	if _, err := RunBasicHybridCtx(context.Background(), be, p, 2); err == nil {
 		t.Error("RunBasicHybrid accepted a CPU-only backend")
 	}
-	if _, err := RunAdvancedHybrid(be, p, AdvancedParams{Alpha: 0.5, Y: 2, Split: 1}, Options{}); err == nil {
+	if _, err := RunAdvancedHybridCtx(context.Background(), be, p, 0.5, 2, WithSplit(1)); err == nil {
 		t.Error("RunAdvancedHybrid accepted a CPU-only backend")
 	}
-	if _, err := RunGPUOnly(be, p, Options{}); err == nil {
+	if _, err := RunGPUOnlyCtx(context.Background(), be, p); err == nil {
 		t.Error("RunGPUOnly accepted a CPU-only backend")
 	}
 }
@@ -262,10 +264,18 @@ func TestExecutorsRequireGPU(t *testing.T) {
 func TestBasicHybridCrossoverBounds(t *testing.T) {
 	p := newProbe(2, 4)
 	be := hpu.MustSim(hpu.HPU1())
-	if _, err := RunBasicHybrid(be, p, -1, Options{}); err == nil {
+	if _, err := RunBasicHybridCtx(context.Background(), be, p, -1); err == nil {
 		t.Error("accepted negative crossover")
 	}
-	if _, err := RunBasicHybrid(be, p, 5, Options{}); err == nil {
+	if _, err := RunBasicHybridCtx(context.Background(), be, p, 5); err == nil {
 		t.Error("accepted crossover beyond leaf level")
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
 }

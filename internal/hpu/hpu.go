@@ -59,7 +59,6 @@ type Sim struct {
 	eng      *vtime.Engine
 	cpu      *simcpu.CPU
 	gpu      *simgpu.GPU
-	link     *vtime.Resource
 	// transferred accumulates bytes moved across the link, for reports.
 	transferred int64
 }
@@ -85,7 +84,6 @@ func NewSim(p Platform) (*Sim, error) {
 		eng:      eng,
 		cpu:      cpu,
 		gpu:      gpu,
-		link:     vtime.NewResource(eng, 1),
 	}, nil
 }
 
@@ -126,14 +124,17 @@ func (s *Sim) GPU() core.LevelExecutor { return s.gpu }
 // GPUGamma implements core.Backend.
 func (s *Sim) GPUGamma() float64 { return s.gpu.Gamma() }
 
-// transfer models one DMA in either direction.
+// transfer models one DMA in either direction. Transfers are priced by the
+// link (λ + δ·w) and serialize on the device's copy queue, which runs
+// concurrently with the compute queue — so an upload can overlap a kernel,
+// as the pipelined fused executor requires.
 func (s *Sim) transfer(n int64, done func()) {
 	if n < 0 {
 		panic(fmt.Sprintf("hpu: negative transfer size %d", n))
 	}
 	s.transferred += n
 	d := s.platform.Link.LatencySec + float64(n)*s.platform.Link.SecPerByte
-	s.link.RequestFixed(d, done)
+	s.gpu.SubmitCopy(d, done)
 }
 
 // TransferToGPU implements core.Backend.
@@ -144,6 +145,10 @@ func (s *Sim) TransferToCPU(n int64, done func()) { s.transfer(n, done) }
 
 // TransferredBytes reports total bytes moved across the link so far.
 func (s *Sim) TransferredBytes() int64 { return s.transferred }
+
+// LinkBusySeconds reports accumulated seconds the link (the device copy
+// queue) spent servicing transfers.
+func (s *Sim) LinkBusySeconds() float64 { return s.gpu.CopyBusySeconds() }
 
 // TransferSeconds reports the modeled duration of a single n-byte transfer.
 func (s *Sim) TransferSeconds(n int64) float64 {

@@ -1,0 +1,73 @@
+package hpu
+
+import (
+	"repro/internal/simcpu"
+	"repro/internal/simgpu"
+)
+
+// Option customizes the platform a Sim is built from. Options apply in
+// order on top of the HPU1 baseline (or whatever WithPlatform set), so a
+// caller can start from a paper platform and vary one knob:
+//
+//	sim, err := hpu.New(hpu.WithPlatform(hpu.HPU2()), hpu.WithCPUCores(8))
+//
+// The named constructors remain as thin wrappers: NewSim(p) is exactly
+// New(WithPlatform(p)).
+type Option func(*Platform)
+
+// WithPlatform replaces the whole platform specification. Apply it first;
+// later options then modify the chosen baseline.
+func WithPlatform(p Platform) Option {
+	return func(dst *Platform) { *dst = p }
+}
+
+// WithName sets the platform name used in reports.
+func WithName(name string) Option {
+	return func(p *Platform) { p.Name = name }
+}
+
+// WithCPUCores sets p, the CPU core count of the model.
+func WithCPUCores(cores int) Option {
+	return func(p *Platform) { p.CPU.Cores = cores }
+}
+
+// WithCPU replaces the full CPU specification.
+func WithCPU(c simcpu.Params) Option {
+	return func(p *Platform) { p.CPU = c }
+}
+
+// WithGPU sets the two quantities the paper's model characterizes a device
+// by (§3.2, Table 2): g, the saturation thread count, and γ, the
+// single-thread speed ratio. The remaining device parameters keep the
+// baseline's values.
+func WithGPU(g int, gamma float64) Option {
+	return func(p *Platform) {
+		p.GPU.SatThreads = g
+		p.GPU.Gamma = gamma
+	}
+}
+
+// WithGPUParams replaces the full GPU specification.
+func WithGPUParams(g simgpu.Params) Option {
+	return func(p *Platform) { p.GPU = g }
+}
+
+// WithLink sets the transfer cost model: a transfer of w bytes takes
+// lambda + w·secPerByte seconds (§3.2's λ + δ·w).
+func WithLink(lambda, secPerByte float64) Option {
+	return func(p *Platform) {
+		p.Link.LatencySec = lambda
+		p.Link.SecPerByte = secPerByte
+	}
+}
+
+// New builds a simulated HPU from functional options over the HPU1
+// baseline. Validation happens once, after all options have applied, so
+// partially-specified intermediate states are fine.
+func New(opts ...Option) (*Sim, error) {
+	p := HPU1()
+	for _, o := range opts {
+		o(&p)
+	}
+	return NewSim(p)
+}

@@ -1,0 +1,83 @@
+package hpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dcerr"
+)
+
+// TestNewDefaultsToHPU1 pins that the zero-option construction is exactly
+// the HPU1 named constructor.
+func TestNewDefaultsToHPU1(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Platform() != HPU1() {
+		t.Errorf("New() platform = %+v, want HPU1", s.Platform())
+	}
+}
+
+// TestNewOptionsCompose pins option semantics: a platform baseline first,
+// then targeted knob overrides in application order.
+func TestNewOptionsCompose(t *testing.T) {
+	s, err := New(
+		WithPlatform(HPU2()),
+		WithName("custom"),
+		WithCPUCores(8),
+		WithGPU(2048, 1.0/100),
+		WithLink(1e-6, 1.0/1e9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Platform()
+	if p.Name != "custom" {
+		t.Errorf("Name = %q, want custom", p.Name)
+	}
+	if p.CPU.Cores != 8 {
+		t.Errorf("Cores = %d, want 8", p.CPU.Cores)
+	}
+	if p.GPU.SatThreads != 2048 || p.GPU.Gamma != 1.0/100 {
+		t.Errorf("GPU (g, γ) = (%d, %g), want (2048, 0.01)", p.GPU.SatThreads, p.GPU.Gamma)
+	}
+	// Knobs not touched by WithGPU keep the HPU2 baseline.
+	if p.GPU.HideFactor != HPU2().GPU.HideFactor {
+		t.Errorf("HideFactor = %g, want HPU2 baseline %g", p.GPU.HideFactor, HPU2().GPU.HideFactor)
+	}
+	if p.Link.LatencySec != 1e-6 || p.Link.SecPerByte != 1.0/1e9 {
+		t.Errorf("Link = %+v, want λ=1e-6 δ=1e-9", p.Link)
+	}
+	if got, want := s.TransferSeconds(1000), 1e-6+1000.0/1e9; math.Abs(got-want) > 1e-15 {
+		t.Errorf("TransferSeconds(1000) = %g, want %g", got, want)
+	}
+}
+
+// TestNewValidatesAfterOptions pins that validation covers the final
+// composed platform.
+func TestNewValidatesAfterOptions(t *testing.T) {
+	if _, err := New(WithGPU(0, 0.5)); !errors.Is(err, dcerr.ErrBadParam) {
+		t.Errorf("invalid g: err = %v, want ErrBadParam", err)
+	}
+	if _, err := New(WithLink(-1, 0)); !errors.Is(err, dcerr.ErrBadParam) {
+		t.Errorf("negative λ: err = %v, want ErrBadParam", err)
+	}
+}
+
+// TestNewSimIsThinWrapper pins the named constructor's equivalence to the
+// options form.
+func TestNewSimIsThinWrapper(t *testing.T) {
+	a, err := NewSim(HPU2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithPlatform(HPU2()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Platform() != b.Platform() {
+		t.Errorf("NewSim(HPU2) != New(WithPlatform(HPU2))")
+	}
+}

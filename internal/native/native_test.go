@@ -1,6 +1,8 @@
 package native
 
 import (
+	"context"
+
 	"runtime"
 	"sort"
 	"testing"
@@ -148,8 +150,9 @@ func TestAdvancedHybridNative(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prm := core.AdvancedParams{Alpha: 0.25, Y: 6, Split: -1}
-		if _, err := core.RunAdvancedHybrid(b, s, prm, core.Options{Coalesce: coalesce}); err != nil {
+		prm := advParams{Alpha: 0.25, Y: 6, Split: -1}
+		if _, err := core.RunAdvancedHybridCtx(context.Background(), b, s, prm.Alpha, prm.Y,
+			append(coalesceOpts(coalesce), core.WithSplit(prm.Split))...); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), sortedCopy(in)) {
@@ -165,7 +168,7 @@ func TestBasicHybridNative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.RunBasicHybrid(b, s, 6, core.Options{Coalesce: true}); err != nil {
+	if _, err := core.RunBasicHybridCtx(context.Background(), b, s, 6, core.WithCoalesce()); err != nil {
 		t.Fatal(err)
 	}
 	if !equal(s.Result(), sortedCopy(in)) {
@@ -180,7 +183,7 @@ func TestGPUOnlyNative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.RunGPUOnly(b, s, core.Options{}); err != nil {
+	if _, err := core.RunGPUOnlyCtx(context.Background(), b, s); err != nil {
 		t.Fatal(err)
 	}
 	if !equal(s.Result(), sortedCopy(in)) {
@@ -200,4 +203,21 @@ func TestTransferDelay(t *testing.T) {
 	if b.Now()-start < 0.0009 {
 		t.Errorf("transfer completed too fast: %gs", b.Now()-start)
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
+}
+
+// coalesceOpts returns the coalescing option when on, for table-driven
+// tests that toggle it.
+func coalesceOpts(on bool) []core.Option {
+	if on {
+		return []core.Option{core.WithCoalesce()}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+
 	"sort"
 	"testing"
 
@@ -68,8 +70,7 @@ func TestStaticBeatsDynamic(t *testing.T) {
 
 	advBe := hpu.MustSim(hpu.HPU1())
 	advS, _ := mergesort.New(in)
-	adv, err := core.RunAdvancedHybrid(advBe, advS,
-		core.AdvancedParams{Alpha: 0.17, Y: 9, Split: -1}, core.Options{Coalesce: true})
+	adv, err := core.RunAdvancedHybridCtx(context.Background(), advBe, advS, 0.17, 9, core.WithCoalesce())
 	if err != nil {
 		t.Fatal(err)
 	}

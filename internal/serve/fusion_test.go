@@ -1,0 +1,473 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algos/dcsum"
+	"repro/internal/algos/mergesort"
+	"repro/internal/algos/scan"
+	"repro/internal/core"
+	"repro/internal/dcerr"
+	"repro/internal/hpu"
+	"repro/internal/metrics"
+	"repro/internal/native"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// fusedJob is one randomly generated GPUOnly job plus a pure-Go reference
+// check of its result.
+type fusedJob struct {
+	kind  string
+	alg   core.Alg
+	check func(t *testing.T, i int)
+}
+
+func randomFusedJob(t *testing.T, rng *rand.Rand) fusedJob {
+	t.Helper()
+	n := 1 << (3 + rng.Intn(8)) // 8 … 1024
+	data := workload.Uniform(n, rng.Int63())
+	switch rng.Intn(3) {
+	case 0:
+		want := scan.Prefix(data)
+		sc, err := scan.New(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fusedJob{"scan", sc, func(t *testing.T, i int) {
+			got := sc.Result()
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("job %d (scan n=%d): result[%d] = %d, want %d", i, n, j, got[j], want[j])
+				}
+			}
+		}}
+	case 1:
+		want := dcsum.Sum(data)
+		sm, err := dcsum.New(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fusedJob{"dcsum", sm, func(t *testing.T, i int) {
+			if got := sm.Result(); got != want {
+				t.Fatalf("job %d (dcsum n=%d): result = %d, want %d", i, n, got, want)
+			}
+		}}
+	default:
+		want := append([]int32(nil), data...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		ms, err := mergesort.New(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fusedJob{"mergesort", ms, func(t *testing.T, i int) {
+			got := ms.Result()
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("job %d (mergesort n=%d): result[%d] = %d, want %d", i, n, j, got[j], want[j])
+				}
+			}
+		}}
+	}
+}
+
+// blockServer submits a Sequential blocker job and waits until it occupies
+// the server's single in-flight slot, so jobs submitted next accumulate in
+// the queue; the returned release starts them.
+func blockServer(t *testing.T, srv *serve.Server) (release func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	if _, err := srv.Submit(context.Background(),
+		serve.Job{Alg: &gateAlg{name: "blocker", gate: gate}, Strategy: serve.Sequential}); err != nil {
+		t.Fatal(err)
+	}
+	waitInFlight(t, srv, 1)
+	return func() { close(gate) }
+}
+
+// TestFusionBitIdenticalProperty is the fusion correctness property test
+// over the serving layer: random mixes of GPUOnly jobs (three kinds, random
+// sizes) are queued behind a blocker so the dispatcher fuses same-kind
+// groups, and every per-job result must be bit-identical to a pure-Go
+// reference. Aggregate accounting must see every job exactly once.
+func TestFusionBitIdenticalProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			srv, err := serve.New(hpu.MustSim(hpu.HPU1()),
+				serve.WithQueueDepth(64), serve.WithMaxFusedJobs(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			release := blockServer(t, srv)
+
+			k := 4 + rng.Intn(13)
+			jobs := make([]fusedJob, k)
+			handles := make([]*serve.Handle, k)
+			kinds := map[string]int{}
+			for i := range jobs {
+				jobs[i] = randomFusedJob(t, rng)
+				kinds[jobs[i].kind]++
+				handles[i], err = srv.Submit(context.Background(),
+					serve.Job{Alg: jobs[i].alg, Strategy: serve.GPUOnly})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			release()
+
+			fusedReports := 0
+			for i, h := range handles {
+				rep, err := h.Report()
+				if err != nil {
+					t.Fatalf("job %d: %v", i, err)
+				}
+				jobs[i].check(t, i)
+				if rep.Strategy == core.FusedStrategy {
+					fusedReports++
+				}
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Every kind with ≥ 2 members must have fused at least once:
+			// the first same-kind head absorbs all queued companions.
+			wantFused := 0
+			for _, c := range kinds {
+				if c >= 2 {
+					wantFused += c
+				}
+			}
+			st := srv.Stats()
+			if st.Completed != uint64(k+1) {
+				t.Errorf("completed = %d, want %d", st.Completed, k+1)
+			}
+			if st.FusedJobs != uint64(wantFused) || fusedReports != wantFused {
+				t.Errorf("fused jobs = %d (reports %d), want %d (kinds %v)",
+					st.FusedJobs, fusedReports, wantFused, kinds)
+			}
+		})
+	}
+}
+
+// TestFusionDeclinedForSingleton pins the zero-overhead fallback: a fusable
+// job with no companion runs the ordinary gpu-only path and counts in no
+// fused statistics.
+func TestFusionDeclinedForSingleton(t *testing.T) {
+	srv, err := serve.New(hpu.MustSim(hpu.HPU1()), serve.WithMaxFusedJobs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.Uniform(256, 1)
+	sc, err := scan.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := srv.Submit(context.Background(), serve.Job{Alg: sc, Strategy: serve.GPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != "gpu-only" {
+		t.Errorf("strategy = %q, want gpu-only (fusion declined)", rep.Strategy)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.FusedRuns != 0 || st.FusedJobs != 0 {
+		t.Errorf("fused stats = %+v, want none", st)
+	}
+}
+
+// TestFusionRespectsBytesCap pins that FusedBytesCap declines companions
+// whose summed transfer sizes would exceed the cap.
+func TestFusionRespectsBytesCap(t *testing.T) {
+	data := workload.Uniform(512, 2)
+	one, err := scan.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perJob := one.GPUBytes(0, 0, 1)
+
+	srv, err := serve.New(hpu.MustSim(hpu.HPU1()),
+		serve.WithMaxFusedJobs(8), serve.WithFusedBytesCap(perJob+perJob/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := blockServer(t, srv)
+	var handles []*serve.Handle
+	algs := []core.Alg{one}
+	other, err := scan.New(workload.Uniform(512, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs = append(algs, other)
+	for _, a := range algs {
+		h, err := srv.Submit(context.Background(), serve.Job{Alg: a, Strategy: serve.GPUOnly})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	release()
+	for i, h := range handles {
+		rep, err := h.Report()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if rep.Strategy != "gpu-only" {
+			t.Errorf("job %d strategy = %q, want gpu-only (cap declined fusion)", i, rep.Strategy)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.FusedRuns != 0 {
+		t.Errorf("fused runs = %d, want 0 under bytes cap", st.FusedRuns)
+	}
+}
+
+// TestFusionBatchWindow pins the arrival-window path: a dispatched fusable
+// job with an empty queue lingers for its window and fuses with a companion
+// submitted shortly after.
+func TestFusionBatchWindow(t *testing.T) {
+	be, err := native.New(native.Config{CPUWorkers: 2, DeviceLanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	srv, err := serve.New(be, serve.WithMaxInFlight(1),
+		serve.WithMaxFusedJobs(2), serve.WithBatchWindow(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := scan.New(workload.Uniform(128, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scan.New(workload.Uniform(128, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := srv.Submit(context.Background(), serve.Job{Alg: a, Strategy: serve.GPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the head enter its batch window
+	hb, err := srv.Submit(context.Background(), serve.Job{Alg: b, Strategy: serve.GPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, errA := ha.Report()
+	repB, errB := hb.Report()
+	if errA != nil || errB != nil {
+		t.Fatalf("errors: %v, %v", errA, errB)
+	}
+	if repA.Strategy != core.FusedStrategy || repB.Strategy != core.FusedStrategy {
+		t.Errorf("strategies = %q, %q, want both %q", repA.Strategy, repB.Strategy, core.FusedStrategy)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.FusedRuns != 1 || st.FusedJobs != 2 {
+		t.Errorf("fused stats = %+v, want one run of two jobs", st)
+	}
+}
+
+// TestFusionFairnessNoStarvation is the satellite fairness property: a
+// low-priority job of a different kind completes while same-kind
+// high-priority jobs keep arriving and fusing. Fusion must not bypass the
+// stride scheduler's starvation-freedom.
+func TestFusionFairnessNoStarvation(t *testing.T) {
+	be, err := native.New(native.Config{CPUWorkers: 2, DeviceLanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	srv, err := serve.New(be, serve.WithQueueDepth(256), serve.WithMaxInFlight(1),
+		serve.WithMaxFusedJobs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release := blockServer(t, srv)
+
+	lpAlg, err := dcsum.New(workload.Uniform(64, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := srv.Submit(context.Background(),
+		serve.Job{Alg: lpAlg, Strategy: serve.GPUOnly, Opts: []core.Option{core.WithPriority(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submitHP := func(rng *rand.Rand) {
+		sc, err := scan.New(workload.Uniform(4096, rng.Int63()))
+		if err != nil {
+			return
+		}
+		_, _ = srv.Submit(context.Background(), serve.Job{
+			Alg: sc, Strategy: serve.GPUOnly,
+			Opts: []core.Option{core.WithPriority(8)},
+		})
+	}
+
+	// A backlog of high-priority fusable scans already waiting, plus a
+	// continuous stream of more arriving until the low-priority job
+	// completes (or the test gives up).
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 12; i++ {
+		submitHP(rng)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(100))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			submitHP(rng)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	release()
+	select {
+	case <-lp.Done():
+		// Starvation-free: the low-priority job finished against the stream.
+	case <-time.After(10 * time.Second):
+		t.Error("low-priority job starved behind fusing high-priority stream")
+	}
+	close(stop)
+	wg.Wait()
+	if err := lp.Err(); err != nil {
+		t.Errorf("low-priority job failed: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.FusedRuns == 0 {
+		t.Errorf("stream never fused (stats %+v); fairness test vacuous", st)
+	}
+}
+
+// TestFusionCanceledMembers pins per-member cancellation semantics: members
+// canceled while queued settle individually with ErrCanceled, and the
+// survivors' fused run still completes.
+func TestFusionCanceledMembers(t *testing.T) {
+	srv, err := serve.New(hpu.MustSim(hpu.HPU1()),
+		serve.WithMaxFusedJobs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := blockServer(t, srv)
+
+	data := workload.Uniform(256, 7)
+	want := scan.Prefix(data)
+	survivor, err := scan.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := srv.Submit(context.Background(), serve.Job{Alg: survivor, Strategy: serve.GPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled []*serve.Handle
+	for i := 0; i < 2; i++ {
+		sc, err := scan.New(workload.Uniform(256, int64(8+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		h, err := srv.Submit(ctx, serve.Job{Alg: sc, Strategy: serve.GPUOnly})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		canceled = append(canceled, h)
+	}
+	release()
+
+	if _, err := hs.Report(); err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	got := survivor.Result()
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("survivor result[%d] = %d, want %d", j, got[j], want[j])
+		}
+	}
+	for i, h := range canceled {
+		if _, err := h.Report(); !errors.Is(err, dcerr.ErrCanceled) {
+			t.Errorf("canceled member %d: err = %v, want ErrCanceled", i, err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Canceled != 2 || st.Completed != 2 {
+		t.Errorf("stats = %+v, want 2 canceled, 2 completed", st)
+	}
+}
+
+// TestFusionMetrics pins the serve_fused_* exposition: counters and the
+// fusion-ratio float move when a fused run completes.
+func TestFusionMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, err := serve.New(hpu.MustSim(hpu.HPU1()),
+		serve.WithMaxFusedJobs(8), serve.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := blockServer(t, srv)
+	var handles []*serve.Handle
+	for i := 0; i < 3; i++ {
+		sc, err := scan.New(workload.Uniform(128, int64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := srv.Submit(context.Background(), serve.Job{Alg: sc, Strategy: serve.GPUOnly})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	release()
+	for _, h := range handles {
+		if _, err := h.Report(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(serve.MetricFusedRuns).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", serve.MetricFusedRuns, got)
+	}
+	if got := reg.Counter(serve.MetricFusedJobs).Value(); got != 3 {
+		t.Errorf("%s = %d, want 3", serve.MetricFusedJobs, got)
+	}
+	ratio := reg.Float(serve.MetricFusionRatio).Value()
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("%s = %g, want in (0, 1]", serve.MetricFusionRatio, ratio)
+	}
+}

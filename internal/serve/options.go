@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"time"
+
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -42,6 +44,34 @@ func WithRecorder(rec *trace.Recorder) Option {
 	return func(c *Config) { c.Trace = rec }
 }
 
+// WithMaxFusedJobs enables job fusion: when the dispatcher starts a GPUOnly
+// job whose algorithm kind matches other queued GPUOnly jobs, up to n of
+// them execute as one fused breadth-first run — one kernel launch per
+// recursion level across all members, pipelined transfers — with per-job
+// Handles settling independently (core.RunFusedGPUCtx). n < 2 disables
+// fusion, the default. Fusion never reorders dispatch: the stride scheduler
+// still picks the head job; fusion only lets compatible followers ride
+// along, so per-job results remain bit-identical to unfused runs.
+func WithMaxFusedJobs(n int) Option {
+	return func(c *Config) { c.MaxFusedJobs = n }
+}
+
+// WithBatchWindow lets a dispatched fusable job wait up to d (wall clock)
+// for same-kind companions to arrive when fewer than MaxFusedJobs are
+// already queued, trading a bounded latency hit for a larger fused launch.
+// The default 0 fuses only with jobs already waiting, adding no latency.
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *Config) { c.BatchWindow = d }
+}
+
+// WithFusedBytesCap bounds the summed whole-instance transfer sizes
+// (GPUAlg.GPUBytes of the full input) a single fused execution may carry,
+// so fusion cannot build a device-resident working set beyond what the
+// card holds. 0, the default, is unbounded.
+func WithFusedBytesCap(b int64) Option {
+	return func(c *Config) { c.FusedBytesCap = b }
+}
+
 // Metric names recorded when WithMetrics is configured; semantics in
 // DESIGN.md §9.
 const (
@@ -58,6 +88,12 @@ const (
 	MetricQueueDepth    = "serve_queue_depth"
 	MetricQueueDepthMax = "serve_queue_depth_max"
 	MetricInFlight      = "serve_inflight"
+	// MetricFusedRuns counts fused executions (≥ 2 members); MetricFusedJobs
+	// counts jobs finished as members of one. MetricFusionRatio is
+	// MetricFusedJobs over all finished jobs.
+	MetricFusedRuns   = "serve_fused_runs_total"
+	MetricFusedJobs   = "serve_fused_jobs_total"
+	MetricFusionRatio = "serve_fusion_ratio"
 )
 
 // Per-priority histogram name formats (the %d is the job's scheduling

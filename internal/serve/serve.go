@@ -27,7 +27,6 @@ package serve
 import (
 	"container/heap"
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -113,6 +112,17 @@ type Config struct {
 	// Metrics, if non-nil, receives the server's operational metrics and is
 	// forwarded to every job's executor.
 	Metrics *metrics.Registry
+	// MaxFusedJobs caps how many same-kind GPUOnly jobs one fused execution
+	// may absorb. Values below 2 disable fusion (the default).
+	MaxFusedJobs int
+	// BatchWindow is how long a dispatched fusable job lingers for
+	// same-kind companions to arrive before executing, when fewer than
+	// MaxFusedJobs are already queued. 0 (the default) fuses only with jobs
+	// already waiting in the queue.
+	BatchWindow time.Duration
+	// FusedBytesCap bounds the summed per-job transfer sizes (GPUBytes of
+	// the whole instance) one fused execution may carry; 0 means unbounded.
+	FusedBytesCap int64
 }
 
 // Stats is a point-in-time snapshot of the server's aggregate counters.
@@ -134,6 +144,10 @@ type Stats struct {
 	// BusySeconds is total wall-clock execution time across finished jobs
 	// (virtual seconds on a simulated backend).
 	BusySeconds float64
+	// FusedRuns counts fused executions (≥ 2 members each); FusedJobs
+	// counts the jobs that finished as members of one. FusedJobs over all
+	// finished jobs is the fusion ratio exported as MetricFusionRatio.
+	FusedRuns, FusedJobs uint64
 }
 
 // Handle tracks one submitted job.
@@ -149,8 +163,33 @@ type Handle struct {
 }
 
 // Done returns a channel closed when the job has finished (successfully,
-// canceled, or failed).
+// canceled, or failed). It is the non-blocking composition point: select
+// across many handles' Done channels, then read Err or Report.
 func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Err reports the job's terminal error without blocking: nil while the job
+// is still running and after a clean completion, the execution error
+// otherwise. Select on Done first to distinguish "running" from "clean".
+func (h *Handle) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// Wait blocks until the job finishes or ctx is canceled. A ctx cancellation
+// abandons only the wait — the job keeps running under its own submission
+// context — and returns ctx's cause.
+func (h *Handle) Wait(ctx context.Context) (core.Report, error) {
+	select {
+	case <-h.done:
+		return h.rep, h.err
+	case <-ctx.Done():
+		return core.Report{}, fmt.Errorf("serve: wait for job %d: %w", h.ID, context.Cause(ctx))
+	}
+}
 
 // Report blocks until the job finishes and returns its Report and error.
 // On cancellation the error wraps dcerr.ErrCanceled and the Report is
@@ -177,6 +216,11 @@ type queued struct {
 	vfinish float64
 	seq     uint64
 	wallIn  time.Time
+	// fuseKey is the fusion compatibility class ("" when the job cannot
+	// fuse); gpuBytes is the job's whole-instance transfer size, used
+	// against FusedBytesCap. Both are computed at admission.
+	fuseKey  string
+	gpuBytes int64
 }
 
 // jobHeap orders queued jobs by (virtual finish tag, arrival), the stride
@@ -219,12 +263,20 @@ type Server struct {
 	dispatcherDone chan struct{}
 	jobs           sync.WaitGroup
 
+	// fuseWaiters holds, per fusion key, the notification channels of
+	// dispatched jobs lingering in their batch window; Submit pokes them
+	// when a matching job arrives. Guarded by mu.
+	fuseWaiters map[string][]chan struct{}
+
 	// Operational instruments; nil (no-op) unless Config.Metrics was set.
 	mSubmitted, mRejected  *metrics.Counter
 	mCompleted             *metrics.Counter
 	mCanceled, mFailed     *metrics.Counter
 	mQueueDepth, mQueueMax *metrics.Gauge
 	mInFlight              *metrics.Gauge
+	mFusedJobs, mFusedRuns *metrics.Counter
+	mFusionRatio           *metrics.Float
+	lastFusionRatio        float64                    // last value pushed to mFusionRatio, under mu
 	waitHists, turnHists   map[int]*metrics.Histogram // keyed by priority, under mu
 }
 
@@ -264,9 +316,16 @@ func NewFromConfig(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight < 0 {
 		return nil, fmt.Errorf("serve: MaxInFlight %d: %w", cfg.MaxInFlight, dcerr.ErrBadParam)
 	}
+	if cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("serve: BatchWindow %v: %w", cfg.BatchWindow, dcerr.ErrBadParam)
+	}
+	if cfg.FusedBytesCap < 0 {
+		return nil, fmt.Errorf("serve: FusedBytesCap %d: %w", cfg.FusedBytesCap, dcerr.ErrBadParam)
+	}
 	s := &Server{
 		cfg:            cfg,
 		dispatcherDone: make(chan struct{}),
+		fuseWaiters:    map[string][]chan struct{}{},
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.mSubmitted = reg.Counter(MetricSubmitted)
@@ -277,6 +336,9 @@ func NewFromConfig(cfg Config) (*Server, error) {
 		s.mQueueDepth = reg.Gauge(MetricQueueDepth)
 		s.mQueueMax = reg.Gauge(MetricQueueDepthMax)
 		s.mInFlight = reg.Gauge(MetricInFlight)
+		s.mFusedJobs = reg.Counter(MetricFusedJobs)
+		s.mFusedRuns = reg.Counter(MetricFusedRuns)
+		s.mFusionRatio = reg.Float(MetricFusionRatio)
 		s.waitHists = map[int]*metrics.Histogram{}
 		s.turnHists = map[int]*metrics.Histogram{}
 	}
@@ -306,7 +368,9 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 	merged := make([]core.Option, 0, len(job.Opts)+len(opts))
 	merged = append(merged, job.Opts...)
 	merged = append(merged, opts...)
-	weight := core.NewRunConfig(merged...).Priority
+	rc := core.NewRunConfig(merged...)
+	weight := rc.Priority
+	fuseKey, gpuBytes := s.fuseClass(job, rc)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -321,16 +385,26 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 	s.seq++
 	h := &Handle{ID: s.seq, done: make(chan struct{})}
 	q := &queued{
-		h:       h,
-		ctx:     ctx,
-		job:     job,
-		opts:    merged,
-		weight:  weight,
-		vfinish: s.pass + 1/float64(weight),
-		seq:     s.seq,
-		wallIn:  time.Now(),
+		h:        h,
+		ctx:      ctx,
+		job:      job,
+		opts:     merged,
+		weight:   weight,
+		vfinish:  s.pass + 1/float64(weight),
+		seq:      s.seq,
+		wallIn:   time.Now(),
+		fuseKey:  fuseKey,
+		gpuBytes: gpuBytes,
 	}
 	heap.Push(&s.queue, q)
+	if fuseKey != "" {
+		for _, w := range s.fuseWaiters[fuseKey] {
+			select {
+			case w <- struct{}{}:
+			default:
+			}
+		}
+	}
 	s.stats.Submitted++
 	s.mSubmitted.Inc()
 	s.mQueueDepth.Set(int64(len(s.queue)))
@@ -416,9 +490,15 @@ func (s *Server) dispatch() {
 	}
 }
 
-// run executes one dispatched job and settles its handle.
+// run executes one dispatched job and settles its handle. A fusable job
+// first tries to absorb same-kind queued companions into one fused
+// execution (see fusion.go); the single-job path below is both the normal
+// case and the fusion-declined fallback.
 func (s *Server) run(q *queued) {
 	defer s.jobs.Done()
+	if q.fuseKey != "" && s.runFused(q) {
+		return
+	}
 	q.h.queueWait = time.Since(q.wallIn).Seconds()
 
 	var rep core.Report
@@ -437,25 +517,26 @@ func (s *Server) run(q *queued) {
 	s.mu.Lock()
 	s.inflight--
 	s.mInFlight.Set(int64(s.inflight))
-	s.waitSum += q.h.queueWait
-	s.waitN++
-	s.stats.BusySeconds += rep.Seconds
-	switch {
-	case err == nil:
-		s.stats.Completed++
-		s.mCompleted.Inc()
-	case errors.Is(err, dcerr.ErrCanceled):
-		s.stats.Canceled++
-		s.mCanceled.Inc()
-	default:
-		s.stats.Failed++
-		s.mFailed.Inc()
-	}
-	wait, turnaround := s.latencyHists(q.weight)
-	wait.Observe(q.h.queueWait)
-	turnaround.Observe(time.Since(q.wallIn).Seconds())
+	s.accountFinishedLocked(q, rep, err)
+	s.updateFusionRatioLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
+}
+
+// updateFusionRatioLocked pushes the current fused-jobs-over-finished-jobs
+// ratio to the MetricFusionRatio float (an Add-only accumulator, so the
+// gauge semantics are emulated by adding the delta). Must hold s.mu.
+func (s *Server) updateFusionRatioLocked() {
+	if s.mFusionRatio == nil {
+		return
+	}
+	finished := s.stats.Completed + s.stats.Canceled + s.stats.Failed
+	if finished == 0 {
+		return
+	}
+	ratio := float64(s.stats.FusedJobs) / float64(finished)
+	s.mFusionRatio.Add(ratio - s.lastFusionRatio)
+	s.lastFusionRatio = ratio
 }
 
 // execute runs the job's executor on the shared backend. When observability

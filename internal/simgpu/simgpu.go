@@ -62,6 +62,7 @@ const (
 	MetricCoalescedWords   = "simgpu_coalesced_words_total"
 	MetricUncoalescedWords = "simgpu_uncoalesced_words_total"
 	MetricOccupancy        = "simgpu_occupancy"
+	MetricCopies           = "simgpu_copies_total"
 )
 
 // OccupancyBuckets bound the occupancy histogram: the fraction W/g of the
@@ -136,10 +137,17 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// GPU is a simulated device with an in-order command queue.
+// GPU is a simulated device with two in-order command queues: a compute
+// queue for kernel launches and a copy queue for host↔device DMAs. As in
+// the dual-queue OpenCL idiom, work serializes within each queue but the
+// two queues progress concurrently, so a transfer can overlap a kernel —
+// the property the pipelined fused executor relies on. (The paper's host
+// programs use a single in-order queue; its §5.2 overlap comes from the CPU
+// working concurrently, which the model also keeps.)
 type GPU struct {
 	params Params
 	queue  *vtime.Resource
+	copy   *vtime.Resource
 
 	// Observability instruments; nil (no-op) until SetMetrics.
 	launches    *metrics.Counter
@@ -148,6 +156,7 @@ type GPU struct {
 	coalesced   *metrics.Counter
 	uncoalesced *metrics.Counter
 	occupancy   *metrics.Histogram
+	copies      *metrics.Counter
 }
 
 var _ core.LevelExecutor = (*GPU)(nil)
@@ -157,7 +166,11 @@ func New(eng *vtime.Engine, p Params) (*GPU, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &GPU{params: p, queue: vtime.NewResource(eng, 1)}, nil
+	return &GPU{
+		params: p,
+		queue:  vtime.NewResource(eng, 1),
+		copy:   vtime.NewResource(eng, 1),
+	}, nil
 }
 
 // SetMetrics attaches a registry to the device: every kernel launch then
@@ -171,6 +184,7 @@ func (g *GPU) SetMetrics(reg *metrics.Registry) {
 	g.coalesced = reg.Counter(MetricCoalescedWords)
 	g.uncoalesced = reg.Counter(MetricUncoalescedWords)
 	g.occupancy = reg.Histogram(MetricOccupancy, OccupancyBuckets...)
+	g.copies = reg.Counter(MetricCopies)
 }
 
 // Params returns the device parameters.
@@ -182,8 +196,24 @@ func (g *GPU) Parallelism() int { return g.params.SatThreads }
 // Gamma reports the single-thread ratio γ.
 func (g *GPU) Gamma() float64 { return g.params.Gamma }
 
-// BusySeconds reports accumulated device-seconds of service.
+// BusySeconds reports accumulated device-seconds of kernel service on the
+// compute queue.
 func (g *GPU) BusySeconds() float64 { return g.queue.BusySeconds() }
+
+// CopyBusySeconds reports accumulated seconds of DMA service on the copy
+// queue.
+func (g *GPU) CopyBusySeconds() float64 { return g.copy.BusySeconds() }
+
+// SubmitCopy enqueues a host↔device DMA of the given modeled duration on
+// the copy queue. Copies serialize among themselves (one DMA engine) but
+// overlap kernel launches on the compute queue. The link's cost model
+// (λ + δ·w) lives with the platform, so callers pass seconds, not bytes.
+func (g *GPU) SubmitCopy(seconds float64, done func()) {
+	if g.copies != nil {
+		g.copies.Inc()
+	}
+	g.copy.RequestFixed(seconds, done)
+}
 
 // itemCost is the effective normalized op cost of one work-item.
 func (g *GPU) itemCost(c core.Cost) float64 {

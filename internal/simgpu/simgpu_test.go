@@ -206,3 +206,45 @@ func TestHeterogeneousMatchesUniform(t *testing.T) {
 		}
 	}
 }
+
+// TestCopyQueueOverlapsCompute pins the dual-queue model: a DMA on the copy
+// queue runs concurrently with a kernel on the compute queue, so the
+// makespan is the maximum of the two, not the sum.
+func TestCopyQueueOverlapsCompute(t *testing.T) {
+	p := params()
+	p.LaunchOverheadSec = 0
+	eng, g := newGPU(t, p)
+
+	kernel := g.LaunchSeconds(p.SatThreads, core.Cost{Ops: 1000, Coalesced: true})
+	copyD := kernel / 2
+	var kernelDone, copyDone float64
+	g.Submit(core.Batch{Tasks: p.SatThreads, Cost: core.Cost{Ops: 1000, Coalesced: true}},
+		func() { kernelDone = eng.Now() })
+	g.SubmitCopy(copyD, func() { copyDone = eng.Now() })
+	eng.Run()
+
+	if math.Abs(copyDone-copyD) > 1e-12 {
+		t.Errorf("copy finished at %g, want %g (overlapped)", copyDone, copyD)
+	}
+	if math.Abs(kernelDone-kernel) > 1e-12 {
+		t.Errorf("kernel finished at %g, want %g (overlapped)", kernelDone, kernel)
+	}
+	if got, want := eng.Now(), math.Max(kernel, copyD); math.Abs(got-want) > 1e-12 {
+		t.Errorf("makespan %g, want max(%g, %g)", got, kernel, copyD)
+	}
+	if got := g.CopyBusySeconds(); math.Abs(got-copyD) > 1e-12 {
+		t.Errorf("CopyBusySeconds = %g, want %g", got, copyD)
+	}
+}
+
+// TestCopiesSerialize pins that the copy queue itself is in-order: two DMAs
+// take the sum of their durations (one DMA engine).
+func TestCopiesSerialize(t *testing.T) {
+	eng, g := newGPU(t, params())
+	g.SubmitCopy(3, func() {})
+	g.SubmitCopy(4, func() {})
+	eng.Run()
+	if got := eng.Now(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("two copies took %g, want 7 (serialized)", got)
+	}
+}

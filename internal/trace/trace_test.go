@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/json"
 	"sort"
@@ -23,8 +25,8 @@ func tracedRun(t *testing.T) *Recorder {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prm := core.AdvancedParams{Alpha: 0.25, Y: 5, Split: -1}
-	if _, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true}); err != nil {
+	prm := advParams{Alpha: 0.25, Y: 5, Split: -1}
+	if _, err := core.RunAdvancedHybridCtx(context.Background(), be, s, prm.Alpha, prm.Y, core.WithCoalesce(), core.WithSplit(prm.Split)); err != nil {
 		t.Fatal(err)
 	}
 	want := append([]int32(nil), in...)
@@ -236,4 +238,12 @@ func TestConcurrentAdd(t *testing.T) {
 	if got := rec.Dropped(); got != 8*100-64 {
 		t.Errorf("Dropped = %d, want %d", got, 8*100-64)
 	}
+}
+
+// advParams groups advanced-division parameters for test tables. It
+// replaces the deprecated core.AdvancedParams in test code.
+type advParams struct {
+	Alpha float64
+	Y     int
+	Split int
 }

@@ -1,6 +1,8 @@
 package tune
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"testing"
@@ -83,9 +85,7 @@ func TestTuneMergesortBeatsModelParams(t *testing.T) {
 		if err != nil {
 			return 0, err
 		}
-		rep, err := core.RunAdvancedHybrid(be, s,
-			core.AdvancedParams{Alpha: alpha, Y: y, Split: -1},
-			core.Options{Coalesce: true})
+		rep, err := core.RunAdvancedHybridCtx(context.Background(), be, s, alpha, y, core.WithCoalesce())
 		if err != nil {
 			return 0, err
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/serve"
@@ -78,7 +79,8 @@ type (
 	// weighted-fair dispatch. See internal/serve for the full semantics.
 	Server = serve.Server
 	// ServerOption configures a Server at construction (WithQueueDepth,
-	// WithMaxInFlight, WithServerMetrics, WithServerRecorder).
+	// WithMaxInFlight, WithServerMetrics, WithServerRecorder,
+	// WithMaxFusedJobs, WithBatchWindow, WithFusedBytesCap).
 	ServerOption = serve.Option
 	// ServerConfig configures a Server.
 	//
@@ -86,7 +88,10 @@ type (
 	ServerConfig = serve.Config
 	// JobSpec describes one job for Server.Submit.
 	JobSpec = serve.Job
-	// JobHandle tracks a submitted job; Report blocks for its result.
+	// JobHandle tracks a submitted job. Report (or Wait, which also honors
+	// a caller context) blocks for the result; Done returns a channel
+	// closed at settlement and Err peeks at the outcome without blocking,
+	// so handles compose with select loops.
 	JobHandle = serve.Handle
 	// ServerStats is a Server.Stats snapshot of the aggregate counters.
 	ServerStats = serve.Stats
@@ -143,6 +148,24 @@ func WithServerMetrics(reg *Metrics) ServerOption { return serve.WithMetrics(reg
 // "job" span per job plus every batch and transfer, all stamped with the
 // job ID. Combine with NewTraceRecorderLimit for bounded memory.
 func WithServerRecorder(rec *TraceRecorder) ServerOption { return serve.WithRecorder(rec) }
+
+// WithMaxFusedJobs enables job fusion: when the dispatcher starts a GPUOnly
+// job whose algorithm kind matches other queued GPUOnly jobs, up to n of
+// them execute as one fused breadth-first run — one kernel launch per
+// recursion level across all members, pipelined transfers — while each
+// JobHandle still settles with its own Report. n < 2 (the default) disables
+// fusion. Per-job results are bit-identical to unfused runs.
+func WithMaxFusedJobs(n int) ServerOption { return serve.WithMaxFusedJobs(n) }
+
+// WithBatchWindow lets a dispatched fusable job linger up to d for
+// same-kind companions to arrive when fewer than MaxFusedJobs are queued,
+// trading a bounded latency hit for a larger fused launch. The default 0
+// fuses only with jobs already waiting.
+func WithBatchWindow(d time.Duration) ServerOption { return serve.WithBatchWindow(d) }
+
+// WithFusedBytesCap bounds the summed device-transfer sizes one fused
+// execution may carry; 0 (the default) is unbounded.
+func WithFusedBytesCap(b int64) ServerOption { return serve.WithFusedBytesCap(b) }
 
 // Submit is a convenience wrapper: it submits the job and returns its
 // handle. Equivalent to (*Server).Submit.
