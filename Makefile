@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke check bench bench-serve
+.PHONY: all build vet test race smoke obs-smoke check bench bench-serve bench-cpu
 
 all: check
 
@@ -43,3 +43,12 @@ bench:
 # below the 1.5x acceptance floor.
 bench-serve:
 	$(GO) run ./cmd/hpuserve --bench-fusion --bench-out BENCH_serve.json
+
+# Breadth-first CPU executor: legacy channel pool vs work-stealing engine vs
+# engine with automatic leaf coarsening, for mergesort/dcsum/scan at three
+# sizes (every run verified bit-identical against the sequential baseline),
+# plus the saturated-dispatch comparison where the engine's 2x acceptance
+# floor is enforced. Writes BENCH_cpu.json and a markdown table for the CI
+# job summary.
+bench-cpu:
+	$(GO) run ./cmd/hpuserve --bench-cpu --bench-cpu-out BENCH_cpu.json --bench-cpu-summary BENCH_cpu.md

@@ -58,11 +58,20 @@ func main() {
 		fuseBytes   = flag.Int64("fuse-bytes-cap", 0, "cap on a fused group's summed transfer bytes (0 = unbounded)")
 		benchFusion = flag.Bool("bench-fusion", false, "benchmark fused vs unfused job throughput on the simulator, write BENCH_serve.json, and exit")
 		benchOut    = flag.String("bench-out", "BENCH_serve.json", "output path for --bench-fusion results")
+
+		benchCPU        = flag.Bool("bench-cpu", false, "benchmark the breadth-first CPU executor (legacy pool vs stealing engine vs engine+grain), write BENCH_cpu.json, and exit")
+		benchCPUOut     = flag.String("bench-cpu-out", "BENCH_cpu.json", "output path for --bench-cpu results")
+		benchCPUSummary = flag.String("bench-cpu-summary", "", "also write --bench-cpu results as a markdown table to this path (for CI job summaries)")
+		benchCPUReps    = flag.Int("bench-cpu-reps", 5, "wall-clock repetitions per --bench-cpu configuration (best kept)")
 	)
 	flag.Parse()
 
 	if *benchFusion {
 		check(runFusionBench(*benchOut))
+		return
+	}
+	if *benchCPU {
+		check(runCPUBench(*benchCPUOut, *benchCPUSummary, *workers, *benchCPUReps))
 		return
 	}
 

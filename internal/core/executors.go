@@ -207,6 +207,8 @@ func settle(ctx context.Context, be Backend, cfg *RunConfig, alg Alg, rep *Repor
 // RunSequentialCtx executes the algorithm on a single CPU core (the paper's
 // recursive baseline), checking ctx at every level boundary. On cancellation
 // it returns a partial Report and an error wrapping dcerr.ErrCanceled.
+// WithGrain is accepted but has no effect — the run is already one task per
+// level on one core.
 func RunSequentialCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
 	be = instrument(be, &cfg)
@@ -245,7 +247,8 @@ func RunSequential(be Backend, alg Alg) Report {
 
 // RunBreadthFirstCPUCtx executes the algorithm breadth-first on the CPU
 // only, using all p cores per level (the multi-core baseline), checking ctx
-// at every level boundary.
+// at every level boundary. With WithGrain the bottom levels collapse into
+// depth-first coarse chunks (grain.go); the result is bit-identical.
 func RunBreadthFirstCPUCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
 	be = instrument(be, &cfg)
@@ -254,14 +257,24 @@ func RunBreadthFirstCPUCtx(ctx context.Context, be Backend, alg Alg, opts ...Opt
 	}
 	L := alg.Levels()
 	a := alg.Arity()
+	k := coarseLevels(cfg.Grain, a, L, 0, be.CPU().Parallelism(),
+		func(cl int) int { return TasksAtLevel(a, cl) })
+	cl := L - k
 	var steps []step
-	for l := 0; l < L; l++ {
+	for l := 0; l < cl; l++ {
 		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
-	base := atLevel(alg.BaseBatch(0, TasksAtLevel(a, L)), L)
-	steps = append(steps, func(next func()) { be.CPU().Submit(base, next) })
-	for l := L - 1; l >= 0; l-- {
+	if k > 0 {
+		// Coarse step: divide cl..L-1, base, combine L-1..cl, one
+		// depth-first chunk per subtree rooted at cl.
+		b := CoarseBatch(alg, cl, 0, TasksAtLevel(a, cl))
+		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
+	} else {
+		base := atLevel(alg.BaseBatch(0, TasksAtLevel(a, L)), L)
+		steps = append(steps, func(next func()) { be.CPU().Submit(base, next) })
+	}
+	for l := cl - 1; l >= 0; l-- {
 		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
@@ -288,7 +301,9 @@ func RunBreadthFirstCPU(be Backend, alg Alg) Report {
 // crossover is the level index i at which execution moves to the GPU; use
 // the model package's BasicCrossover to compute the paper's log_a(p/γ).
 // ctx is checked at every level boundary; on cancellation the partial
-// Report's error wraps dcerr.ErrCanceled.
+// Report's error wraps dcerr.ErrCanceled. WithGrain is accepted but has no
+// effect: the CPU portion holds only the levels above the crossover, never
+// a leaf-adjacent phase that coarsening could collapse.
 func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover int, opts ...Option) (Report, error) {
 	cfg := NewRunConfig(opts...)
 	be = instrument(be, &cfg)
@@ -421,18 +436,29 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 		top = append(top, func(next func()) { be.CPU().Submit(b, next) })
 	}
 
-	// CPU chain over portion [0, cCount).
+	// CPU chain over portion [0, cCount). With WithGrain its bottom levels
+	// collapse into depth-first coarse chunks, clamped at the split level
+	// (the coarse root never rises above s); the GPU portion is untouched.
 	var cpuChain []step
 	if cCount > 0 {
-		for l := s; l < L; l++ {
+		k := coarseLevels(cfg.Grain, a, L, s, be.CPU().Parallelism(),
+			func(cl int) int { lo, hi := at(cl, 0, cCount); return hi - lo })
+		cl := L - k
+		for l := s; l < cl; l++ {
 			lo, hi := at(l, 0, cCount)
 			b := atLevel(alg.DivideBatch(l, lo, hi), l)
 			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
 		}
-		lo, hi := at(L, 0, cCount)
-		base := atLevel(alg.BaseBatch(lo, hi), L)
-		cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(base, next) })
-		for l := L - 1; l >= s; l-- {
+		if k > 0 {
+			lo, hi := at(cl, 0, cCount)
+			b := CoarseBatch(alg, cl, lo, hi)
+			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
+		} else {
+			lo, hi := at(L, 0, cCount)
+			base := atLevel(alg.BaseBatch(lo, hi), L)
+			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(base, next) })
+		}
+		for l := cl - 1; l >= s; l-- {
 			lo, hi := at(l, 0, cCount)
 			b := atLevel(alg.CombineBatch(l, lo, hi), l)
 			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })

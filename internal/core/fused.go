@@ -35,6 +35,9 @@ const FusedStrategy = "fused-gpu"
 //     immediately, overlapping the remaining combine steps of deeper
 //     members (egress pipelining).
 //
+// WithGrain is accepted but has no effect: the fused execution is entirely
+// device-resident, and leaf coarsening applies only to CPU-side phases.
+//
 // Fusing amortizes both the per-launch overhead (the launch-dominated small
 // input regime of §6) and the per-transfer latency λ: k same-size jobs pay
 // one launch per level and O(chunks) λ terms instead of k of each.

@@ -1,0 +1,133 @@
+package core
+
+// Leaf coarsening (DESIGN.md §11): near the leaves a breadth-first level
+// holds a^l tiny tasks, and per-task scheduling overhead dominates the
+// useful work. A grain of n collapses the bottom k = ⌊log_a(n)⌋ internal
+// levels of the CPU portion into ONE batch whose task j executes the whole
+// subtree rooted at coarse level cl = L−k depth-first in place: divide
+// levels cl..L−1, the base case, and combine levels L−1..cl, restricted to
+// subtree j's contiguous index ranges. The result is bit-identical to the
+// level-by-level execution because subproblems at each level are indexed
+// contiguously (the Alg contract), so distinct subtrees touch disjoint data
+// and within a subtree the phase order (divide top-down, base, combine
+// bottom-up) is preserved exactly.
+//
+// Coarsening applies only to CPU-side batches, whose constructors are pure
+// (the executors already build them eagerly at plan-construction time);
+// GPU batch constructors may be stateful (layout transforms) and are never
+// coarsened.
+
+// GrainAuto selects the leaf-coarsening grain automatically: the largest
+// collapse that still leaves at least 4·p coarse subtrees, so every CPU
+// worker keeps several steals' worth of slack.
+const GrainAuto = -1
+
+// autoGrainSlack is the minimum number of coarse subtrees per CPU worker
+// that GrainAuto preserves.
+const autoGrainSlack = 4
+
+// WithGrain sets the leaf-coarsening grain for the run's CPU portion: the
+// bottom ⌊log_a(n)⌋ breadth-first levels collapse into one depth-first
+// coarse chunk per subtree (at most n leaves each). 0 or 1 disables
+// coarsening (the default); GrainAuto picks the largest grain that keeps
+// all CPU workers busy. Results are bit-identical for any grain. Executors
+// without a CPU leaf phase (sequential, basic hybrid, GPU-only, fused)
+// accept and ignore the option.
+func WithGrain(n int) Option {
+	return func(c *RunConfig) {
+		if n < 0 {
+			n = GrainAuto
+		}
+		c.Grain = n
+	}
+}
+
+// coarseLevels resolves the configured grain to k, the number of bottom
+// internal levels to collapse. L is the total internal level count, floor
+// the lowest level the coarse root may reach (0 for CPU-only runs, the
+// split level for the advanced hybrid's CPU portion), and tasksAt(cl) the
+// number of CPU-owned subtrees rooted at level cl (used by GrainAuto to
+// preserve parallel slack of autoGrainSlack·p).
+func coarseLevels(grain, a, L, floor, p int, tasksAt func(cl int) int) int {
+	maxK := L - floor
+	if maxK < 0 {
+		maxK = 0
+	}
+	switch {
+	case grain == 0 || grain == 1:
+		return 0
+	case grain == GrainAuto:
+		k := 0
+		for k < maxK && tasksAt(L-k-1) >= autoGrainSlack*p {
+			k++
+		}
+		return k
+	default:
+		k, leaves := 0, 1
+		for k < maxK && leaves*a <= grain {
+			k++
+			leaves *= a
+		}
+		return k
+	}
+}
+
+// CoarseBatch builds the coarse batch for subtrees [lo, hi) rooted at level
+// cl of alg's recursion tree: task j executes subtree lo+j completely and in
+// place — divide levels cl..Levels()−1, the base case, then combine levels
+// Levels()−1..cl — over the subtree's contiguous index ranges. Per-task Cost
+// aggregates the per-level CPU costs of one subtree. The per-level batches
+// are constructed eagerly, matching the executors' existing contract that
+// CPU batch constructors are pure.
+func CoarseBatch(alg Alg, cl, lo, hi int) Batch {
+	L := alg.Levels()
+	a := alg.Arity()
+	w := hi - lo
+	if w <= 0 {
+		return Batch{}
+	}
+	// phase is one level's work restricted to the coarse range: run is the
+	// level batch's (range-relative) task body, f the number of its tasks
+	// belonging to each subtree.
+	type phase struct {
+		run func(i int)
+		f   int
+	}
+	var phases []phase
+	var perTask Cost
+	add := func(b Batch, f int) {
+		if b.Empty() {
+			return
+		}
+		perTask.Ops += b.Cost.Ops * float64(f)
+		perTask.MemWords += b.Cost.MemWords * float64(f)
+		if b.Cost.WorkingSet > perTask.WorkingSet {
+			perTask.WorkingSet = b.Cost.WorkingSet
+		}
+		if b.Run != nil {
+			phases = append(phases, phase{b.Run, f})
+		}
+	}
+	for l := cl; l < L; l++ {
+		f := TasksAtLevel(a, l-cl)
+		add(alg.DivideBatch(l, lo*f, hi*f), f)
+	}
+	fL := TasksAtLevel(a, L-cl)
+	add(alg.BaseBatch(lo*fL, hi*fL), fL)
+	for l := L - 1; l >= cl; l-- {
+		f := TasksAtLevel(a, l-cl)
+		add(alg.CombineBatch(l, lo*f, hi*f), f)
+	}
+	return Batch{
+		Tasks: w,
+		Cost:  perTask,
+		Level: cl,
+		Run: func(j int) {
+			for _, ph := range phases {
+				for i := j * ph.f; i < (j+1)*ph.f; i++ {
+					ph.run(i)
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import "testing"
+
+// TestCoarseLevels pins the grain→k resolution: explicit grains collapse
+// ⌊log_a(grain)⌋ levels bounded by the floor, and auto keeps at least
+// autoGrainSlack·p coarse subtrees.
+func TestCoarseLevels(t *testing.T) {
+	full := func(a int) func(int) int {
+		return func(cl int) int { return TasksAtLevel(a, cl) }
+	}
+	cases := []struct {
+		name                  string
+		grain, a, L, floor, p int
+		tasksAt               func(int) int
+		want                  int
+	}{
+		{"off-0", 0, 2, 10, 0, 4, full(2), 0},
+		{"off-1", 1, 2, 10, 0, 4, full(2), 0},
+		{"grain-4-a2", 4, 2, 10, 0, 4, full(2), 2},
+		{"grain-64-a2", 64, 2, 10, 0, 4, full(2), 6},
+		{"grain-not-power", 5, 2, 10, 0, 4, full(2), 2},
+		{"grain-3-a3", 3, 3, 6, 0, 4, full(3), 1},
+		{"grain-9-a3", 9, 3, 6, 0, 4, full(3), 2},
+		{"floor-clamps", 1 << 20, 2, 10, 7, 4, full(2), 3},
+		{"floor-at-L", 64, 2, 10, 10, 4, full(2), 0},
+		// Auto with p=4 wants ≥16 subtrees: for L=10, a=2 the coarse root
+		// can rise to level 4 (16 tasks), collapsing 6 levels.
+		{"auto", GrainAuto, 2, 10, 0, 4, full(2), 6},
+		{"auto-small-tree", GrainAuto, 2, 3, 0, 4, full(2), 0},
+		{"auto-floored", GrainAuto, 2, 10, 8, 4, full(2), 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := coarseLevels(c.grain, c.a, c.L, c.floor, c.p, c.tasksAt); got != c.want {
+				t.Errorf("coarseLevels(grain=%d, a=%d, L=%d, floor=%d, p=%d) = %d, want %d",
+					c.grain, c.a, c.L, c.floor, c.p, got, c.want)
+			}
+		})
+	}
+}
+
+// gridAlg is a synthetic algorithm whose every phase writes a distinct tag
+// into a log cell per (phase, level, task), so a test can verify exactly
+// which work a coarse batch runs and in what per-subtree order.
+type gridAlg struct {
+	L     int
+	trace []int32 // one cell per leaf; accumulates a checksum
+}
+
+func (g *gridAlg) Name() string { return "grid" }
+func (g *gridAlg) Arity() int   { return 2 }
+func (g *gridAlg) Shrink() int  { return 2 }
+func (g *gridAlg) N() int       { return 1 << g.L }
+func (g *gridAlg) Levels() int  { return g.L }
+
+func (g *gridAlg) leafRange(level, i int) (int, int) {
+	w := 1 << (g.L - level)
+	return i * w, (i + 1) * w
+}
+
+func (g *gridAlg) mark(level, i int, tag int32) {
+	lo, hi := g.leafRange(level, i)
+	for x := lo; x < hi; x++ {
+		g.trace[x] = g.trace[x]*31 + tag
+	}
+}
+
+func (g *gridAlg) DivideBatch(level, lo, hi int) Batch {
+	if hi <= lo {
+		return Batch{}
+	}
+	return Batch{Tasks: hi - lo, Cost: Cost{Ops: 1}, Run: func(i int) { g.mark(level, lo+i, int32(1+level)) }}
+}
+
+func (g *gridAlg) BaseBatch(lo, hi int) Batch {
+	if hi <= lo {
+		return Batch{}
+	}
+	return Batch{Tasks: hi - lo, Cost: Cost{Ops: 2}, Run: func(i int) { g.mark(g.L, lo+i, 101) }}
+}
+
+func (g *gridAlg) CombineBatch(level, lo, hi int) Batch {
+	if hi <= lo {
+		return Batch{}
+	}
+	return Batch{Tasks: hi - lo, Cost: Cost{Ops: 3}, Run: func(i int) { g.mark(level, lo+i, int32(201+level)) }}
+}
+
+// TestCoarseBatchCoversSubtreeExactly pins CoarseBatch semantics: task j
+// performs precisely the divide/base/combine work of subtree j in
+// depth-phase order, producing the same per-leaf trace as level-by-level
+// execution, and the aggregate per-task cost matches the sum over phases.
+func TestCoarseBatchCoversSubtreeExactly(t *testing.T) {
+	const L = 5
+	ref := &gridAlg{L: L, trace: make([]int32, 1<<L)}
+	for l := 0; l < L; l++ {
+		runAll(ref.DivideBatch(l, 0, TasksAtLevel(2, l)))
+	}
+	runAll(ref.BaseBatch(0, TasksAtLevel(2, L)))
+	for l := L - 1; l >= 0; l-- {
+		runAll(ref.CombineBatch(l, 0, TasksAtLevel(2, l)))
+	}
+
+	const cl = 2
+	got := &gridAlg{L: L, trace: make([]int32, 1<<L)}
+	for l := 0; l < cl; l++ {
+		runAll(got.DivideBatch(l, 0, TasksAtLevel(2, l)))
+	}
+	cb := CoarseBatch(got, cl, 0, TasksAtLevel(2, cl))
+	if cb.Tasks != TasksAtLevel(2, cl) {
+		t.Fatalf("coarse batch has %d tasks, want %d", cb.Tasks, TasksAtLevel(2, cl))
+	}
+	runAll(cb)
+	for l := cl - 1; l >= 0; l-- {
+		runAll(got.CombineBatch(l, 0, TasksAtLevel(2, l)))
+	}
+
+	for i := range ref.trace {
+		if got.trace[i] != ref.trace[i] {
+			t.Fatalf("leaf %d: coarse trace %d != level-by-level trace %d", i, got.trace[i], ref.trace[i])
+		}
+	}
+
+	// Cost aggregation: per subtree, levels cl..L-1 contribute 2^(l-cl)
+	// divide tasks of 1 op each, 2^(L-cl) base tasks of 2 ops, and the
+	// combine mirror at 3 ops.
+	wantOps := 0.0
+	for l := cl; l < L; l++ {
+		wantOps += float64(TasksAtLevel(2, l-cl)) * (1 + 3)
+	}
+	wantOps += float64(TasksAtLevel(2, L-cl)) * 2
+	if cb.Cost.Ops != wantOps {
+		t.Errorf("coarse per-task Ops = %g, want %g", cb.Cost.Ops, wantOps)
+	}
+}
+
+func runAll(b Batch) {
+	if b.Run == nil {
+		return
+	}
+	for i := 0; i < b.Tasks; i++ {
+		b.Run(i)
+	}
+}

@@ -1,0 +1,258 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/algos/dcsum"
+	"repro/internal/algos/fft"
+	"repro/internal/algos/karatsuba"
+	"repro/internal/algos/matmul"
+	"repro/internal/algos/maxsubarray"
+	"repro/internal/algos/mergesort"
+	"repro/internal/algos/scan"
+	"repro/internal/algos/strassen"
+	. "repro/internal/core"
+	"repro/internal/hpu"
+	"repro/internal/native"
+)
+
+// grainCase builds one algorithm instance over fixed data and extracts its
+// result as a comparable value. Result values must be bit-identical across
+// executions (float algorithms included: coarsening reorders whole tasks,
+// never the arithmetic within one, so even rounding is reproduced exactly).
+type grainCase struct {
+	name  string
+	build func(t *testing.T) Alg
+	value func(alg Alg) any
+}
+
+func grainCases() []grainCase {
+	rng := rand.New(rand.NewSource(7))
+	ints := func(n int) []int32 {
+		d := make([]int32, n)
+		for i := range d {
+			d[i] = int32(rng.Intn(2001) - 1000)
+		}
+		return d
+	}
+	sortData := ints(1 << 10)
+	sumData := ints(1 << 10)
+	scanData := ints(1 << 10)
+	maxData := ints(1 << 10)
+	kaA, kaB := ints(1<<8), ints(1<<8)
+	fftData := make([]complex128, 1<<8)
+	for i := range fftData {
+		fftData[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	mmN := 16
+	mmA := make([]float64, mmN*mmN)
+	mmB := make([]float64, mmN*mmN)
+	for i := range mmA {
+		mmA[i] = rng.Float64()*2 - 1
+		mmB[i] = rng.Float64()*2 - 1
+	}
+	clone32 := func(d []int32) []int32 { return append([]int32(nil), d...) }
+	clone64 := func(d []float64) []float64 { return append([]float64(nil), d...) }
+	cloneC := func(d []complex128) []complex128 { return append([]complex128(nil), d...) }
+
+	return []grainCase{
+		{"mergesort", func(t *testing.T) Alg {
+			a, err := mergesort.New(clone32(sortData))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return append([]int32(nil), alg.(*mergesort.Sorter).Result()...) }},
+		{"mergesort-any", func(t *testing.T) Alg {
+			a, err := mergesort.NewAny(clone32(sortData[:1000]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return append([]int32(nil), alg.(*mergesort.AnySorter).Result()...) }},
+		{"dcsum", func(t *testing.T) Alg {
+			a, err := dcsum.New(clone32(sumData))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return alg.(*dcsum.Summer).Result() }},
+		{"scan", func(t *testing.T) Alg {
+			a, err := scan.New(clone32(scanData))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return append([]int64(nil), alg.(*scan.Scanner).Result()...) }},
+		{"maxsubarray", func(t *testing.T) Alg {
+			a, err := maxsubarray.New(clone32(maxData))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return alg.(*maxsubarray.Solver).Result() }},
+		{"karatsuba", func(t *testing.T) Alg {
+			a, err := karatsuba.New(clone32(kaA), clone32(kaB))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return append([]int64(nil), alg.(*karatsuba.Multiplier).Result()...) }},
+		{"fft", func(t *testing.T) Alg {
+			a, err := fft.New(cloneC(fftData))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return append([]complex128(nil), alg.(*fft.Transform).Result()...) }},
+		{"matmul", func(t *testing.T) Alg {
+			a, err := matmul.New(clone64(mmA), clone64(mmB), mmN, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return append([]float64(nil), alg.(*matmul.Multiplier).Result()...) }},
+		{"strassen", func(t *testing.T) Alg {
+			a, err := strassen.New(clone64(mmA), clone64(mmB), mmN, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}, func(alg Alg) any { return append([]float64(nil), alg.(*strassen.Multiplier).Result()...) }},
+	}
+}
+
+// grainSettings is the matrix the ISSUE pins: coarsening off, tiny, large,
+// and automatic.
+var grainSettings = []struct {
+	name  string
+	grain int
+}{
+	{"grain=1", 1},
+	{"grain=4", 4},
+	{"grain=64", 64},
+	{"grain=auto", GrainAuto},
+}
+
+// TestGrainBitIdentical is the leaf-coarsening property test: for every
+// algorithm, every grain setting, and both backends, the breadth-first CPU
+// run's result is bit-identical to the sequential baseline.
+func TestGrainBitIdentical(t *testing.T) {
+	for _, tc := range grainCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.build(t)
+			RunSequential(hpu.MustSim(hpu.HPU1()), ref)
+			want := tc.value(ref)
+
+			for _, backend := range []string{"sim", "native"} {
+				for _, gs := range grainSettings {
+					t.Run(backend+"/"+gs.name, func(t *testing.T) {
+						var be Backend
+						switch backend {
+						case "sim":
+							be = hpu.MustSim(hpu.HPU1())
+						case "native":
+							nb, err := native.New(native.Config{CPUWorkers: 4})
+							if err != nil {
+								t.Fatal(err)
+							}
+							defer nb.Close()
+							be = nb
+						}
+						alg := tc.build(t)
+						if _, err := RunBreadthFirstCPUCtx(context.Background(), be, alg, WithGrain(gs.grain)); err != nil {
+							t.Fatal(err)
+						}
+						if got := tc.value(alg); !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s %s %s: result differs from sequential baseline", tc.name, backend, gs.name)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestGrainAdvancedHybridBitIdentical pins that grain wired through the
+// advanced hybrid's CPU portion (clamped at the split level) also preserves
+// results exactly, on both backends.
+func TestGrainAdvancedHybridBitIdentical(t *testing.T) {
+	build := func(t *testing.T, kind int, data []int32) GPUAlg {
+		t.Helper()
+		clone := append([]int32(nil), data...)
+		switch kind {
+		case 0:
+			a, err := scan.New(clone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		case 1:
+			a, err := dcsum.New(clone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		default:
+			a, err := mergesort.New(clone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}
+	}
+	value := func(alg GPUAlg) any {
+		switch a := alg.(type) {
+		case *scan.Scanner:
+			return append([]int64(nil), a.Result()...)
+		case *dcsum.Summer:
+			return a.Result()
+		default:
+			return append([]int32(nil), alg.(*mergesort.Sorter).Result()...)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	data := make([]int32, 1<<10)
+	for i := range data {
+		data[i] = int32(rng.Intn(2001) - 1000)
+	}
+	names := []string{"scan", "dcsum", "mergesort"}
+	for kind := 0; kind < 3; kind++ {
+		t.Run(names[kind], func(t *testing.T) {
+			ref := build(t, kind, data)
+			RunSequential(hpu.MustSim(hpu.HPU1()), ref)
+			want := value(ref)
+			L := ref.Levels()
+			y := L - 2
+			for _, backend := range []string{"sim", "native"} {
+				for _, gs := range grainSettings {
+					t.Run(fmt.Sprintf("%s/%s", backend, gs.name), func(t *testing.T) {
+						var be Backend
+						switch backend {
+						case "sim":
+							be = hpu.MustSim(hpu.HPU1())
+						case "native":
+							nb, err := native.New(native.Config{CPUWorkers: 4, DeviceLanes: 8})
+							if err != nil {
+								t.Fatal(err)
+							}
+							defer nb.Close()
+							be = nb
+						}
+						alg := build(t, kind, data)
+						if _, err := RunAdvancedHybridCtx(context.Background(), be, alg, 0.25, y, WithGrain(gs.grain)); err != nil {
+							t.Fatal(err)
+						}
+						if got := value(alg); !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s %s %s: result differs from sequential baseline", names[kind], backend, gs.name)
+						}
+					})
+				}
+			}
+		})
+	}
+}

@@ -25,6 +25,11 @@ type RunConfig struct {
 	// Metrics, if non-nil, receives the run's execution metrics (batch
 	// latencies, busy/idle time, transfer traffic; names in DESIGN.md §9).
 	Metrics *metrics.Registry
+	// Grain is the leaf-coarsening grain for the CPU portion (DESIGN.md
+	// §11): 0 or 1 disables coarsening, GrainAuto selects it from the CPU
+	// parallelism, n > 1 collapses the bottom ⌊log_a(n)⌋ levels. Set with
+	// WithGrain.
+	Grain int
 }
 
 // Option configures a single execution. Options are accepted by the

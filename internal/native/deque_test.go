@@ -1,0 +1,117 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeOwnerLIFO pins single-threaded owner semantics: pop returns the
+// most recently pushed span, steal the oldest.
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := newDeque()
+	spans := []*span{{lo: 0}, {lo: 1}, {lo: 2}}
+	for _, s := range spans {
+		if !d.push(s) {
+			t.Fatal("push failed on empty deque")
+		}
+	}
+	if s := d.steal(); s == nil || s.lo != 0 {
+		t.Fatalf("steal = %v, want span 0", s)
+	}
+	if s := d.pop(); s == nil || s.lo != 2 {
+		t.Fatalf("pop = %v, want span 2", s)
+	}
+	if s := d.pop(); s == nil || s.lo != 1 {
+		t.Fatalf("pop = %v, want span 1", s)
+	}
+	if s := d.pop(); s != nil {
+		t.Fatalf("pop on empty = %v, want nil", s)
+	}
+	if s := d.steal(); s != nil {
+		t.Fatalf("steal on empty = %v, want nil", s)
+	}
+}
+
+// TestDequeFull pins that push reports failure at capacity instead of
+// overwriting live slots.
+func TestDequeFull(t *testing.T) {
+	d := newDeque()
+	for i := 0; i < dequeCapacity; i++ {
+		if !d.push(&span{lo: i}) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if d.push(&span{lo: dequeCapacity}) {
+		t.Fatal("push succeeded on full deque")
+	}
+	if s := d.steal(); s == nil || s.lo != 0 {
+		t.Fatalf("steal = %v, want span 0", s)
+	}
+	if !d.push(&span{lo: dequeCapacity}) {
+		t.Fatal("push failed after steal freed a slot")
+	}
+}
+
+// TestDequeConcurrentStealers runs one owner doing interleaved push/pop
+// against several thieves and asserts every span is consumed exactly once —
+// the core no-loss/no-duplication property of the Chase-Lev protocol. Run
+// with -race in the suite's race job.
+func TestDequeConcurrentStealers(t *testing.T) {
+	const total = 20000
+	const thieves = 3
+	d := newDeque()
+	seen := make([]atomic.Int32, total)
+	consume := func(s *span) {
+		if s.j != nil {
+			t.Error("unexpected job pointer")
+		}
+		seen[s.lo].Add(1)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if s := d.steal(); s != nil {
+					consume(s)
+				}
+			}
+			// Final sweep after the owner finished.
+			for {
+				s := d.steal()
+				if s == nil {
+					return
+				}
+				consume(s)
+			}
+		}()
+	}
+
+	next := 0
+	for next < total {
+		if d.push(&span{lo: next}) {
+			next++
+		} else if s := d.pop(); s != nil {
+			consume(s)
+		}
+		// Owner pops roughly every other push to exercise the pop/steal race.
+		if next%2 == 0 {
+			if s := d.pop(); s != nil {
+				consume(s)
+			}
+		}
+	}
+	d.drain(consume)
+	stop.Store(true)
+	wg.Wait()
+
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("span %d consumed %d times, want exactly once", i, n)
+		}
+	}
+}

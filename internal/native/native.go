@@ -3,6 +3,13 @@
 // of p goroutines and, optionally, a wide "device" pool standing in for the
 // GPU. It implements core.Backend with wall-clock timing.
 //
+// Both pools are backed by a work-stealing engine (engine.go): each worker
+// owns a bounded Chase-Lev deque of index-range spans, Submit turns a batch
+// into at most p spans, and workers that notice hungry peers halve their
+// current range so load balances by stealing rather than by up-front
+// chunking. Idle workers spin briefly, then park; the steady state takes no
+// locks and performs no allocation per Submit.
+//
 // On a machine without a real GPU the device pool is just more goroutines on
 // the same cores, so it cannot reproduce the paper's speed ratios — its
 // purpose is (a) making the library genuinely useful for multi-core D&C
@@ -25,11 +32,12 @@ import (
 )
 
 // Metric names recorded by the backend when Config.Metrics is set;
-// semantics in DESIGN.md §9. The {cpu,gpu} pair of each name is produced by
-// prefixing PoolCPU or PoolGPU.
+// semantics in DESIGN.md §9 and §11. The {cpu,gpu} pair of each name is
+// produced by prefixing PoolCPU or PoolGPU.
 const (
 	MetricChunks           = "_chunks_total"
 	MetricTasks            = "_tasks_total"
+	MetricSteals           = "_steals_total"
 	MetricBusyWorkers      = "_busy_workers"
 	MetricSubmitAfterClose = "native_submit_after_close_total"
 )
@@ -54,18 +62,30 @@ type Config struct {
 	// TransferDelay, if nonzero, sleeps this long per host↔device transfer
 	// to mimic link latency.
 	TransferDelay time.Duration
-	// Metrics, if non-nil, receives pool occupancy gauges, chunk/task
+	// Metrics, if non-nil, receives pool occupancy gauges, chunk/task/steal
 	// counters, and the count of submissions that raced Close (whose work
 	// is dropped while their completion chains still unwind). Nil disables
 	// metrics at zero cost.
 	Metrics *metrics.Registry
+	// LegacyPool selects the pre-work-stealing channel fan-out pool. It is
+	// retained solely so benchmarks (make bench-cpu) can compare the old
+	// executor against the stealing engine on the same build; it keeps the
+	// old pool's unbounded-goroutine overflow behavior and should not be
+	// used outside benchmarks.
+	LegacyPool bool
+}
+
+// executor is what a Backend pool must provide beyond core.LevelExecutor.
+type executor interface {
+	core.LevelExecutor
+	close()
 }
 
 // Backend is a real-goroutine hybrid platform.
 type Backend struct {
 	cfg     Config
-	cpu     *pool
-	gpu     *pool
+	cpu     executor
+	gpu     executor
 	start   time.Time
 	pending sync.WaitGroup
 	closed  atomic.Bool
@@ -88,9 +108,15 @@ func New(cfg Config) (*Backend, error) {
 		return nil, fmt.Errorf("native: Gamma must be in (0,1), got %g: %w", cfg.Gamma, dcerr.ErrBadParam)
 	}
 	b := &Backend{cfg: cfg, start: time.Now()}
-	b.cpu = newPool(cfg.CPUWorkers, &b.pending, cfg.Metrics, PoolCPU)
+	mk := func(workers int, prefix string) executor {
+		if cfg.LegacyPool {
+			return newPool(workers, &b.pending, cfg.Metrics, prefix)
+		}
+		return newEngine(workers, &b.pending, cfg.Metrics, prefix)
+	}
+	b.cpu = mk(cfg.CPUWorkers, PoolCPU)
 	if cfg.DeviceLanes > 0 {
-		b.gpu = newPool(cfg.DeviceLanes, &b.pending, cfg.Metrics, PoolGPU)
+		b.gpu = mk(cfg.DeviceLanes, PoolGPU)
 	}
 	return b, nil
 }
@@ -165,137 +191,3 @@ func (b *Backend) Now() float64 { return time.Since(b.start).Seconds() }
 // Wait implements core.Backend: blocks until all submitted work, including
 // chained completions, has finished.
 func (b *Backend) Wait() { b.pending.Wait() }
-
-// pool is a fixed set of workers consuming task chunks.
-type pool struct {
-	workers int
-	tasks   chan func()
-	pending *sync.WaitGroup
-	// mu guards closed against the channel close: senders hold it shared,
-	// close holds it exclusively, so a send never races the close.
-	mu     sync.RWMutex
-	closed bool
-	// Observability instruments; nil (no-op) unless Config.Metrics was set.
-	busyWorkers *metrics.Gauge
-	chunks      *metrics.Counter
-	tasksRun    *metrics.Counter
-	closeRaces  *metrics.Counter
-}
-
-var _ core.LevelExecutor = (*pool)(nil)
-
-func newPool(workers int, pending *sync.WaitGroup, reg *metrics.Registry, prefix string) *pool {
-	p := &pool{
-		workers:     workers,
-		tasks:       make(chan func(), 4*workers),
-		pending:     pending,
-		busyWorkers: reg.Gauge(prefix + MetricBusyWorkers),
-		chunks:      reg.Counter(prefix + MetricChunks),
-		tasksRun:    reg.Counter(prefix + MetricTasks),
-		closeRaces:  reg.Counter(MetricSubmitAfterClose),
-	}
-	for i := 0; i < workers; i++ {
-		go func() {
-			for f := range p.tasks {
-				p.busyWorkers.Add(1)
-				f()
-				p.busyWorkers.Add(-1)
-			}
-		}()
-	}
-	return p
-}
-
-func (p *pool) close() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return
-	}
-	p.closed = true
-	close(p.tasks)
-}
-
-// send enqueues a chunk, never blocking the caller (which may be a worker
-// goroutine running a chained completion). If the pool is or becomes closed
-// before the chunk can be enqueued, abort runs instead so the submitter's
-// completion accounting still unwinds.
-func (p *pool) send(chunk, abort func()) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
-		p.closeRaces.Inc()
-		abort()
-		return
-	}
-	select {
-	case p.tasks <- chunk:
-	default:
-		go func() {
-			p.mu.RLock()
-			defer p.mu.RUnlock()
-			if p.closed {
-				p.closeRaces.Inc()
-				abort()
-				return
-			}
-			p.tasks <- chunk
-		}()
-	}
-}
-
-// Parallelism implements core.LevelExecutor.
-func (p *pool) Parallelism() int { return p.workers }
-
-// Submit implements core.LevelExecutor: the batch is split into one chunk
-// per worker (tasks permitting) and done fires after the last chunk.
-func (p *pool) Submit(b core.Batch, done func()) {
-	if b.Empty() {
-		if done != nil {
-			done()
-		}
-		return
-	}
-	chunks := p.workers
-	if b.Tasks < chunks {
-		chunks = b.Tasks
-	}
-	p.chunks.Add(uint64(chunks))
-	p.tasksRun.Add(uint64(b.Tasks))
-	join := done
-	if join == nil {
-		join = func() {}
-	}
-	// The chain's continuation (done) may submit more work, so keep the
-	// backend pending until it has run.
-	p.pending.Add(chunks)
-	finish := core.Join(chunks, func() {
-		join()
-		// Release the chunks only after the continuation completed, so
-		// Wait cannot observe an idle instant mid-chain.
-		for i := 0; i < chunks; i++ {
-			p.pending.Done()
-		}
-	})
-	base, rem := b.Tasks/chunks, b.Tasks%chunks
-	lo := 0
-	for i := 0; i < chunks; i++ {
-		n := base
-		if i < rem {
-			n++
-		}
-		from, to := lo, lo+n
-		lo = to
-		chunk := func() {
-			if b.Run != nil {
-				for t := from; t < to; t++ {
-					b.Run(t)
-				}
-			}
-			finish()
-		}
-		// On a closed pool the chunk's work is dropped but finish still
-		// runs, so the chain unwinds instead of deadlocking Wait.
-		p.send(chunk, finish)
-	}
-}

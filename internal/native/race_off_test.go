@@ -1,0 +1,5 @@
+//go:build !race
+
+package native
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package native
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops items under -race to expose reuse races, so zero-alloc
+// assertions cannot hold there.
+const raceEnabled = true

@@ -1,0 +1,91 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrainTrial runs one configuration with the given leaf-coarsening grain
+// (core.WithGrain semantics: 0 disables coarsening, n > 1 collapses the
+// bottom ⌊log_a(n)⌋ levels) and returns its makespan in seconds.
+type GrainTrial func(grain int) (float64, error)
+
+// GrainConfig bounds the grain search.
+type GrainConfig struct {
+	// Arity is the algorithm's branching factor a; candidate grains are the
+	// subtree sizes a^k. Defaults to 2.
+	Arity int
+	// Levels is the instance's recursion depth L; k is searched in [0, L].
+	Levels int
+	// Repeats is how many trials to run per candidate, keeping the minimum
+	// (wall-clock noise rejection). Defaults to 1.
+	Repeats int
+}
+
+// GrainResult reports the search outcome.
+type GrainResult struct {
+	// Grain is the best grain found: 0 when plain breadth-first execution
+	// won, otherwise a^k for the best k.
+	Grain int
+	// Seconds is the best observed makespan.
+	Seconds float64
+	// Trials is the number of trial runs executed.
+	Trials int
+}
+
+// Grain searches the power-of-a grain ladder for the coarsening that
+// minimizes the trial makespan. It is the empirical counterpart of
+// core.GrainAuto: auto picks the largest grain preserving parallel slack
+// without running anything, while Grain measures each rung — use it when
+// the per-task cost structure is unusual enough that the slack heuristic
+// may not be optimal (e.g. cache cliffs, Fig 10 of the paper).
+func Grain(trial GrainTrial, cfg GrainConfig) (GrainResult, error) {
+	if trial == nil {
+		return GrainResult{}, fmt.Errorf("tune: nil trial function")
+	}
+	if cfg.Levels < 1 {
+		return GrainResult{}, fmt.Errorf("tune: Levels must be >= 1, got %d", cfg.Levels)
+	}
+	if cfg.Arity == 0 {
+		cfg.Arity = 2
+	}
+	if cfg.Arity < 2 {
+		return GrainResult{}, fmt.Errorf("tune: Arity must be >= 2, got %d", cfg.Arity)
+	}
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+
+	best := GrainResult{Seconds: math.Inf(1)}
+	grain := 0 // k = 0: plain breadth-first
+	for k := 0; k <= cfg.Levels; k++ {
+		s := math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			v, err := trial(grain)
+			if err != nil {
+				return GrainResult{}, err
+			}
+			best.Trials++
+			if v < s {
+				s = v
+			}
+		}
+		if s < best.Seconds {
+			best.Seconds = s
+			best.Grain = grain
+		}
+		if grain == 0 {
+			grain = cfg.Arity
+		} else {
+			next := grain * cfg.Arity
+			if next/cfg.Arity != grain { // overflow guard
+				break
+			}
+			grain = next
+		}
+	}
+	if math.IsInf(best.Seconds, 1) {
+		return GrainResult{}, fmt.Errorf("tune: no successful trials")
+	}
+	return best, nil
+}

@@ -1,0 +1,63 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestGrainFindsSyntheticOptimum(t *testing.T) {
+	// A synthetic makespan curve with its minimum at grain = 16: coarsening
+	// saves scheduling overhead up to a point, then kills parallel slack.
+	trial := func(grain int) (float64, error) {
+		g := float64(grain)
+		if g < 1 {
+			g = 1
+		}
+		d := math.Log2(g) - 4 // optimum at 2^4
+		return 1 + 0.1*d*d, nil
+	}
+	res, err := Grain(trial, GrainConfig{Levels: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grain != 16 {
+		t.Errorf("tuned grain = %d, want 16", res.Grain)
+	}
+	if res.Trials != 11 { // k = 0..10
+		t.Errorf("trials = %d, want 11", res.Trials)
+	}
+}
+
+func TestGrainPrefersPlainWhenCoarseningLoses(t *testing.T) {
+	trial := func(grain int) (float64, error) {
+		return 1 + float64(grain)*0.01, nil
+	}
+	res, err := Grain(trial, GrainConfig{Levels: 8, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grain != 0 {
+		t.Errorf("tuned grain = %d, want 0 (plain breadth-first)", res.Grain)
+	}
+	if res.Trials != 18 { // 9 rungs x 2 repeats
+		t.Errorf("trials = %d, want 18", res.Trials)
+	}
+}
+
+func TestGrainPropagatesErrors(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	trial := func(grain int) (float64, error) { return 0, boom }
+	if _, err := Grain(trial, GrainConfig{Levels: 4}); err == nil {
+		t.Error("expected trial error to propagate")
+	}
+	if _, err := Grain(nil, GrainConfig{Levels: 4}); err == nil {
+		t.Error("accepted nil trial")
+	}
+	if _, err := Grain(trial, GrainConfig{}); err == nil {
+		t.Error("accepted zero levels")
+	}
+	if _, err := Grain(func(int) (float64, error) { return 1, nil }, GrainConfig{Levels: 4, Arity: 1}); err == nil {
+		t.Error("accepted arity < 2")
+	}
+}

@@ -49,6 +49,17 @@ func WithSplit(s int) Option { return core.WithSplit(s) }
 // ignore it.
 func WithPriority(w int) Option { return core.WithPriority(w) }
 
+// GrainAuto selects the leaf-coarsening grain automatically from the CPU
+// parallelism (DESIGN.md §11).
+const GrainAuto = core.GrainAuto
+
+// WithGrain sets the leaf-coarsening grain for the run's CPU portion: the
+// bottom ⌊log_a(n)⌋ breadth-first levels collapse into one cache-friendly
+// depth-first chunk per subtree (at most n leaves each). 0 or 1 disables
+// coarsening (the default); GrainAuto picks the largest grain that keeps
+// all CPU workers busy. Results are bit-identical for any grain.
+func WithGrain(n int) Option { return core.WithGrain(n) }
+
 // WithTrace records the execution's timeline and, when the run finishes
 // (even canceled), writes a one-line summary, an ASCII Gantt chart, and
 // per-unit utilization to w.
