@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke check bench bench-serve bench-cpu
+.PHONY: all build vet test race smoke obs-smoke chaos-smoke check bench bench-serve bench-cpu
 
 all: check
 
@@ -30,6 +30,14 @@ smoke:
 # per-priority latency, and transfer-byte metrics advanced under load.
 obs-smoke:
 	$(GO) run ./cmd/hpuserve --obs-smoke --duration 2s
+
+# Chaos soak under the race detector: 240 jobs through a seeded fault
+# injector (~20% device-fault rate), retry/hedge/fallback policies and the
+# circuit breaker active. Exits nonzero on any wrong result, unbounded
+# shedding, silent reliability metrics, or goroutine leak; writes the fault
+# report CI uploads as an artifact.
+chaos-smoke:
+	$(GO) run -race ./cmd/hpuserve --chaos --chaos-report CHAOS_report.json
 
 check: build vet race smoke
 

@@ -1,0 +1,386 @@
+// Chaos soak: drive the server through a seeded fault injector and verify
+// the reliability layer masks every injected device failure it promises to
+// mask — zero wrong results, bounded shedding, and the retry / fallback /
+// hedge / breaker machinery all visibly exercised — then write a JSON fault
+// report for CI artifacts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/algos/dcsum"
+	"repro/internal/algos/mergesort"
+	"repro/internal/algos/scan"
+	"repro/internal/workload"
+)
+
+// chaosConfig carries the --chaos-* flags.
+type chaosConfig struct {
+	Jobs      int     `json:"jobs"`
+	FaultRate float64 `json:"fault_rate"`
+	Seed      int64   `json:"seed"`
+	Workers   int     `json:"workers"`
+	Lanes     int     `json:"lanes"`
+}
+
+// chaosReport is the JSON artifact uploaded by CI.
+type chaosReport struct {
+	Config    chaosConfig          `json:"config"`
+	Faults    hybriddc.FaultCounts `json:"injected_faults"`
+	Stats     hybriddc.ServerStats `json:"server_stats"`
+	Succeeded int                  `json:"succeeded"`
+	Verified  int                  `json:"verified_results"`
+	Wrong     int                  `json:"wrong_results"`
+	Shed      int                  `json:"shed_degraded"`
+	Expected  int                  `json:"expected_failures"`
+	Anomalies []string             `json:"anomalies"`
+	ShedRate  float64              `json:"shed_rate"`
+}
+
+// chaosExpected is a job's precomputed ground truth: exactly one field is
+// meaningful, keyed by the algorithm the job carries.
+type chaosExpected struct {
+	sorted []int32
+	prefix []int64
+	sum    int64
+}
+
+// chaosJob pairs a submitted handle with its ground truth and policy class.
+type chaosJob struct {
+	h        *hybriddc.JobHandle
+	want     chaosExpected
+	fallback bool // carries WithFallback(CPUOnly): must never fail
+}
+
+func runChaos(cfg chaosConfig, reportPath string) error {
+	baseline := runtime.NumGoroutine()
+
+	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: cfg.Workers, DeviceLanes: cfg.Lanes})
+	if err != nil {
+		return err
+	}
+	// Split the headline fault rate across the injector's kinds, weighted
+	// toward hard kernel errors so retry exhaustion and consecutive-fault
+	// breaker trips stay reachable at moderate rates. The 2ms stall dwarfs
+	// the 300µs hedge delay below, so stuck devices reliably lose the hedge
+	// race.
+	r := cfg.FaultRate
+	in, err := hybriddc.NewFaultInjector(hybriddc.FaultsConfig{
+		Seed:              cfg.Seed,
+		KernelErrorRate:   0.65 * r,
+		TransferErrorRate: 0.10 * r,
+		CloseRaceRate:     0.05 * r,
+		StuckRate:         0.20 * r,
+		Stall:             2 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	reg := hybriddc.NewMetrics()
+	rec := hybriddc.NewTraceRecorderLimit(1 << 14)
+	srv, err := hybriddc.NewServer(be,
+		hybriddc.WithQueueDepth(64),
+		hybriddc.WithMaxInFlight(8),
+		hybriddc.WithServerMetrics(reg),
+		hybriddc.WithServerRecorder(rec),
+		hybriddc.WithServerFaults(in),
+		hybriddc.WithBreaker(2, 2*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+
+	httpAddr, err := serveHTTP("127.0.0.1:0", reg, rec)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctx := context.Background()
+	report := chaosReport{Config: cfg}
+	var jobs []chaosJob
+
+	for i := 0; i < cfg.Jobs; i++ {
+		spec, want, err := makeChaosJob(rng)
+		if err != nil {
+			return err
+		}
+		// Policy mix: every job retries once; most also carry a CPU
+		// fallback (these must end correct no matter what the device
+		// does), half of those hedge, and the rest are deliberately
+		// unprotected so ErrRetriesExhausted / ErrDegraded stay reachable.
+		opts := []hybriddc.Option{hybriddc.WithRetry(1, 200*time.Microsecond)}
+		hasFallback := rng.Intn(100) < 80
+		if hasFallback {
+			opts = append(opts, hybriddc.WithFallback(hybriddc.CPUOnly))
+			if rng.Intn(2) == 0 {
+				opts = append(opts, hybriddc.WithHedge(300*time.Microsecond))
+			}
+		}
+
+		var h *hybriddc.JobHandle
+		for {
+			h, err = srv.Submit(ctx, spec, opts...)
+			if errors.Is(err, hybriddc.ErrQueueFull) {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			break
+		}
+		if errors.Is(err, hybriddc.ErrDegraded) {
+			report.Shed++
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("chaos: submit job %d: %w", i, err)
+		}
+		jobs = append(jobs, chaosJob{h: h, want: want, fallback: hasFallback})
+	}
+
+	for _, j := range jobs {
+		_, err := j.h.Report()
+		switch {
+		case err == nil:
+			report.Succeeded++
+			if ok, detail := verifyChaosResult(j.h.ResultAlg(), j.want); ok {
+				report.Verified++
+			} else {
+				report.Wrong++
+				if len(report.Anomalies) < 8 {
+					report.Anomalies = append(report.Anomalies,
+						fmt.Sprintf("job %d: wrong result: %s", j.h.ID, detail))
+				}
+			}
+		case j.fallback:
+			// A CPUOnly-fallback job must be masked end to end: the CPU
+			// path is never fault-injected and open breakers re-route it.
+			report.Anomalies = append(report.Anomalies,
+				fmt.Sprintf("job %d: fallback-protected job failed: %v", j.h.ID, err))
+		case errors.Is(err, hybriddc.ErrDegraded):
+			report.Shed++
+		case errors.Is(err, hybriddc.ErrRetriesExhausted) || errors.Is(err, hybriddc.ErrDeviceFault):
+			report.Expected++ // unprotected job lost its device-fault gamble
+		default:
+			report.Anomalies = append(report.Anomalies,
+				fmt.Sprintf("job %d: unclassified failure: %v", j.h.ID, err))
+		}
+	}
+
+	// Scrape the live exposition before teardown, then close.
+	var snap snapshot
+	if err := scrape(httpAddr, &snap); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if err := be.Close(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	report.Stats = st
+	report.Faults = in.Counts()
+	if st.Submitted > 0 {
+		report.ShedRate = float64(st.Degraded) / float64(st.Submitted+st.Degraded)
+	}
+
+	fmt.Printf("chaos: %d jobs, %d injected faults (%d kernel, %d transfer, %d stuck, %d close-race)\n",
+		cfg.Jobs, report.Faults.Injected, report.Faults.KernelErrors,
+		report.Faults.TransferErrors, report.Faults.StuckLaunches, report.Faults.CloseRaces)
+	fmt.Printf("chaos: %d succeeded (%d verified, %d wrong), %d shed, %d expected failures\n",
+		report.Succeeded, report.Verified, report.Wrong, report.Shed, report.Expected)
+	fmt.Printf("chaos: retries %d  fallbacks %d  hedge wins %d  breaker trips %d  shed rate %.3f\n",
+		st.Retries, st.Fallbacks, st.HedgeWins, st.BreakerTrips, report.ShedRate)
+
+	// Write the artifact before asserting, so a failing soak still uploads
+	// its evidence.
+	if reportPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: report written to %s\n", reportPath)
+	}
+
+	// Soak invariants.
+	fail := func(format string, args ...any) error { return fmt.Errorf("chaos: "+format, args...) }
+	if len(report.Anomalies) > 0 {
+		return fail("%d anomalies, first: %s", len(report.Anomalies), report.Anomalies[0])
+	}
+	if report.Wrong != 0 {
+		return fail("%d wrong results", report.Wrong)
+	}
+	if report.Succeeded == 0 || report.Verified != report.Succeeded {
+		return fail("verified %d of %d successes", report.Verified, report.Succeeded)
+	}
+	if report.Faults.Injected == 0 {
+		return fail("injector never fired (%d attempts)", report.Faults.Attempts)
+	}
+	if st.Retries == 0 || snap.Counters["serve_retries_total"] != st.Retries {
+		return fail("serve_retries_total = %d, server says %d: retries invisible or absent",
+			snap.Counters["serve_retries_total"], st.Retries)
+	}
+	if st.Fallbacks == 0 || snap.Counters["serve_fallbacks_total"] != st.Fallbacks {
+		return fail("serve_fallbacks_total = %d, server says %d: fallbacks invisible or absent",
+			snap.Counters["serve_fallbacks_total"], st.Fallbacks)
+	}
+	if st.BreakerTrips == 0 || snap.Counters["serve_breaker_trips_total"] != st.BreakerTrips {
+		return fail("serve_breaker_trips_total = %d, server says %d: breaker never tripped",
+			snap.Counters["serve_breaker_trips_total"], st.BreakerTrips)
+	}
+	if st.HedgeWins == 0 || snap.Counters["serve_hedge_wins_total"] != st.HedgeWins {
+		return fail("serve_hedge_wins_total = %d, server says %d: no hedge ever won",
+			snap.Counters["serve_hedge_wins_total"], st.HedgeWins)
+	}
+	if report.ShedRate > 0.5 {
+		return fail("shed rate %.3f exceeds 0.5: breaker never recovering", report.ShedRate)
+	}
+	// Give transfer goroutines, pool workers, and hedge drains a moment to
+	// exit. The HTTP listener goroutine is intentionally still alive.
+	for i := 0; i < 50 && runtime.NumGoroutine() > baseline+3; i++ {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+3 {
+		return fail("goroutine leak: %d at start, %d after close", baseline, g)
+	}
+	fmt.Println("chaos: ok")
+	return nil
+}
+
+// makeChaosJob draws one GPU-bound (or occasionally CPU) job over a small
+// input and precomputes its ground truth in plain Go, so result verification
+// is independent of every executor under test.
+func makeChaosJob(rng *rand.Rand) (hybriddc.JobSpec, chaosExpected, error) {
+	n := 1 << (10 + rng.Intn(4)) // 2^10 .. 2^13
+	data := workload.Uniform(n, rng.Int63())
+
+	var want chaosExpected
+	var alg hybriddc.Alg
+	var fresh func() (hybriddc.Alg, error)
+	var err error
+	switch rng.Intn(3) {
+	case 0:
+		alg, err = hybriddc.NewMergesort(data)
+		fresh = func() (hybriddc.Alg, error) { a, err := hybriddc.NewMergesort(data); return a, err }
+		want.sorted = append([]int32(nil), data...)
+		insertionFreeSort(want.sorted)
+	case 1:
+		alg, err = hybriddc.NewScan(data)
+		fresh = func() (hybriddc.Alg, error) { a, err := hybriddc.NewScan(data); return a, err }
+		want.prefix = make([]int64, n)
+		var acc int64
+		for i, v := range data {
+			acc += int64(v)
+			want.prefix[i] = acc
+		}
+	default:
+		alg, err = hybriddc.NewSum(data)
+		fresh = func() (hybriddc.Alg, error) { a, err := hybriddc.NewSum(data); return a, err }
+		for _, v := range data {
+			want.sum += int64(v)
+		}
+	}
+	if err != nil {
+		return hybriddc.JobSpec{}, want, err
+	}
+
+	spec := hybriddc.JobSpec{Alg: alg, Fresh: fresh}
+	levels := alg.Levels()
+	switch rng.Intn(6) {
+	case 0: // keep some pure-CPU traffic in the mix
+		spec.Strategy = hybriddc.JobBreadthFirstCPU
+	case 1, 2:
+		spec.Strategy = hybriddc.JobBasicHybrid
+		spec.Crossover = levels / 3
+	case 3:
+		spec.Strategy = hybriddc.JobAdvancedHybrid
+		spec.Alpha = 0.25 + rng.Float64()/2
+		spec.Y = levels / 2
+	default:
+		spec.Strategy = hybriddc.JobGPUOnly
+	}
+	return spec, want, nil
+}
+
+// insertionFreeSort sorts in place without sort.Slice's reflection, keeping
+// the ground-truth path trivially auditable (bottom-up merge, same element
+// type as the algorithm under test but none of its code).
+func insertionFreeSort(a []int32) {
+	buf := make([]int32, len(a))
+	for width := 1; width < len(a); width *= 2 {
+		for lo := 0; lo < len(a); lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid > len(a) {
+				mid = len(a)
+			}
+			if hi > len(a) {
+				hi = len(a)
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if a[i] <= a[j] {
+					buf[k] = a[i]
+					i++
+				} else {
+					buf[k] = a[j]
+					j++
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = a[i]
+				i, k = i+1, k+1
+			}
+			for j < hi {
+				buf[k] = a[j]
+				j, k = j+1, k+1
+			}
+			copy(a[lo:hi], buf[lo:hi])
+		}
+	}
+}
+
+// verifyChaosResult checks the winning instance's output against the ground
+// truth, whichever executor (device, retry, hedge, or fallback) produced it.
+func verifyChaosResult(alg hybriddc.Alg, want chaosExpected) (bool, string) {
+	switch a := alg.(type) {
+	case *mergesort.Sorter:
+		got := a.Result()
+		if len(got) != len(want.sorted) {
+			return false, fmt.Sprintf("mergesort length %d != %d", len(got), len(want.sorted))
+		}
+		for i := range got {
+			if got[i] != want.sorted[i] {
+				return false, fmt.Sprintf("mergesort[%d] = %d, want %d", i, got[i], want.sorted[i])
+			}
+		}
+	case *scan.Scanner:
+		got := a.Result()
+		if len(got) != len(want.prefix) {
+			return false, fmt.Sprintf("scan length %d != %d", len(got), len(want.prefix))
+		}
+		for i := range got {
+			if got[i] != want.prefix[i] {
+				return false, fmt.Sprintf("scan[%d] = %d, want %d", i, got[i], want.prefix[i])
+			}
+		}
+	case *dcsum.Summer:
+		if got := a.Result(); got != want.sum {
+			return false, fmt.Sprintf("sum = %d, want %d", got, want.sum)
+		}
+	default:
+		return false, fmt.Sprintf("unknown result type %T", alg)
+	}
+	return true, ""
+}

@@ -59,6 +59,11 @@ func main() {
 		benchFusion = flag.Bool("bench-fusion", false, "benchmark fused vs unfused job throughput on the simulator, write BENCH_serve.json, and exit")
 		benchOut    = flag.String("bench-out", "BENCH_serve.json", "output path for --bench-fusion results")
 
+		chaos          = flag.Bool("chaos", false, "run the seeded fault-injection soak: verify every surviving result, assert the reliability metrics advanced, write a fault report, and exit nonzero on any anomaly")
+		chaosJobs      = flag.Int("chaos-jobs", 240, "how many jobs the --chaos soak submits")
+		chaosFaultRate = flag.Float64("chaos-fault-rate", 0.2, "per-attempt probability of an injected device fault under --chaos")
+		chaosReportOut = flag.String("chaos-report", "CHAOS_report.json", "output path for the --chaos fault report ('' disables)")
+
 		benchCPU        = flag.Bool("bench-cpu", false, "benchmark the breadth-first CPU executor (legacy pool vs stealing engine vs engine+grain), write BENCH_cpu.json, and exit")
 		benchCPUOut     = flag.String("bench-cpu-out", "BENCH_cpu.json", "output path for --bench-cpu results")
 		benchCPUSummary = flag.String("bench-cpu-summary", "", "also write --bench-cpu results as a markdown table to this path (for CI job summaries)")
@@ -72,6 +77,16 @@ func main() {
 	}
 	if *benchCPU {
 		check(runCPUBench(*benchCPUOut, *benchCPUSummary, *workers, *benchCPUReps))
+		return
+	}
+	if *chaos {
+		check(runChaos(chaosConfig{
+			Jobs:      *chaosJobs,
+			FaultRate: *chaosFaultRate,
+			Seed:      *seed,
+			Workers:   *workers,
+			Lanes:     *lanes,
+		}, *chaosReportOut))
 		return
 	}
 

@@ -29,4 +29,14 @@ var (
 	ErrBackendClosed = dcerr.ErrBackendClosed
 	// ErrServerClosed: a submission to a Server after Close.
 	ErrServerClosed = dcerr.ErrServerClosed
+	// ErrDeviceFault: the device path failed mid-run (kernel error, transfer
+	// corruption, or a close race); the Report is partial. Retry and
+	// fallback policies (WithRetry, WithFallback) classify on it.
+	ErrDeviceFault = dcerr.ErrDeviceFault
+	// ErrDegraded: the Server's circuit breaker is shedding GPU-bound work;
+	// resubmit later, on the CPU path, or with WithFallback(CPUOnly).
+	ErrDegraded = dcerr.ErrDegraded
+	// ErrRetriesExhausted: every attempt allowed by WithRetry faulted; the
+	// error also matches ErrDeviceFault (the last attempt's failure).
+	ErrRetriesExhausted = dcerr.ErrRetriesExhausted
 )

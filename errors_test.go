@@ -7,6 +7,7 @@ import (
 	"time"
 
 	hybriddc "repro"
+	"repro/internal/workload"
 )
 
 // TestConstructorErrorTaxonomy asserts that every public constructor and
@@ -207,6 +208,123 @@ func TestExecutorErrorTaxonomy(t *testing.T) {
 		}
 		if _, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: &gatedJob{}}); !errors.Is(err, hybriddc.ErrServerClosed) {
 			t.Errorf("submit after Close: error %v does not unwrap to ErrServerClosed", err)
+		}
+	})
+}
+
+// TestReliabilityErrorTaxonomy drives the fault-injection and reliability
+// sentinels through the public facade and asserts the full errors.Is matrix:
+// each wrapped chain (retry-exhausted, failed-fallback, breaker shed) must
+// match every sentinel a caller could reasonably classify on.
+func TestReliabilityErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+	newServer := func(t *testing.T, rate float64, opts ...hybriddc.ServerOption) *hybriddc.Server {
+		t.Helper()
+		be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 2, DeviceLanes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := hybriddc.NewFaultInjector(hybriddc.FaultsConfig{Seed: 1, KernelErrorRate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := hybriddc.NewServer(be, append([]hybriddc.ServerOption{hybriddc.WithServerFaults(in)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Close()
+			be.Close()
+		})
+		return srv
+	}
+	sortSpec := func(t *testing.T) hybriddc.JobSpec {
+		t.Helper()
+		data := workload.Uniform(1<<7, 9)
+		alg, err := hybriddc.NewMergesort(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hybriddc.JobSpec{
+			Alg:      alg,
+			Strategy: hybriddc.JobGPUOnly,
+			Fresh: func() (hybriddc.Alg, error) {
+				a, err := hybriddc.NewMergesort(data)
+				return a, err
+			},
+		}
+	}
+
+	t.Run("device-fault-surfaces", func(t *testing.T) {
+		srv := newServer(t, 1)
+		spec := sortSpec(t)
+		spec.Fresh = nil
+		h, err := srv.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.Report()
+		if !errors.Is(err, hybriddc.ErrDeviceFault) {
+			t.Errorf("injected fault %v does not unwrap to ErrDeviceFault", err)
+		}
+		if !rep.Partial {
+			t.Error("faulted run's Report not marked Partial")
+		}
+	})
+	t.Run("retries-exhausted-matches-both", func(t *testing.T) {
+		srv := newServer(t, 1)
+		h, err := srv.Submit(ctx, sortSpec(t), hybriddc.WithRetry(2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = h.Report()
+		for _, want := range []error{hybriddc.ErrRetriesExhausted, hybriddc.ErrDeviceFault} {
+			if !errors.Is(err, want) {
+				t.Errorf("exhausted-retries error %v does not unwrap to %v", err, want)
+			}
+		}
+		if errors.Is(err, hybriddc.ErrDegraded) {
+			t.Errorf("exhausted-retries error %v must not match ErrDegraded", err)
+		}
+	})
+	t.Run("fallback-recovers", func(t *testing.T) {
+		srv := newServer(t, 1)
+		h, err := srv.Submit(ctx, sortSpec(t), hybriddc.WithRetry(1, 0), hybriddc.WithFallback(hybriddc.CPUOnly))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Report(); err != nil {
+			t.Fatalf("fallback-wrapped job failed: %v", err)
+		}
+		if !h.FellBack() {
+			t.Error("FellBack() = false after an all-faulty device path")
+		}
+	})
+	t.Run("breaker-degraded", func(t *testing.T) {
+		srv := newServer(t, 1, hybriddc.WithBreaker(1, time.Minute))
+		spec := sortSpec(t)
+		spec.Fresh = nil
+		h, err := srv.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Report(); !errors.Is(err, hybriddc.ErrDeviceFault) {
+			t.Fatalf("tripping job: %v, want ErrDeviceFault", err)
+		}
+		_, err = srv.Submit(ctx, spec)
+		if !errors.Is(err, hybriddc.ErrDegraded) {
+			t.Errorf("shed submit error %v does not unwrap to ErrDegraded", err)
+		}
+		if errors.Is(err, hybriddc.ErrDeviceFault) {
+			t.Errorf("shed submit error %v must not match ErrDeviceFault", err)
+		}
+	})
+	t.Run("policy-validation", func(t *testing.T) {
+		srv := newServer(t, 0)
+		spec := sortSpec(t)
+		spec.Fresh = nil
+		if _, err := srv.Submit(ctx, spec, hybriddc.WithRetry(1, 0)); !errors.Is(err, hybriddc.ErrBadParam) {
+			t.Errorf("re-executing policy without Fresh: %v, want ErrBadParam", err)
 		}
 	})
 }

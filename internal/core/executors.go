@@ -88,6 +88,34 @@ type Closer interface {
 	Closed() bool
 }
 
+// Faulter is implemented by backend layers that can report a device fault
+// observed while a run was in flight — the fault-injection wrapper of
+// internal/faults, or a real device adapter surfacing asynchronous launch
+// errors. Executors consult it when the run's chain completes: a non-nil
+// fault marks the Report partial and classifies the run's error under
+// dcerr.ErrDeviceFault, so the serving layer's retry and fallback policies
+// can re-divide the work instead of returning corrupt results.
+type Faulter interface {
+	// Fault returns the first device fault observed during the run, or nil.
+	Fault() error
+}
+
+// DeviceProber is implemented by backends that can cheaply verify their
+// device path is alive without submitting work. The serving layer's circuit
+// breaker consults it before admitting a half-open trial job.
+type DeviceProber interface {
+	// ProbeDevice returns nil when the device path can accept work.
+	ProbeDevice() error
+}
+
+// deviceFault returns the backend chain's recorded fault, if any.
+func deviceFault(be Backend) error {
+	if f, ok := be.(Faulter); ok {
+		return f.Fault()
+	}
+	return nil
+}
+
 func autonomous(be Backend) bool {
 	a, ok := be.(Autonomous)
 	return ok && a.Autonomous()
@@ -184,18 +212,25 @@ func finish(alg Alg) {
 }
 
 // settle finalizes a report after its chain completed: stamps the makespan,
-// runs the Finish hook (only for complete runs — a partial result is not
-// valid data), applies observers, and builds the cancellation error.
+// runs the Finish hook (only for complete, fault-free runs — a partial
+// result is not valid data), applies observers, and builds the cancellation
+// or device-fault error. A device fault recorded by a Faulter layer takes
+// precedence over cancellation: the fault is the more specific cause, and
+// its error already classifies under dcerr.ErrDeviceFault.
 func settle(ctx context.Context, be Backend, cfg *RunConfig, alg Alg, rep *Report, start float64, canceled bool) error {
 	rep.Seconds = be.Now() - start
 	if mb, ok := be.(*meteredBackend); ok {
 		mb.finish(rep.Seconds)
 	}
 	var err error
-	if canceled {
+	switch fault := deviceFault(be); {
+	case fault != nil:
+		rep.Partial = true
+		err = fmt.Errorf("core: %s %s: %w", alg.Name(), rep.Strategy, fault)
+	case canceled:
 		rep.Partial = true
 		err = canceledErr(ctx, alg, rep.Strategy)
-	} else {
+	default:
 		finish(alg)
 	}
 	if cfg.Observe != nil {

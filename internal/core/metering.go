@@ -129,6 +129,10 @@ func (m *meteredBackend) Closed() bool {
 	return ok && c.Closed()
 }
 
+// Fault forwards the wrapped backend's Faulter state, so a device fault
+// recorded beneath the meter still reaches the executor's settlement.
+func (m *meteredBackend) Fault() error { return deviceFault(m.inner) }
+
 // meteredExecutor accounts every submitted batch: its queue+service latency
 // into a histogram (whose Sum is total batch time), and into both the
 // registry-wide and the per-run busy accumulators.

@@ -1,6 +1,52 @@
 package core
 
-import "repro/internal/metrics"
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Fallback selects where a job re-runs after its device path failed.
+type Fallback int
+
+const (
+	// FallbackNone disables fallback: a device fault is returned to the
+	// caller once the retry policy (if any) is exhausted.
+	FallbackNone Fallback = iota
+	// FallbackCPUOnly re-runs the job breadth-first on the CPU engine with
+	// bit-identical results, and lets the serving layer admit GPU-bound
+	// jobs while its circuit breaker has the device path open.
+	FallbackCPUOnly
+)
+
+// Reliability is a job's fault-handling policy, interpreted by serving
+// layers (direct executors ignore it, like Priority). Zero value means no
+// policy: one attempt, no deadline, no hedge, no fallback.
+type Reliability struct {
+	// MaxRetries is how many times a device-fault-classified attempt is
+	// re-executed (on a fresh instance from Job.Fresh) before giving up.
+	MaxRetries int
+	// Backoff is the pause between attempts.
+	Backoff time.Duration
+	// Deadline is the job's total budget from submission; once it expires
+	// the job stops at its next level boundary with ErrCanceled.
+	Deadline time.Duration
+	// Hedge, when HedgeSet, duplicates a GPU-bound job on the CPU path
+	// after this much time without a result; first result wins.
+	Hedge    time.Duration
+	HedgeSet bool
+	// Fallback selects the degradation path after retries are exhausted.
+	Fallback Fallback
+}
+
+// Zero reports whether no reliability policy is configured.
+func (r Reliability) Zero() bool { return r == Reliability{} }
+
+// Reexecutes reports whether the policy can run more than one attempt, and
+// therefore needs a fresh-instance factory (serve.Job.Fresh).
+func (r Reliability) Reexecutes() bool {
+	return r.MaxRetries > 0 || r.HedgeSet || r.Fallback != FallbackNone
+}
 
 // RunConfig is the resolved form of a list of Options: the per-run knobs
 // shared by every executor. Construct it with NewRunConfig; zero values mean
@@ -30,6 +76,10 @@ type RunConfig struct {
 	// parallelism, n > 1 collapses the bottom ⌊log_a(n)⌋ levels. Set with
 	// WithGrain.
 	Grain int
+	// Reliability is the job's fault-handling policy, used by serving
+	// layers (retry, deadline, hedge, CPU fallback; see serve.WithRetry and
+	// friends). Direct executors ignore it.
+	Reliability Reliability
 }
 
 // Option configures a single execution. Options are accepted by the

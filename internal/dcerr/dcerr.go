@@ -14,6 +14,9 @@
 //   - Lifecycle errors (ErrQueueFull, ErrCanceled, ErrBackendClosed,
 //     ErrServerClosed): a runtime condition of the serving layer — retry,
 //     shed load, or shut down cleanly.
+//   - Reliability errors (ErrDeviceFault, ErrDegraded,
+//     ErrRetriesExhausted): the device path failed or was shed at runtime —
+//     retry, fall back to the CPU path, or surface the degradation.
 //
 // dcerr imports nothing from the rest of the module, so every layer (core,
 // backends, algorithms, the serving layer, the public facade) can depend on
@@ -63,4 +66,21 @@ var (
 	ErrBackendClosed = errors.New("backend closed")
 	// ErrServerClosed reports a submission to a server after Close.
 	ErrServerClosed = errors.New("server closed")
+)
+
+// Reliability errors.
+var (
+	// ErrDeviceFault reports a device-path failure during a run: a kernel
+	// launch error, a corrupted or timed-out host↔device transfer, or a
+	// submission that raced the device's shutdown. The accompanying Report
+	// is partial; the job may be retried or re-run on the CPU path.
+	ErrDeviceFault = errors.New("device fault")
+	// ErrDegraded reports a GPU-bound job shed because the serving layer's
+	// circuit breaker has the device path open; resubmit later or attach a
+	// CPU fallback policy.
+	ErrDegraded = errors.New("service degraded: GPU path shed by circuit breaker")
+	// ErrRetriesExhausted reports that a job's retry policy ran out of
+	// attempts; it always wraps the final attempt's error, so errors.Is
+	// also matches the underlying ErrDeviceFault.
+	ErrRetriesExhausted = errors.New("retries exhausted")
 )

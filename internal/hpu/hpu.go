@@ -155,6 +155,18 @@ func (s *Sim) TransferSeconds(n int64) float64 {
 	return s.platform.Link.LatencySec + float64(n)*s.platform.Link.SecPerByte
 }
 
+// StallDevice occupies the device's in-order compute queue with a synthetic
+// hung launch of the given normalized op cost, then calls done. The fault
+// injector uses it to model a stuck kernel in virtual time.
+func (s *Sim) StallDevice(ops float64, done func()) {
+	s.gpu.Stall(s.gpu.ItemSeconds(core.Cost{Ops: ops}), done)
+}
+
+// ProbeDevice implements core.DeviceProber. The simulated device cannot be
+// lost, so a bare Sim always probes healthy; fault-injecting wrappers
+// interpose their own answer.
+func (s *Sim) ProbeDevice() error { return nil }
+
 // Now implements core.Backend: the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.eng.Now() }
 

@@ -141,6 +141,20 @@ func (b *Backend) Close() error {
 // so executors and the serving layer refuse new work with ErrBackendClosed.
 func (b *Backend) Closed() bool { return b.closed.Load() }
 
+// ProbeDevice implements core.DeviceProber: the health check the serving
+// layer's circuit breaker runs before risking a half-open probe job. The
+// device path is unhealthy once the backend is closed or was built without
+// device lanes.
+func (b *Backend) ProbeDevice() error {
+	if b.closed.Load() {
+		return fmt.Errorf("native: probe: %w", dcerr.ErrBackendClosed)
+	}
+	if b.gpu == nil {
+		return fmt.Errorf("native: probe: %w", dcerr.ErrNoGPU)
+	}
+	return nil
+}
+
 // Autonomous implements core.Autonomous: submitted work progresses on the
 // pools' own goroutines, so concurrent runs sharing this backend complete
 // independently without driving Wait.

@@ -57,6 +57,12 @@ func (s *Server) fuseClass(job Job, rc core.RunConfig) (string, int64) {
 	if rc.Wrap != nil || rc.Observe != nil || rc.Metrics != nil {
 		return "", 0
 	}
+	// A reliability policy needs per-job attempt control (retry, hedge,
+	// fallback, deadline scoping), which a shared fused launch cannot give
+	// one member; such jobs always run solo.
+	if !rc.Reliability.Zero() {
+		return "", 0
+	}
 	key := job.Alg.Name()
 	if rc.Coalesce {
 		key += "|coalesce"

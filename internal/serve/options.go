@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -72,6 +73,30 @@ func WithFusedBytesCap(b int64) Option {
 	return func(c *Config) { c.FusedBytesCap = b }
 }
 
+// WithBreaker enables the per-backend circuit breaker: after threshold
+// consecutive device-fault attempts the GPU path is shed — GPU-bound jobs
+// are rejected (or fail at dispatch) with ErrDegraded, except jobs carrying
+// a CPUOnly fallback, which run on the CPU path instead. After cooldown
+// the breaker admits one half-open probe job (consulting the backend's
+// core.DeviceProber first, when implemented); the probe's success closes
+// the breaker, another fault reopens it. threshold <= 0 disables the
+// breaker; cooldown 0 defaults to 100ms. DESIGN.md §12 has the state
+// machine.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Config) {
+		c.BreakerThreshold = threshold
+		c.BreakerCooldown = cooldown
+	}
+}
+
+// WithFaults wraps every job attempt's backend with the fault injector, so
+// a chaos run exercises the reliability policies against deterministic,
+// seeded device failures (see internal/faults). Fused executions and jobs
+// carrying their own core.WithBackendWrapper bypass injection.
+func WithFaults(in *faults.Injector) Option {
+	return func(c *Config) { c.Faults = in }
+}
+
 // Metric names recorded when WithMetrics is configured; semantics in
 // DESIGN.md §9.
 const (
@@ -94,6 +119,18 @@ const (
 	MetricFusedRuns   = "serve_fused_runs_total"
 	MetricFusedJobs   = "serve_fused_jobs_total"
 	MetricFusionRatio = "serve_fusion_ratio"
+	// MetricRetries counts re-executed attempts after device faults;
+	// MetricFallbacks counts CPU fallback executions; MetricHedgeWins
+	// counts jobs whose CPU hedge beat the device path; MetricDegraded
+	// counts GPU-bound jobs shed by the open circuit breaker.
+	MetricRetries   = "serve_retries_total"
+	MetricFallbacks = "serve_fallbacks_total"
+	MetricHedgeWins = "serve_hedge_wins_total"
+	MetricDegraded  = "serve_degraded_total"
+	// MetricBreakerState is the breaker's current state (0 closed, 1
+	// half-open, 2 open); MetricBreakerTrips counts transitions to open.
+	MetricBreakerState = "serve_breaker_state"
+	MetricBreakerTrips = "serve_breaker_trips_total"
 )
 
 // Per-priority histogram name formats (the %d is the job's scheduling

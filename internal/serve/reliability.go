@@ -1,0 +1,545 @@
+package serve
+
+// Reliability policies and degradation: per-job retry/deadline/hedge/
+// fallback options, the per-backend circuit breaker, and the policy-aware
+// execution path that replaces a bare executor call. DESIGN.md §12.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcerr"
+	"repro/internal/trace"
+)
+
+// FallbackMode selects a job's degradation path; see WithFallback.
+type FallbackMode = core.Fallback
+
+// CPUOnly re-runs a device-failed job breadth-first on the CPU engine with
+// bit-identical results, and keeps the job admissible while the circuit
+// breaker has the GPU path open.
+const CPUOnly = core.FallbackCPUOnly
+
+// WithRetry re-executes a job up to max more times when an attempt fails
+// with a device fault (errors.Is(err, ErrDeviceFault)), pausing backoff
+// between attempts. Each re-execution runs on a fresh instance from
+// Job.Fresh — required, because a faulted attempt may have partially
+// mutated its instance — so Submit rejects a retry policy without one.
+// When every attempt faults, the job fails with an error matching both
+// ErrRetriesExhausted and ErrDeviceFault. Cancellation and deadlines are
+// never retried.
+func WithRetry(max int, backoff time.Duration) core.Option {
+	return func(c *core.RunConfig) {
+		c.Reliability.MaxRetries = max
+		c.Reliability.Backoff = backoff
+	}
+}
+
+// WithDeadline bounds the job's total execution budget (all attempts,
+// hedges and fallbacks included) from dispatch. On expiry the running
+// attempt stops at its next level boundary and the job fails with an error
+// matching ErrCanceled, exactly like a caller-side context deadline —
+// but scoped per job rather than per submission context.
+func WithDeadline(d time.Duration) core.Option {
+	return func(c *core.RunConfig) { c.Reliability.Deadline = d }
+}
+
+// WithHedge duplicates a straggling GPU-bound job onto the CPU path: if the
+// first attempt has not finished after the given delay, a breadth-first CPU
+// duplicate starts on a fresh instance (Job.Fresh, required) and the first
+// clean result wins; the loser is canceled and drained before the job
+// settles. Both paths compute bit-identical results, so the winner's
+// identity (Handle.HedgeWon) changes latency only. Hedging is ignored on
+// backends that are not core.Autonomous: the single-goroutine simulator
+// cannot race two executors.
+func WithHedge(after time.Duration) core.Option {
+	return func(c *core.RunConfig) {
+		c.Reliability.Hedge = after
+		c.Reliability.HedgeSet = true
+	}
+}
+
+// WithFallback selects the job's degradation path once its device attempts
+// are spent (after retries, if any). With CPUOnly the job transparently
+// re-runs breadth-first on the CPU engine — on a fresh instance from
+// Job.Fresh (required) — and succeeds with bit-identical results;
+// Handle.FellBack reports it. A CPUOnly job is also admitted (directly to
+// the CPU path) while the circuit breaker is shedding GPU-bound work.
+func WithFallback(m FallbackMode) core.Option {
+	return func(c *core.RunConfig) { c.Reliability.Fallback = m }
+}
+
+// Circuit breaker states, exported via Stats.BreakerState and the
+// serve_breaker_state gauge.
+const (
+	// BreakerClosed is the healthy state: GPU-bound jobs admitted freely.
+	BreakerClosed = 0
+	// BreakerHalfOpen admits exactly one probe job to test the device.
+	BreakerHalfOpen = 1
+	// BreakerOpen sheds GPU-bound admission (ErrDegraded, or the CPU path
+	// for jobs with a CPUOnly fallback) until the cooldown elapses.
+	BreakerOpen = 2
+)
+
+// breaker is the per-backend circuit breaker (DESIGN.md §12): it trips open
+// after `threshold` consecutive device-fault attempts, sheds GPU-bound
+// admission while open, and after `cooldown` lets one probe job through
+// (consulting the backend's core.DeviceProber first, when implemented);
+// the probe's outcome closes or reopens it. It takes no server lock, so it
+// is safe to call with or without Server.mu held.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	onState   func(state int64) // called on every transition, under b.mu
+	onTrip    func()            // called on every closed/half-open → open
+
+	mu       sync.Mutex
+	state    int
+	fails    int // consecutive device faults while closed
+	openedAt time.Time
+	probing  bool // a half-open probe job is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onState func(int64), onTrip func()) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, onState: onState, onTrip: onTrip}
+}
+
+// setState transitions and notifies. Must hold b.mu.
+func (b *breaker) setState(st int) {
+	if b.state == st {
+		return
+	}
+	b.state = st
+	if b.onState != nil {
+		b.onState(int64(st))
+	}
+}
+
+// admit decides whether a GPU-bound job may take the device path now.
+// probe reports that the job was admitted as the half-open probe and must
+// report its outcome through result or abandon.
+func (b *breaker) admit(p core.DeviceProber) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		// Cooldown over: ask the backend first — a device that cannot even
+		// answer a health probe is not worth risking a job on.
+		if p != nil {
+			if err := p.ProbeDevice(); err != nil {
+				b.openedAt = time.Now()
+				return false, false
+			}
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return true, true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// result reports one GPU-bound attempt's verdict. A device fault in
+// half-open — or the threshold-th consecutive one while closed — opens the
+// breaker; a clean probe closes it.
+func (b *breaker) result(probe, deviceFault bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if deviceFault {
+		b.fails++
+		if b.state == BreakerHalfOpen || (b.threshold > 0 && b.fails >= b.threshold) {
+			if b.state != BreakerOpen && b.onTrip != nil {
+				b.onTrip()
+			}
+			b.setState(BreakerOpen)
+			b.openedAt = time.Now()
+			b.fails = 0
+		}
+		return
+	}
+	b.fails = 0
+	if probe && b.state == BreakerHalfOpen {
+		b.setState(BreakerClosed)
+	}
+}
+
+// abandon releases a probe slot without a verdict (the probe job was
+// canceled before reaching the device); the next admit grants a new probe.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// stateNow snapshots the current state.
+func (b *breaker) stateNow() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// gpuBound reports whether the strategy takes the device path (and is
+// therefore subject to faults, breaker shedding, hedging and fallback).
+func gpuBound(st Strategy) bool {
+	return st == BasicHybrid || st == AdvancedHybrid || st == GPUOnly
+}
+
+// prober returns the backend's device health hook, if it has one.
+func (s *Server) prober() core.DeviceProber {
+	p, _ := s.cfg.Backend.(core.DeviceProber)
+	return p
+}
+
+// autonomousBackend reports whether the backend progresses submitted work
+// on its own goroutines (hedging races two executors, so it needs this).
+func (s *Server) autonomousBackend() bool {
+	a, ok := s.cfg.Backend.(core.Autonomous)
+	return ok && a.Autonomous()
+}
+
+// Breaker verdicts fed by the policy loop.
+const (
+	verdictSuccess = iota
+	verdictFault
+	verdictAbandon
+)
+
+// feedBreaker reports one device-path attempt's verdict to the breaker and
+// consumes the job's probe token (a probe reports exactly once).
+func (s *Server) feedBreaker(q *queued, verdict int) {
+	if s.breaker == nil {
+		return
+	}
+	probe := q.probe
+	q.probe = false
+	switch verdict {
+	case verdictSuccess:
+		s.breaker.result(probe, false)
+	case verdictFault:
+		s.breaker.result(probe, true)
+	default:
+		if probe {
+			s.breaker.abandon()
+		}
+	}
+}
+
+// sleepCtx pauses for d or until ctx is canceled, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// executeReliable runs one dispatched job under its reliability policy:
+// deadline scoping, the attempt/retry loop with hedging, breaker feedback,
+// and the CPU fallback. It replaces the bare executor call; a job with no
+// policy makes exactly one attempt, so the plain path is unchanged.
+func (s *Server) executeReliable(q *queued) (core.Report, error) {
+	be := s.cfg.Backend
+	ctx := q.ctx
+	if q.pol.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.pol.Deadline)
+		defer cancel()
+	}
+	var scope *trace.Scope
+	if s.cfg.Trace != nil {
+		scope = s.cfg.Trace.Scope(q.h.ID)
+	}
+	start := be.Now()
+	rep, err := s.policyLoop(ctx, q, scope)
+	if scope != nil {
+		end := be.Now()
+		label := fmt.Sprintf("job %d %s %s n=%d", q.h.ID, q.job.Alg.Name(), q.job.Strategy, q.job.Alg.N())
+		if n := q.h.attempts; n > 1 {
+			label = fmt.Sprintf("%s (%d attempts)", label, n)
+		}
+		scope.Add(trace.Span{Unit: "queue", Label: label,
+			Start: start - q.h.queueWait, End: start})
+		scope.Add(trace.Span{Unit: "job", Label: label, Start: start, End: end})
+	}
+	return rep, err
+}
+
+// policyLoop is the attempt loop. Attempt 1 runs the submitted instance
+// (hedged if configured); attempts 2..1+MaxRetries run fresh instances
+// after device faults; then the CPU fallback, if configured, gets the last
+// word. GPU-bound verdicts feed the circuit breaker.
+func (s *Server) policyLoop(ctx context.Context, q *queued, scope *trace.Scope) (core.Report, error) {
+	pol := q.pol
+	gpu := gpuBound(q.job.Strategy)
+	forceCPU := q.forceCPU
+
+	// Dispatch-time breaker check: the breaker may have tripped while the
+	// job sat in the queue (or healed — a queued probe keeps its token).
+	if gpu && !forceCPU && !q.probe && s.breaker != nil {
+		ok, probe := s.breaker.admit(s.prober())
+		switch {
+		case ok:
+			q.probe = probe
+		case pol.Fallback == core.FallbackCPUOnly:
+			forceCPU = true
+		default:
+			s.noteDegraded()
+			return core.Report{Algorithm: q.job.Alg.Name(), Strategy: q.job.Strategy.String(), Partial: true},
+				fmt.Errorf("serve: job %d: GPU path shed at dispatch: %w", q.h.ID, dcerr.ErrDegraded)
+		}
+	}
+	if forceCPU {
+		return s.fallback(ctx, q, scope, q.job.Alg)
+	}
+
+	attempts := 1 + pol.MaxRetries
+	var lastRep core.Report
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		alg := q.job.Alg
+		if attempt > 1 {
+			var ferr error
+			if alg, ferr = q.job.Fresh(); ferr != nil {
+				return lastRep, fmt.Errorf("serve: job %d attempt %d: fresh instance: %w", q.h.ID, attempt, ferr)
+			}
+		}
+		var rep core.Report
+		var err, devErr error
+		if attempt == 1 && pol.HedgeSet && gpu && s.autonomousBackend() && q.job.Fresh != nil {
+			rep, err, devErr = s.hedgedAttempt(ctx, q, scope, alg)
+		} else {
+			rep, err = s.runAttempt(ctx, q, scope, alg, q.job.Strategy, attempt, "attempt")
+			devErr = err
+			if err == nil {
+				q.h.resultAlg = alg
+			}
+		}
+		q.h.attempts = attempt
+		if gpu {
+			switch {
+			case devErr == nil:
+				s.feedBreaker(q, verdictSuccess)
+			case errors.Is(devErr, dcerr.ErrDeviceFault):
+				s.feedBreaker(q, verdictFault)
+			default:
+				s.feedBreaker(q, verdictAbandon)
+			}
+		}
+		if err == nil {
+			return rep, nil
+		}
+		lastRep, lastErr = rep, err
+		if ctx.Err() != nil || !errors.Is(err, dcerr.ErrDeviceFault) {
+			break
+		}
+		if attempt < attempts {
+			s.noteRetry()
+			if serr := sleepCtx(ctx, pol.Backoff); serr != nil {
+				return lastRep, fmt.Errorf("serve: job %d: canceled between attempts: %w (%w)",
+					q.h.ID, dcerr.ErrCanceled, serr)
+			}
+		}
+	}
+
+	fallbackable := errors.Is(lastErr, dcerr.ErrDeviceFault) || errors.Is(lastErr, dcerr.ErrNoGPU)
+	if pol.Fallback == core.FallbackCPUOnly && fallbackable && ctx.Err() == nil {
+		alg, ferr := q.job.Fresh()
+		if ferr != nil {
+			return lastRep, fmt.Errorf("serve: job %d fallback: fresh instance: %w", q.h.ID, ferr)
+		}
+		rep, err := s.fallback(ctx, q, scope, alg)
+		if err != nil {
+			return rep, fmt.Errorf("serve: job %d: CPU fallback failed after %w (device: %w): %w",
+				q.h.ID, dcerr.ErrRetriesExhausted, lastErr, err)
+		}
+		return rep, nil
+	}
+	if pol.MaxRetries > 0 && errors.Is(lastErr, dcerr.ErrDeviceFault) && ctx.Err() == nil {
+		return lastRep, fmt.Errorf("serve: job %d: %d attempts: %w: %w",
+			q.h.ID, q.h.attempts, dcerr.ErrRetriesExhausted, lastErr)
+	}
+	return lastRep, lastErr
+}
+
+// fallback runs the job breadth-first on the CPU engine — the degradation
+// path — and marks the handle when it delivers the result.
+func (s *Server) fallback(ctx context.Context, q *queued, scope *trace.Scope, alg core.Alg) (core.Report, error) {
+	s.noteFallback()
+	q.h.attempts++
+	rep, err := s.runAttempt(ctx, q, scope, alg, BreadthFirstCPU, q.h.attempts, "fallback")
+	if err == nil {
+		q.h.fellBack = true
+		q.h.resultAlg = alg
+	}
+	return rep, err
+}
+
+// errHedgeUnresolved marks a hedge win whose device path had not settled
+// when the winner returned: the breaker must treat the attempt as abandoned
+// (a hedge win must not vouch for — or against — the device).
+var errHedgeUnresolved = errors.New("serve: hedge won before the device path settled")
+
+// hedgedAttempt races attempt 1 against a delayed breadth-first CPU
+// duplicate on a fresh instance. The first clean result wins, cancels the
+// other path, and returns immediately; the loser is drained by a goroutine
+// registered on the server's job WaitGroup, so Close still waits for every
+// executor to come home. devErr is the device path's own verdict (for the
+// breaker), or errHedgeUnresolved when the winner outran it.
+func (s *Server) hedgedAttempt(ctx context.Context, q *queued, scope *trace.Scope, alg core.Alg) (rep core.Report, err, devErr error) {
+	type outcome struct {
+		rep    core.Report
+		err    error
+		alg    core.Alg
+		hedged bool
+	}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+
+	resc := make(chan outcome, 2)
+	go func() {
+		r, e := s.runAttempt(pctx, q, scope, alg, q.job.Strategy, 1, "attempt")
+		resc <- outcome{r, e, alg, false}
+	}()
+	inFlight := 1
+	hedged := false
+	timer := time.NewTimer(q.pol.Hedge)
+	defer timer.Stop()
+
+	var won, primary *outcome
+	for won == nil && inFlight > 0 {
+		select {
+		case o := <-resc:
+			inFlight--
+			if !o.hedged {
+				primary = &o
+			}
+			if o.err == nil {
+				won = &o
+				pcancel()
+				hcancel()
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			halg, ferr := q.job.Fresh()
+			if ferr != nil {
+				continue // cannot hedge; the primary races alone
+			}
+			inFlight++
+			go func() {
+				r, e := s.runAttempt(hctx, q, scope, halg, BreadthFirstCPU, 1, "hedge")
+				resc <- outcome{r, e, halg, true}
+			}()
+		}
+	}
+	if won == nil {
+		return primary.rep, primary.err, primary.err
+	}
+	if inFlight > 0 {
+		// The loser is still executing under a canceled context. resc is
+		// buffered, so its send cannot block; the drain exists only to keep
+		// Close from tearing the backend down under a live executor.
+		s.jobs.Add(1)
+		go func(n int) {
+			defer s.jobs.Done()
+			for i := 0; i < n; i++ {
+				<-resc
+			}
+		}(inFlight)
+	}
+	if won.hedged {
+		s.noteHedgeWin()
+		q.h.hedgeWon = true
+	}
+	q.h.resultAlg = won.alg
+	switch {
+	case primary != nil:
+		return won.rep, nil, primary.err
+	default:
+		return won.rep, nil, errHedgeUnresolved
+	}
+}
+
+// runAttempt executes one attempt of a job under a given strategy. The
+// job's options are prefixed with the server's instrumentation: the metrics
+// registry, and a backend wrapper composing the fault injector (innermost,
+// so injected faults pass through tracing and metering like real ones) with
+// the per-job trace scope. Being prefixes, a job's own WithMetrics or
+// WithBackendWrapper still wins — and then opts out of server-side fault
+// injection and tracing for that job.
+func (s *Server) runAttempt(ctx context.Context, q *queued, scope *trace.Scope, alg core.Alg,
+	strat Strategy, attempt int, kind string) (core.Report, error) {
+	be := s.cfg.Backend
+	injector := s.cfg.Faults
+	opts := q.opts
+	if s.cfg.Metrics != nil || scope != nil || injector != nil {
+		pre := make([]core.Option, 0, 2)
+		if s.cfg.Metrics != nil {
+			pre = append(pre, core.WithMetrics(s.cfg.Metrics))
+		}
+		if scope != nil || injector != nil {
+			pre = append(pre, core.WithBackendWrapper(func(inner core.Backend) core.Backend {
+				wrapped := inner
+				if injector != nil {
+					wrapped = injector.Wrap(wrapped)
+				}
+				if scope != nil {
+					wrapped = trace.Wrap(wrapped, scope)
+				}
+				return wrapped
+			}))
+		}
+		opts = append(pre, q.opts...)
+	}
+	start := be.Now()
+	rep, err := s.runStrategy(ctx, be, alg, strat, q, opts)
+	if scope != nil {
+		verdict := "ok"
+		switch {
+		case err == nil:
+		case errors.Is(err, dcerr.ErrDeviceFault):
+			verdict = "device-fault"
+		case errors.Is(err, dcerr.ErrCanceled):
+			verdict = "canceled"
+		default:
+			verdict = "failed"
+		}
+		scope.Add(trace.Span{Unit: "attempt",
+			Label: fmt.Sprintf("job %d %s %d %s %s", q.h.ID, kind, attempt, strat, verdict),
+			Start: start, End: be.Now()})
+	}
+	return rep, err
+}
+
+// Reliability event accounting (atomics: the breaker callbacks run under
+// the breaker's own lock, so none of these may take Server.mu).
+func (s *Server) noteRetry()    { s.nRetries.Add(1); s.mRetries.Inc() }
+func (s *Server) noteFallback() { s.nFallbacks.Add(1); s.mFallbacks.Inc() }
+func (s *Server) noteHedgeWin() { s.nHedgeWins.Add(1); s.mHedgeWins.Inc() }
+func (s *Server) noteDegraded() { s.nDegraded.Add(1); s.mDegraded.Inc() }

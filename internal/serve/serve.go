@@ -29,10 +29,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dcerr"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -89,6 +91,14 @@ type Job struct {
 	// core.WithSplit, core.WithPriority, ...). Options passed to Submit are
 	// appended after these.
 	Opts []core.Option
+	// Fresh builds a new, unexecuted instance of the same problem. It is
+	// required whenever the job's reliability policy can execute more than
+	// once (WithRetry, WithHedge, WithFallback): a faulted attempt may have
+	// partially mutated its instance, so re-execution always starts from a
+	// fresh one. The instance that produced the job's result is available
+	// from Handle.ResultAlg. Must be safe to call from the server's
+	// goroutines.
+	Fresh func() (core.Alg, error)
 }
 
 // Config describes a Server.
@@ -123,6 +133,18 @@ type Config struct {
 	// FusedBytesCap bounds the summed per-job transfer sizes (GPUBytes of
 	// the whole instance) one fused execution may carry; 0 means unbounded.
 	FusedBytesCap int64
+	// BreakerThreshold enables the per-backend circuit breaker: after this
+	// many consecutive device-fault attempts the GPU path is shed
+	// (ErrDegraded, or the CPU path for jobs with a CPUOnly fallback) until
+	// a cooldown probe succeeds. 0 (the default) disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before admitting a
+	// half-open probe job. Defaults to 100ms when the breaker is enabled.
+	BreakerCooldown time.Duration
+	// Faults, if non-nil, wraps every attempt's backend with the fault
+	// injector — the chaos-testing hook (see internal/faults). Fused
+	// executions and jobs carrying their own WithBackendWrapper bypass it.
+	Faults *faults.Injector
 }
 
 // Stats is a point-in-time snapshot of the server's aggregate counters.
@@ -148,6 +170,18 @@ type Stats struct {
 	// counts the jobs that finished as members of one. FusedJobs over all
 	// finished jobs is the fusion ratio exported as MetricFusionRatio.
 	FusedRuns, FusedJobs uint64
+	// Retries counts re-executed attempts after device faults; Fallbacks
+	// counts CPU fallback executions (including breaker-shed jobs admitted
+	// straight to the CPU path); HedgeWins counts jobs whose CPU hedge beat
+	// the device path; Degraded counts GPU-bound jobs shed by the open
+	// circuit breaker (rejected at Submit or failed at dispatch with
+	// ErrDegraded).
+	Retries, Fallbacks, HedgeWins, Degraded uint64
+	// BreakerTrips counts closed/half-open → open transitions;
+	// BreakerState is the current state (BreakerClosed, BreakerHalfOpen,
+	// BreakerOpen). Both are zero when the breaker is disabled.
+	BreakerTrips uint64
+	BreakerState int
 }
 
 // Handle tracks one submitted job.
@@ -160,6 +194,10 @@ type Handle struct {
 	rep       core.Report
 	err       error
 	queueWait float64
+	attempts  int
+	hedgeWon  bool
+	fellBack  bool
+	resultAlg core.Alg
 }
 
 // Done returns a channel closed when the job has finished (successfully,
@@ -206,6 +244,40 @@ func (h *Handle) QueueWaitSeconds() float64 {
 	return h.queueWait
 }
 
+// Attempts blocks until the job finishes and reports how many executions
+// the serving layer ran for it: 1 for a plain job, more under retry,
+// hedging or fallback, 0 for a job canceled while still queued (and for
+// members of a fused execution, which run exactly once by construction).
+func (h *Handle) Attempts() int {
+	<-h.done
+	return h.attempts
+}
+
+// HedgeWon blocks until the job finishes and reports whether its result
+// came from the CPU hedge rather than the primary device path.
+func (h *Handle) HedgeWon() bool {
+	<-h.done
+	return h.hedgeWon
+}
+
+// FellBack blocks until the job finishes and reports whether its result
+// came from the graceful-degradation CPU path (WithFallback) after the
+// device path failed or was shed by the circuit breaker.
+func (h *Handle) FellBack() bool {
+	<-h.done
+	return h.fellBack
+}
+
+// ResultAlg blocks until the job finishes and returns the instance holding
+// the job's result: the submitted Job.Alg normally, or the fresh instance
+// (Job.Fresh) that won when a retry, hedge or fallback produced the result.
+// Callers that read output data out of their algorithm after Wait must read
+// it from ResultAlg when the job carries a re-executing policy.
+func (h *Handle) ResultAlg() core.Alg {
+	<-h.done
+	return h.resultAlg
+}
+
 // queued is one admission-queue entry.
 type queued struct {
 	h       *Handle
@@ -221,6 +293,13 @@ type queued struct {
 	// against FusedBytesCap. Both are computed at admission.
 	fuseKey  string
 	gpuBytes int64
+	// pol is the job's reliability policy; probe marks it as the circuit
+	// breaker's half-open probe (it must report its verdict exactly once);
+	// forceCPU routes it straight to the CPU fallback path (admitted while
+	// the breaker was open).
+	pol      core.Reliability
+	probe    bool
+	forceCPU bool
 }
 
 // jobHeap orders queued jobs by (virtual finish tag, arrival), the stride
@@ -263,6 +342,13 @@ type Server struct {
 	dispatcherDone chan struct{}
 	jobs           sync.WaitGroup
 
+	// breaker is nil unless Config.BreakerThreshold > 0. The reliability
+	// counters are atomics because the breaker's callbacks fire under its
+	// own lock, where taking mu would invert the Submit lock order.
+	breaker                          *breaker
+	nRetries, nFallbacks, nHedgeWins atomic.Uint64
+	nDegraded, nTrips                atomic.Uint64
+
 	// fuseWaiters holds, per fusion key, the notification channels of
 	// dispatched jobs lingering in their batch window; Submit pokes them
 	// when a matching job arrives. Guarded by mu.
@@ -276,6 +362,10 @@ type Server struct {
 	mInFlight              *metrics.Gauge
 	mFusedJobs, mFusedRuns *metrics.Counter
 	mFusionRatio           *metrics.Float
+	mRetries, mFallbacks   *metrics.Counter
+	mHedgeWins, mDegraded  *metrics.Counter
+	mBreakerTrips          *metrics.Counter
+	mBreakerState          *metrics.Gauge
 	lastFusionRatio        float64                    // last value pushed to mFusionRatio, under mu
 	waitHists, turnHists   map[int]*metrics.Histogram // keyed by priority, under mu
 }
@@ -322,6 +412,13 @@ func NewFromConfig(cfg Config) (*Server, error) {
 	if cfg.FusedBytesCap < 0 {
 		return nil, fmt.Errorf("serve: FusedBytesCap %d: %w", cfg.FusedBytesCap, dcerr.ErrBadParam)
 	}
+	if cfg.BreakerThreshold < 0 || cfg.BreakerCooldown < 0 {
+		return nil, fmt.Errorf("serve: breaker threshold %d cooldown %v: %w",
+			cfg.BreakerThreshold, cfg.BreakerCooldown, dcerr.ErrBadParam)
+	}
+	if cfg.BreakerThreshold > 0 && cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = 100 * time.Millisecond
+	}
 	s := &Server{
 		cfg:            cfg,
 		dispatcherDone: make(chan struct{}),
@@ -339,8 +436,19 @@ func NewFromConfig(cfg Config) (*Server, error) {
 		s.mFusedJobs = reg.Counter(MetricFusedJobs)
 		s.mFusedRuns = reg.Counter(MetricFusedRuns)
 		s.mFusionRatio = reg.Float(MetricFusionRatio)
+		s.mRetries = reg.Counter(MetricRetries)
+		s.mFallbacks = reg.Counter(MetricFallbacks)
+		s.mHedgeWins = reg.Counter(MetricHedgeWins)
+		s.mDegraded = reg.Counter(MetricDegraded)
+		s.mBreakerTrips = reg.Counter(MetricBreakerTrips)
+		s.mBreakerState = reg.Gauge(MetricBreakerState)
 		s.waitHists = map[int]*metrics.Histogram{}
 		s.turnHists = map[int]*metrics.Histogram{}
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+			func(st int64) { s.mBreakerState.Set(st) },
+			func() { s.nTrips.Add(1); s.mBreakerTrips.Inc() })
 	}
 	if a, ok := cfg.Backend.(core.Autonomous); !ok || !a.Autonomous() {
 		// The event-loop simulator must never be driven from two
@@ -354,10 +462,14 @@ func NewFromConfig(cfg Config) (*Server, error) {
 
 // Submit enqueues a job. It returns immediately with a Handle, or an error
 // wrapping dcerr.ErrQueueFull when the admission queue is at capacity,
-// dcerr.ErrServerClosed after Close, or dcerr.ErrBadParam for an invalid
-// job. ctx governs the job's whole lifetime: canceling it (or passing a
-// deadline) stops the job at its next level boundary, or skips it entirely
-// if it is still queued.
+// dcerr.ErrServerClosed after Close, dcerr.ErrDegraded when the circuit
+// breaker is shedding GPU-bound work (unless the job carries a CPUOnly
+// fallback, which is admitted on the CPU path instead), or
+// dcerr.ErrBadParam for an invalid job — including a reliability policy
+// that can re-execute (WithRetry, WithHedge, WithFallback) on a job with no
+// Fresh factory. ctx governs the job's whole lifetime: canceling it (or
+// passing a deadline) stops the job at its next level boundary, or skips it
+// entirely if it is still queued.
 func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Handle, error) {
 	if job.Alg == nil {
 		return nil, fmt.Errorf("serve: nil algorithm: %w", dcerr.ErrBadParam)
@@ -369,6 +481,13 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 	merged = append(merged, job.Opts...)
 	merged = append(merged, opts...)
 	rc := core.NewRunConfig(merged...)
+	pol := rc.Reliability
+	if pol.MaxRetries < 0 || pol.Backoff < 0 || pol.Deadline < 0 || pol.Hedge < 0 {
+		return nil, fmt.Errorf("serve: negative reliability policy %+v: %w", pol, dcerr.ErrBadParam)
+	}
+	if pol.Reexecutes() && job.Fresh == nil {
+		return nil, fmt.Errorf("serve: reliability policy re-executes but Job.Fresh is nil: %w", dcerr.ErrBadParam)
+	}
 	weight := rc.Priority
 	fuseKey, gpuBytes := s.fuseClass(job, rc)
 
@@ -382,8 +501,21 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 		s.mRejected.Inc()
 		return nil, fmt.Errorf("serve: %d jobs queued: %w", len(s.queue), dcerr.ErrQueueFull)
 	}
+	var probe, forceCPU bool
+	if gpuBound(job.Strategy) && s.breaker != nil {
+		ok, pr := s.breaker.admit(s.prober())
+		switch {
+		case ok:
+			probe = pr
+		case pol.Fallback == core.FallbackCPUOnly:
+			forceCPU = true
+		default:
+			s.noteDegraded()
+			return nil, fmt.Errorf("serve: GPU path shed by open circuit breaker: %w", dcerr.ErrDegraded)
+		}
+	}
 	s.seq++
-	h := &Handle{ID: s.seq, done: make(chan struct{})}
+	h := &Handle{ID: s.seq, done: make(chan struct{}), resultAlg: job.Alg}
 	q := &queued{
 		h:        h,
 		ctx:      ctx,
@@ -395,6 +527,9 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 		wallIn:   time.Now(),
 		fuseKey:  fuseKey,
 		gpuBytes: gpuBytes,
+		pol:      pol,
+		probe:    probe,
+		forceCPU: forceCPU,
 	}
 	heap.Push(&s.queue, q)
 	if fuseKey != "" {
@@ -443,6 +578,14 @@ func (s *Server) Stats() Stats {
 	st.InFlight = s.inflight
 	if s.waitN > 0 {
 		st.AvgQueueWaitSeconds = s.waitSum / float64(s.waitN)
+	}
+	st.Retries = s.nRetries.Load()
+	st.Fallbacks = s.nFallbacks.Load()
+	st.HedgeWins = s.nHedgeWins.Load()
+	st.Degraded = s.nDegraded.Load()
+	st.BreakerTrips = s.nTrips.Load()
+	if s.breaker != nil {
+		st.BreakerState = s.breaker.stateNow()
 	}
 	return st
 }
@@ -504,11 +647,13 @@ func (s *Server) run(q *queued) {
 	var rep core.Report
 	var err error
 	if q.ctx.Err() != nil {
-		// Canceled while still queued: never touches the backend.
+		// Canceled while still queued: never touches the backend. A probe
+		// token held since admission is released without a verdict.
+		s.feedBreaker(q, verdictAbandon)
 		rep = core.Report{Algorithm: q.job.Alg.Name(), Strategy: q.job.Strategy.String(), Partial: true}
 		err = fmt.Errorf("serve: job %d canceled while queued: %w", q.h.ID, dcerr.ErrCanceled)
 	} else {
-		rep, err = s.execute(q)
+		rep, err = s.executeReliable(q)
 	}
 
 	q.h.rep, q.h.err = rep, err
@@ -539,54 +684,24 @@ func (s *Server) updateFusionRatioLocked() {
 	s.lastFusionRatio = ratio
 }
 
-// execute runs the job's executor on the shared backend. When observability
-// is configured the job's options are prefixed with the server's: the
-// metrics registry (so executor metrics land beside the serving metrics)
-// and a per-job trace scope wrapped around the backend (so every batch and
-// transfer is recorded stamped with the job ID). Being prefixes, a job's
-// own WithMetrics or WithBackendWrapper still wins.
-func (s *Server) execute(q *queued) (core.Report, error) {
-	be := s.cfg.Backend
-	opts := q.opts
-	var scope *trace.Scope
-	if s.cfg.Metrics != nil || s.cfg.Trace != nil {
-		pre := make([]core.Option, 0, 2)
-		if s.cfg.Metrics != nil {
-			pre = append(pre, core.WithMetrics(s.cfg.Metrics))
-		}
-		if s.cfg.Trace != nil {
-			scope = s.cfg.Trace.Scope(q.h.ID)
-			pre = append(pre, core.WithBackendWrapper(func(inner core.Backend) core.Backend {
-				return trace.Wrap(inner, scope)
-			}))
-		}
-		opts = append(pre, q.opts...)
-	}
-	start := be.Now()
-	rep, err := s.runStrategy(q.ctx, be, q, opts)
-	if scope != nil {
-		end := be.Now()
-		label := fmt.Sprintf("job %d %s %s n=%d", q.h.ID, q.job.Alg.Name(), q.job.Strategy, q.job.Alg.N())
-		scope.Add(trace.Span{Unit: "queue", Label: label,
-			Start: start - q.h.queueWait, End: start})
-		scope.Add(trace.Span{Unit: "job", Label: label, Start: start, End: end})
-	}
-	return rep, err
-}
-
-func (s *Server) runStrategy(ctx context.Context, be core.Backend, q *queued, opts []core.Option) (core.Report, error) {
-	switch q.job.Strategy {
+// runStrategy dispatches one attempt of alg under strat to the matching
+// context-aware executor. alg and strat are parameters (not read off q)
+// because reliability policies substitute both: retries and hedges run
+// fresh instances, and the hedge/fallback paths run BreadthFirstCPU
+// whatever the job's submitted strategy was.
+func (s *Server) runStrategy(ctx context.Context, be core.Backend, alg core.Alg, strat Strategy, q *queued, opts []core.Option) (core.Report, error) {
+	switch strat {
 	case Sequential:
-		return core.RunSequentialCtx(ctx, be, q.job.Alg, opts...)
+		return core.RunSequentialCtx(ctx, be, alg, opts...)
 	case BreadthFirstCPU:
-		return core.RunBreadthFirstCPUCtx(ctx, be, q.job.Alg, opts...)
+		return core.RunBreadthFirstCPUCtx(ctx, be, alg, opts...)
 	case BasicHybrid, AdvancedHybrid, GPUOnly:
-		galg, ok := q.job.Alg.(core.GPUAlg)
+		galg, ok := alg.(core.GPUAlg)
 		if !ok {
 			return core.Report{}, fmt.Errorf("serve: %s is not a GPUAlg (strategy %s): %w",
-				q.job.Alg.Name(), q.job.Strategy, dcerr.ErrBadParam)
+				alg.Name(), strat, dcerr.ErrBadParam)
 		}
-		switch q.job.Strategy {
+		switch strat {
 		case BasicHybrid:
 			return core.RunBasicHybridCtx(ctx, be, galg, q.job.Crossover, opts...)
 		case AdvancedHybrid:
@@ -595,5 +710,5 @@ func (s *Server) runStrategy(ctx context.Context, be core.Backend, q *queued, op
 			return core.RunGPUOnlyCtx(ctx, be, galg, opts...)
 		}
 	}
-	return core.Report{}, fmt.Errorf("serve: unknown strategy %d: %w", int(q.job.Strategy), dcerr.ErrBadParam)
+	return core.Report{}, fmt.Errorf("serve: unknown strategy %d: %w", int(strat), dcerr.ErrBadParam)
 }

@@ -215,6 +215,14 @@ func (g *GPU) SubmitCopy(seconds float64, done func()) {
 	g.copy.RequestFixed(seconds, done)
 }
 
+// Stall occupies the in-order compute queue for the given modeled duration
+// without performing work — a hung kernel launch. Everything already queued
+// behind it waits it out, exactly like a real stuck launch on an in-order
+// device stream. Used by the fault-injection layer.
+func (g *GPU) Stall(seconds float64, done func()) {
+	g.queue.RequestFixed(seconds, done)
+}
+
 // itemCost is the effective normalized op cost of one work-item.
 func (g *GPU) itemCost(c core.Cost) float64 {
 	mem := c.MemWords * g.params.MemWeight

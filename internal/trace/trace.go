@@ -328,6 +328,15 @@ func (t *Backend) Closed() bool {
 	return ok && c.Closed()
 }
 
+// Fault forwards the wrapped backend's core.Faulter state, so a fault
+// injector beneath the tracer still reaches the executor's settlement.
+func (t *Backend) Fault() error {
+	if f, ok := t.inner.(core.Faulter); ok {
+		return f.Fault()
+	}
+	return nil
+}
+
 type tracedExecutor struct {
 	inner core.LevelExecutor
 	unit  Unit

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -93,16 +94,30 @@ type (
 	// WithMaxInFlight, WithServerMetrics, WithServerRecorder,
 	// WithMaxFusedJobs, WithBatchWindow, WithFusedBytesCap).
 	ServerOption = serve.Option
-	// ServerConfig configures a Server.
+	// ServerConfig is the resolved form of the ServerOptions.
 	//
-	// Deprecated: pass ServerOptions to NewServer instead.
+	// Deprecated: functional options are the only documented construction
+	// path — pass ServerOptions to NewServer. ServerConfig remains solely
+	// so existing NewServerFromConfig callers keep compiling; it gains no
+	// new fields' documentation and may be unexported in a future major
+	// version. See the README's "Migrating to functional options" note.
 	ServerConfig = serve.Config
-	// JobSpec describes one job for Server.Submit.
+	// JobSpec describes one job for Server.Submit. Jobs carrying a
+	// re-executing reliability policy (WithRetry, WithHedge, WithFallback)
+	// must also set Fresh, the factory re-execution starts from.
 	JobSpec = serve.Job
 	// JobHandle tracks a submitted job. Report (or Wait, which also honors
 	// a caller context) blocks for the result; Done returns a channel
 	// closed at settlement and Err peeks at the outcome without blocking,
-	// so handles compose with select loops.
+	// so handles compose with select loops. Wait and Err surface the error
+	// taxonomy sentinels: ErrCanceled for cancellations and expired
+	// deadlines, ErrDeviceFault for device-path failures, ErrRetriesExhausted
+	// once a retry policy is spent, ErrDegraded when the circuit breaker
+	// shed the job, ErrQueueFull/ErrServerClosed from admission — all
+	// classifiable with errors.Is through every wrapping layer. After a
+	// retry, hedge or fallback produced the result, ResultAlg returns the
+	// instance that holds it (Attempts, HedgeWon and FellBack report how it
+	// got there).
 	JobHandle = serve.Handle
 	// ServerStats is a Server.Stats snapshot of the aggregate counters.
 	ServerStats = serve.Stats
@@ -138,7 +153,17 @@ func NewServer(be Backend, opts ...ServerOption) (*Server, error) {
 
 // NewServerFromConfig starts a job server from a resolved ServerConfig.
 //
-// Deprecated: use NewServer with ServerOptions.
+// Deprecated: use NewServer with ServerOptions — the only documented
+// construction path. This wrapper remains for source compatibility only:
+//
+//	// before
+//	srv, err := hybriddc.NewServerFromConfig(hybriddc.ServerConfig{
+//	    Backend: be, QueueDepth: 256, Metrics: reg,
+//	})
+//	// after
+//	srv, err := hybriddc.NewServer(be,
+//	    hybriddc.WithQueueDepth(256),
+//	    hybriddc.WithServerMetrics(reg))
 func NewServerFromConfig(cfg ServerConfig) (*Server, error) { return serve.NewFromConfig(cfg) }
 
 // WithQueueDepth bounds the server's admission queue: Submit rejects with
@@ -178,8 +203,76 @@ func WithBatchWindow(d time.Duration) ServerOption { return serve.WithBatchWindo
 // execution may carry; 0 (the default) is unbounded.
 func WithFusedBytesCap(b int64) ServerOption { return serve.WithFusedBytesCap(b) }
 
-// Submit is a convenience wrapper: it submits the job and returns its
-// handle. Equivalent to (*Server).Submit.
+// WithBreaker enables the server's per-backend circuit breaker: after
+// threshold consecutive device-fault attempts, GPU-bound admission is shed
+// with ErrDegraded (jobs carrying WithFallback(CPUOnly) run on the CPU path
+// instead) until a post-cooldown probe job succeeds. DESIGN.md §12 has the
+// state machine.
+func WithBreaker(threshold int, cooldown time.Duration) ServerOption {
+	return serve.WithBreaker(threshold, cooldown)
+}
+
+// WithServerFaults wraps every job attempt's backend with the fault
+// injector — the chaos-testing hook exercised by `hpuserve --chaos`.
+func WithServerFaults(in *FaultInjector) ServerOption { return serve.WithFaults(in) }
+
+// Per-job reliability policies, accepted (like any Option) by JobSpec.Opts
+// or Server.Submit. All re-executing policies require JobSpec.Fresh.
+var (
+	// WithRetry re-executes a device-faulted job up to max more times on
+	// fresh instances, pausing backoff between attempts; exhaustion fails
+	// the job with an error matching both ErrRetriesExhausted and
+	// ErrDeviceFault.
+	WithRetry = serve.WithRetry
+	// WithDeadline bounds the job's total execution budget (attempts,
+	// hedges and fallbacks included) from dispatch; expiry fails the job
+	// with ErrCanceled.
+	WithDeadline = serve.WithDeadline
+	// WithHedge starts a breadth-first CPU duplicate of a straggling
+	// GPU-bound job after the given delay; the first clean result wins and
+	// the loser is canceled. Ignored on non-autonomous backends.
+	WithHedge = serve.WithHedge
+	// WithFallback selects the degradation path: with CPUOnly, a job whose
+	// device attempts are spent transparently re-runs breadth-first on the
+	// CPU engine with bit-identical results.
+	WithFallback = serve.WithFallback
+)
+
+// FallbackMode selects a job's degradation path for WithFallback.
+type FallbackMode = serve.FallbackMode
+
+// CPUOnly re-runs device-failed jobs on the CPU engine; see WithFallback.
+const CPUOnly = serve.CPUOnly
+
+// Circuit breaker states, as reported by ServerStats.BreakerState and the
+// serve_breaker_state gauge.
+const (
+	BreakerClosed   = serve.BreakerClosed
+	BreakerHalfOpen = serve.BreakerHalfOpen
+	BreakerOpen     = serve.BreakerOpen
+)
+
+// Fault injection (chaos testing): deterministic, seeded device failures
+// beneath the executors. See internal/faults for the fault taxonomy.
+type (
+	// FaultsConfig configures a FaultInjector: a seed, per-attempt fault
+	// rates by kind, and stall/trigger shaping.
+	FaultsConfig = faults.Config
+	// FaultInjector hands out per-attempt fault plans; attach it to a
+	// Server with WithServerFaults.
+	FaultInjector = faults.Injector
+	// FaultCounts snapshots what an injector has done (FaultInjector.Counts).
+	FaultCounts = faults.Counts
+)
+
+// NewFaultInjector validates cfg and returns a deterministic fault
+// injector for chaos testing.
+func NewFaultInjector(cfg FaultsConfig) (*FaultInjector, error) { return faults.New(cfg) }
+
+// Submit submits the job and returns its handle.
+//
+// Deprecated: call (*Server).Submit directly; this free function remains
+// only for source compatibility.
 func Submit(ctx context.Context, s *Server, job JobSpec, opts ...Option) (*JobHandle, error) {
 	return s.Submit(ctx, job, opts...)
 }
