@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke chaos-smoke check bench bench-serve bench-cpu
+.PHONY: all build vet test race smoke obs-smoke chaos-smoke check bench bench-serve bench-cpu bench-multi
 
 all: check
 
@@ -35,9 +35,13 @@ obs-smoke:
 # injector (~20% device-fault rate), retry/hedge/fallback policies and the
 # circuit breaker active. Exits nonzero on any wrong result, unbounded
 # shedding, silent reliability metrics, or goroutine leak; writes the fault
-# report CI uploads as an artifact.
+# report CI uploads as an artifact. The second run soaks a 2-device pool
+# with faults injected into one device only: that device must trip its
+# breaker and auto-drain, every job must still verify, and no healthy job
+# may be shed with ErrDegraded.
 chaos-smoke:
 	$(GO) run -race ./cmd/hpuserve --chaos --chaos-report CHAOS_report.json
+	$(GO) run -race ./cmd/hpuserve --chaos --chaos-devices 2 --chaos-fault-rate 0.4 --chaos-report CHAOS_pool_report.json
 
 check: build vet race smoke
 
@@ -60,3 +64,11 @@ bench-serve:
 # job summary.
 bench-cpu:
 	$(GO) run ./cmd/hpuserve --bench-cpu --bench-cpu-out BENCH_cpu.json --bench-cpu-summary BENCH_cpu.md
+
+# Multi-device serving throughput on the simulator: the same GPU-bound
+# 64-job mix through pools of 1, 2 and 4 devices, timed in deterministic
+# virtual seconds (pool makespan = slowest device's clock). Writes
+# BENCH_multidev.json; exits nonzero if any result diverges from the
+# single-device run or the 2-device pool misses the 1.6x speedup floor.
+bench-multi:
+	$(GO) run ./cmd/hpuserve --bench-multi --bench-multi-out BENCH_multidev.json

@@ -356,9 +356,8 @@ func BenchmarkExtensionMultiGPU(b *testing.B) {
 					b.Fatal(err)
 				}
 				s, _ := mergesort.New(in)
-				rep, err := core.RunAdvancedMultiGPU(be, s,
-					core.AdvancedParams{Alpha: 0.17, Y: 9, Split: -1},
-					core.Options{Coalesce: true})
+				rep, err := core.RunMultiGPUCtx(context.Background(), be, s,
+					0.17, 9, core.WithCoalesce())
 				if err != nil {
 					b.Fatal(err)
 				}

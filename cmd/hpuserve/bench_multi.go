@@ -1,0 +1,162 @@
+// Multi-device serving benchmark: the same GPU-bound 64-job mix served by
+// pools of 1, 2 and 4 simulated devices, timed in deterministic virtual
+// seconds (each device is an independent hpu.Sim with its own clock; the
+// pool's makespan is the slowest device's clock when the last job settles).
+// Writes BENCH_multidev.json and exits nonzero if the 2-device pool falls
+// short of the 1.6x served-throughput acceptance floor or any per-job
+// result diverges from the single-device run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// multiBenchEntry is one pool size's measurement.
+type multiBenchEntry struct {
+	Devices        int      `json:"devices"`
+	Jobs           int      `json:"jobs"`
+	VirtualSeconds float64  `json:"virtual_seconds"` // slowest device's clock
+	Throughput     float64  `json:"throughput_jobs_per_vsec"`
+	Speedup        float64  `json:"speedup_vs_single"`
+	Placements     []uint64 `json:"placements_per_device"`
+}
+
+// multiBenchReport is the BENCH_multidev.json artifact.
+type multiBenchReport struct {
+	Jobs      int               `json:"jobs"`
+	Placement string            `json:"placement"`
+	Identical bool              `json:"results_identical_across_pools"`
+	Floor     float64           `json:"speedup_floor_2dev"`
+	Entries   []multiBenchEntry `json:"entries"`
+}
+
+// runMultiDeviceBench measures served throughput against pool size.
+func runMultiDeviceBench(outPath string) error {
+	const jobs = 64
+	deviceCounts := []int{1, 2, 4}
+	const floor = 1.6 // 2-device acceptance floor vs 1 device
+
+	// The GPU-bound mix: mergesort at four sizes, fixed seeds, all GPUOnly.
+	// Sizes rotate through blocks of four (a Latin square over i/4) so every
+	// residue class of job indices mod 2 or mod 4 carries the same total
+	// work: the mix stays balanced however the pool interleaves devices.
+	inputs := make([][]int32, jobs)
+	for i := range inputs {
+		logN := 12 + (i+i/4)%4
+		inputs[i] = workload.Uniform(1<<logN, int64(i+1))
+	}
+
+	report := multiBenchReport{Jobs: jobs, Placement: hybriddc.PlaceModeledWork.String(),
+		Identical: true, Floor: floor}
+	var baseline [][]int32  // single-device outputs, the identity reference
+	var baseSeconds float64 // single-device virtual makespan
+
+	for _, devs := range deviceCounts {
+		sims := make([]*hybriddc.Sim, devs)
+		pool := make([]hybriddc.Backend, devs)
+		for i := range pool {
+			s, err := hybriddc.NewSim(hybriddc.HPU1())
+			if err != nil {
+				return err
+			}
+			sims[i] = s
+			pool[i] = s
+		}
+		srv, err := hybriddc.NewServerPool(pool, hybriddc.WithQueueDepth(jobs+8))
+		if err != nil {
+			return err
+		}
+
+		handles := make([]*hybriddc.JobHandle, jobs)
+		sorters := make([]interface{ Result() []int32 }, jobs)
+		for i := range inputs {
+			s, err := hybriddc.NewMergesort(inputs[i])
+			if err != nil {
+				return err
+			}
+			sorters[i] = s
+			handles[i], err = srv.Submit(context.Background(),
+				hybriddc.JobSpec{Alg: s, Strategy: hybriddc.JobGPUOnly})
+			if err != nil {
+				return fmt.Errorf("bench-multi: submit job %d to %d-device pool: %w", i, devs, err)
+			}
+		}
+		outputs := make([][]int32, jobs)
+		for i, h := range handles {
+			if _, err := h.Report(); err != nil {
+				return fmt.Errorf("bench-multi: job %d on %d-device pool: %w", i, devs, err)
+			}
+			outputs[i] = sorters[i].Result()
+		}
+		st := srv.Stats()
+		if err := srv.Close(); err != nil {
+			return err
+		}
+
+		makespan := 0.0
+		for _, s := range sims {
+			if now := s.Now(); now > makespan {
+				makespan = now
+			}
+		}
+		entry := multiBenchEntry{Devices: devs, Jobs: jobs, VirtualSeconds: makespan,
+			Throughput: float64(jobs) / makespan}
+		for _, d := range st.Devices {
+			entry.Placements = append(entry.Placements, d.Placements)
+		}
+
+		if baseline == nil {
+			baseline = outputs
+			baseSeconds = makespan
+			entry.Speedup = 1
+		} else {
+			entry.Speedup = baseSeconds / makespan
+			for i := range outputs {
+				if len(outputs[i]) != len(baseline[i]) {
+					report.Identical = false
+					break
+				}
+				for j := range outputs[i] {
+					if outputs[i][j] != baseline[i][j] {
+						report.Identical = false
+						break
+					}
+				}
+			}
+		}
+		report.Entries = append(report.Entries, entry)
+		fmt.Printf("bench-multi: %d device(s): %.3f virtual s, %.2f jobs/vs, speedup %.2fx, placements %v\n",
+			devs, entry.VirtualSeconds, entry.Throughput, entry.Speedup, entry.Placements)
+	}
+
+	if outPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench-multi: results written to %s\n", outPath)
+	}
+
+	if !report.Identical {
+		return fmt.Errorf("bench-multi: pool results diverge from the single-device run")
+	}
+	var two multiBenchEntry
+	for _, e := range report.Entries {
+		if e.Devices == 2 {
+			two = e
+		}
+	}
+	if two.Speedup < floor {
+		return fmt.Errorf("bench-multi: 2-device speedup %.2fx below the %.1fx floor", two.Speedup, floor)
+	}
+	return nil
+}

@@ -29,6 +29,10 @@ type chaosConfig struct {
 	Seed      int64   `json:"seed"`
 	Workers   int     `json:"workers"`
 	Lanes     int     `json:"lanes"`
+	// Devices >= 2 selects the pool soak: faults are injected into the
+	// highest-id device only, and the soak asserts the per-device breaker
+	// isolates it (trip, auto-drain, zero healthy-device sheds).
+	Devices int `json:"devices"`
 }
 
 // chaosReport is the JSON artifact uploaded by CI.
@@ -61,6 +65,9 @@ type chaosJob struct {
 }
 
 func runChaos(cfg chaosConfig, reportPath string) error {
+	if cfg.Devices >= 2 {
+		return runChaosPool(cfg, reportPath)
+	}
 	baseline := runtime.NumGoroutine()
 
 	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: cfg.Workers, DeviceLanes: cfg.Lanes})
@@ -349,6 +356,183 @@ func insertionFreeSort(a []int32) {
 			copy(a[lo:hi], buf[lo:hi])
 		}
 	}
+}
+
+// runChaosPool is the multi-device soak: a pool in which only the
+// highest-id device is fault-injected. Every job carries retry + CPU
+// fallback, so the acceptance bar is absolute — zero wrong results, zero
+// failures, zero ErrDegraded sheds — while the faulty device's breaker must
+// visibly trip and (WithAutoDrain) drain the device out of the pool.
+func runChaosPool(cfg chaosConfig, reportPath string) error {
+	baseline := runtime.NumGoroutine()
+
+	pool := make([]hybriddc.Backend, cfg.Devices)
+	natives := make([]*hybriddc.Native, cfg.Devices)
+	for i := range pool {
+		be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: cfg.Workers, DeviceLanes: cfg.Lanes})
+		if err != nil {
+			return err
+		}
+		natives[i] = be
+		pool[i] = be
+	}
+	faulty := cfg.Devices - 1
+	// The faulty device gets the full headline rate as hard kernel errors:
+	// retried jobs fault twice in a row, so the consecutive-fault breaker
+	// threshold below is reliably reachable.
+	in, err := hybriddc.NewFaultInjector(hybriddc.FaultsConfig{
+		Seed:              cfg.Seed,
+		KernelErrorRate:   0.8 * cfg.FaultRate,
+		TransferErrorRate: 0.2 * cfg.FaultRate,
+	})
+	if err != nil {
+		return err
+	}
+	reg := hybriddc.NewMetrics()
+	rec := hybriddc.NewTraceRecorderLimit(1 << 14)
+	srv, err := hybriddc.NewServerPool(pool,
+		hybriddc.WithQueueDepth(64),
+		hybriddc.WithMaxInFlight(4),
+		hybriddc.WithServerMetrics(reg),
+		hybriddc.WithServerRecorder(rec),
+		hybriddc.WithDeviceFaults(faulty, in),
+		hybriddc.WithBreaker(2, time.Minute),
+		hybriddc.WithAutoDrain(),
+	)
+	if err != nil {
+		return err
+	}
+
+	httpAddr, err := serveHTTP("127.0.0.1:0", reg, rec)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctx := context.Background()
+	report := chaosReport{Config: cfg}
+	var jobs []chaosJob
+
+	for i := 0; i < cfg.Jobs; i++ {
+		spec, want, err := makeChaosJob(rng)
+		if err != nil {
+			return err
+		}
+		var h *hybriddc.JobHandle
+		for {
+			h, err = srv.Submit(ctx, spec,
+				hybriddc.WithRetry(1, 0), hybriddc.WithFallback(hybriddc.CPUOnly))
+			if errors.Is(err, hybriddc.ErrQueueFull) {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("chaos-pool: submit job %d: %w", i, err)
+		}
+		jobs = append(jobs, chaosJob{h: h, want: want, fallback: true})
+	}
+
+	for _, j := range jobs {
+		if _, err := j.h.Report(); err != nil {
+			report.Anomalies = append(report.Anomalies,
+				fmt.Sprintf("job %d: fully protected job failed: %v", j.h.ID, err))
+			continue
+		}
+		report.Succeeded++
+		if ok, detail := verifyChaosResult(j.h.ResultAlg(), j.want); ok {
+			report.Verified++
+		} else {
+			report.Wrong++
+			if len(report.Anomalies) < 8 {
+				report.Anomalies = append(report.Anomalies,
+					fmt.Sprintf("job %d: wrong result: %s", j.h.ID, detail))
+			}
+		}
+	}
+
+	var snap snapshot
+	if err := scrape(httpAddr, &snap); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	for _, be := range natives {
+		if err := be.Close(); err != nil {
+			return err
+		}
+	}
+	st := srv.Stats()
+	report.Stats = st
+	report.Faults = in.Counts()
+
+	fmt.Printf("chaos-pool: %d jobs over %d devices (device %d faulty), %d injected faults\n",
+		cfg.Jobs, cfg.Devices, faulty, report.Faults.Injected)
+	fmt.Printf("chaos-pool: %d succeeded (%d verified, %d wrong), retries %d  fallbacks %d  rebalanced %d\n",
+		report.Succeeded, report.Verified, report.Wrong, st.Retries, st.Fallbacks, st.Rebalanced)
+	for _, d := range st.Devices {
+		fmt.Printf("chaos-pool: device %d: placements %d  trips %d  breaker %d  removed %v\n",
+			d.ID, d.Placements, d.BreakerTrips, d.BreakerState, d.Removed)
+	}
+
+	if reportPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chaos-pool: report written to %s\n", reportPath)
+	}
+
+	fail := func(format string, args ...any) error { return fmt.Errorf("chaos-pool: "+format, args...) }
+	if len(report.Anomalies) > 0 {
+		return fail("%d anomalies, first: %s", len(report.Anomalies), report.Anomalies[0])
+	}
+	if report.Wrong != 0 || report.Verified != cfg.Jobs {
+		return fail("verified %d of %d jobs (%d wrong)", report.Verified, cfg.Jobs, report.Wrong)
+	}
+	if report.Faults.Injected == 0 {
+		return fail("injector never fired (%d attempts)", report.Faults.Attempts)
+	}
+	if st.Degraded != 0 {
+		return fail("%d ErrDegraded sheds: healthy devices must absorb the full load", st.Degraded)
+	}
+	fd := st.Devices[faulty]
+	if fd.BreakerTrips == 0 {
+		return fail("faulty device %d never tripped its breaker", faulty)
+	}
+	if !fd.Removed {
+		return fail("faulty device %d not auto-drained (draining %v)", faulty, fd.Draining)
+	}
+	if st.Drains == 0 || snap.Counters["serve_drains_total"] != st.Drains {
+		return fail("serve_drains_total = %d, server says %d: drain invisible or absent",
+			snap.Counters["serve_drains_total"], st.Drains)
+	}
+	for _, d := range st.Devices {
+		if d.ID != faulty && d.BreakerTrips != 0 {
+			return fail("healthy device %d tripped %d times", d.ID, d.BreakerTrips)
+		}
+	}
+	if snap.Counters["serve_breaker_trips_total"] != st.BreakerTrips {
+		return fail("serve_breaker_trips_total = %d, server says %d",
+			snap.Counters["serve_breaker_trips_total"], st.BreakerTrips)
+	}
+	if snap.Counters["serve_rebalances_total"] != st.Rebalanced {
+		return fail("serve_rebalances_total = %d, server says %d",
+			snap.Counters["serve_rebalances_total"], st.Rebalanced)
+	}
+	for i := 0; i < 50 && runtime.NumGoroutine() > baseline+3; i++ {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+3 {
+		return fail("goroutine leak: %d at start, %d after close", baseline, g)
+	}
+	fmt.Println("chaos-pool: ok")
+	return nil
 }
 
 // verifyChaosResult checks the winning instance's output against the ground

@@ -53,16 +53,23 @@ func main() {
 		cancelPct = flag.Int("cancel", 15, "percent of jobs to cancel mid-flight")
 		seed      = flag.Int64("seed", 1, "PRNG seed for the job mix")
 
+		devices    = flag.Int("devices", 1, "number of native backends in the serving pool")
+		drainAfter = flag.Duration("drain-after", 0, "drain the highest-id device out of the pool after this long under load (0 disables; needs --devices >= 2)")
+
 		fuse        = flag.Int("fuse", 0, "fuse up to this many queued same-kind GPU-only jobs into one launch (< 2 disables fusion)")
 		batchWindow = flag.Duration("batch-window", 0, "how long a dispatched fusable job waits for companions to arrive")
 		fuseBytes   = flag.Int64("fuse-bytes-cap", 0, "cap on a fused group's summed transfer bytes (0 = unbounded)")
 		benchFusion = flag.Bool("bench-fusion", false, "benchmark fused vs unfused job throughput on the simulator, write BENCH_serve.json, and exit")
 		benchOut    = flag.String("bench-out", "BENCH_serve.json", "output path for --bench-fusion results")
 
+		benchMulti    = flag.Bool("bench-multi", false, "benchmark served throughput across 1/2/4 simulated devices on a GPU-bound job mix, write BENCH_multidev.json, and exit")
+		benchMultiOut = flag.String("bench-multi-out", "BENCH_multidev.json", "output path for --bench-multi results")
+
 		chaos          = flag.Bool("chaos", false, "run the seeded fault-injection soak: verify every surviving result, assert the reliability metrics advanced, write a fault report, and exit nonzero on any anomaly")
 		chaosJobs      = flag.Int("chaos-jobs", 240, "how many jobs the --chaos soak submits")
 		chaosFaultRate = flag.Float64("chaos-fault-rate", 0.2, "per-attempt probability of an injected device fault under --chaos")
 		chaosReportOut = flag.String("chaos-report", "CHAOS_report.json", "output path for the --chaos fault report ('' disables)")
+		chaosDevices   = flag.Int("chaos-devices", 1, "pool size for the --chaos soak; >= 2 injects faults into the highest-id device only and asserts breaker isolation, auto-drain, and zero healthy-device sheds")
 
 		benchCPU        = flag.Bool("bench-cpu", false, "benchmark the breadth-first CPU executor (legacy pool vs stealing engine vs engine+grain), write BENCH_cpu.json, and exit")
 		benchCPUOut     = flag.String("bench-cpu-out", "BENCH_cpu.json", "output path for --bench-cpu results")
@@ -73,6 +80,10 @@ func main() {
 
 	if *benchFusion {
 		check(runFusionBench(*benchOut))
+		return
+	}
+	if *benchMulti {
+		check(runMultiDeviceBench(*benchMultiOut))
 		return
 	}
 	if *benchCPU {
@@ -86,6 +97,7 @@ func main() {
 			Seed:      *seed,
 			Workers:   *workers,
 			Lanes:     *lanes,
+			Devices:   *chaosDevices,
 		}, *chaosReportOut))
 		return
 	}
@@ -95,6 +107,12 @@ func main() {
 	}
 	if *minLog < 1 || *maxLog < *minLog {
 		check(fmt.Errorf("need 1 <= minlog <= maxlog, got %d..%d", *minLog, *maxLog))
+	}
+	if *devices < 1 {
+		check(fmt.Errorf("need --devices >= 1, got %d", *devices))
+	}
+	if *drainAfter > 0 && *devices < 2 {
+		check(fmt.Errorf("--drain-after needs --devices >= 2"))
 	}
 	baseline := runtime.NumGoroutine()
 
@@ -133,10 +151,26 @@ func main() {
 		fmt.Printf("serving http://%s/metrics /debug/vars /debug/trace\n", httpAddr)
 	}
 
-	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: *workers, DeviceLanes: *lanes})
+	pool := make([]hybriddc.Backend, *devices)
+	backends := make([]*hybriddc.Native, *devices)
+	for i := range pool {
+		be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: *workers, DeviceLanes: *lanes})
+		check(err)
+		backends[i] = be
+		pool[i] = be
+	}
+	srv, err := hybriddc.NewServerPool(pool, srvOpts...)
 	check(err)
-	srv, err := hybriddc.NewServer(be, srvOpts...)
-	check(err)
+
+	// Arm the mid-load drain: the highest-id device leaves the pool
+	// gracefully while submissions continue against the survivors.
+	drainDone := make(chan error, 1)
+	if *drainAfter > 0 {
+		go func() {
+			time.Sleep(*drainAfter)
+			drainDone <- srv.DrainBackend(context.Background(), *devices-1)
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var (
@@ -213,13 +247,18 @@ func main() {
 	}
 
 	wg.Wait()
+	if *drainAfter > 0 {
+		check(<-drainDone)
+	}
 	// Scrape before teardown so gauges still reflect the loaded server.
 	var snap snapshot
 	if *obsSmoke {
 		check(scrape(httpAddr, &snap))
 	}
 	check(srv.Close())
-	check(be.Close())
+	for _, be := range backends {
+		check(be.Close())
+	}
 	st := srv.Stats()
 
 	fmt.Printf("submitted %d  rejected(queue-full) %d\n", submitted, rejected)
@@ -230,6 +269,13 @@ func main() {
 		st.MaxQueueDepth, 1e3*st.AvgQueueWaitSeconds, st.BusySeconds)
 	if *fuse >= 2 {
 		fmt.Printf("fusion: %d fused runs covering %d jobs\n", st.FusedRuns, st.FusedJobs)
+	}
+	if *devices > 1 {
+		for _, d := range st.Devices {
+			fmt.Printf("device %d: placements %d  trips %d  removed %v\n",
+				d.ID, d.Placements, d.BreakerTrips, d.Removed)
+		}
+		fmt.Printf("pool: rebalanced %d  drains %d\n", st.Rebalanced, st.Drains)
 	}
 
 	if !*smoke && !*obsSmoke {
@@ -254,6 +300,11 @@ func main() {
 	}
 	if submitted == 0 {
 		fail("no jobs submitted")
+	}
+	if *drainAfter > 0 {
+		if !st.Devices[*devices-1].Removed || st.Drains == 0 {
+			fail("drained device %d not removed (drains %d)", *devices-1, st.Drains)
+		}
 	}
 	if *obsSmoke {
 		assertObserved(fail, snap, st, rec)

@@ -329,6 +329,118 @@ func TestReliabilityErrorTaxonomy(t *testing.T) {
 	})
 }
 
+// TestHandleWaitDoneContract pins the JobHandle observation semantics:
+// a finished job always wins over an expired wait context; a wait-context
+// expiry abandons only the wait (the job keeps running and Done stays
+// open); and the job's own error — including ErrCanceled from the
+// submission context — takes precedence over the wait context's cause.
+func TestHandleWaitDoneContract(t *testing.T) {
+	ctx := context.Background()
+	newSrv := func(t *testing.T, opts ...hybriddc.ServerOption) *hybriddc.Server {
+		t.Helper()
+		be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 2, DeviceLanes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := hybriddc.NewServer(be, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Close()
+			be.Close()
+		})
+		return srv
+	}
+	waitInFlight := func(t *testing.T, srv *hybriddc.Server) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for srv.Stats().InFlight != 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("blocker never dispatched")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	t.Run("finished-job-beats-expired-wait-ctx", func(t *testing.T) {
+		srv := newSrv(t)
+		s, err := hybriddc.NewMergesort(workload.Uniform(1<<7, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErr := h.Report() // settles the handle
+		expired, cancel := context.WithCancel(ctx)
+		cancel()
+		rep, err := h.Wait(expired)
+		if !errors.Is(err, wantErr) || err != nil {
+			t.Errorf("Wait on settled handle with expired ctx: err = %v, want job outcome %v", err, wantErr)
+		}
+		if rep.Seconds != want.Seconds || rep.Strategy != want.Strategy {
+			t.Errorf("Wait on settled handle returned %+v, want the settled Report %+v", rep, want)
+		}
+	})
+	t.Run("wait-expiry-abandons-only-the-wait", func(t *testing.T) {
+		srv := newSrv(t, hybriddc.WithMaxInFlight(1))
+		gate := make(chan struct{})
+		h, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: &gatedJob{gate: gate}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitInFlight(t, srv)
+		short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+		defer cancel()
+		if _, err := h.Wait(short); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("expired wait: err = %v, want the wait context's cause (DeadlineExceeded)", err)
+		}
+		select {
+		case <-h.Done():
+			t.Error("Done closed by an abandoned wait; the job should still be running")
+		default:
+		}
+		if err := h.Err(); err != nil {
+			t.Errorf("Err() on a still-running job = %v, want nil", err)
+		}
+		close(gate)
+		if _, err := h.Report(); err != nil {
+			t.Errorf("job failed after an abandoned wait: %v", err)
+		}
+		select {
+		case <-h.Done():
+		default:
+			t.Error("Done not closed after settlement")
+		}
+	})
+	t.Run("job-error-precedence-over-wait-ctx", func(t *testing.T) {
+		srv := newSrv(t, hybriddc.WithMaxInFlight(1), hybriddc.WithQueueDepth(4))
+		gate := make(chan struct{})
+		if _, err := srv.Submit(ctx, hybriddc.JobSpec{Alg: &gatedJob{gate: gate}}); err != nil {
+			t.Fatal(err)
+		}
+		waitInFlight(t, srv)
+		cctx, cancelJob := context.WithCancel(ctx)
+		h, err := srv.Submit(cctx, hybriddc.JobSpec{Alg: &gatedJob{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancelJob() // cancel the queued job's submission context
+		close(gate) // free the slot: the canceled job settles at dispatch
+		<-h.Done()
+		expired, cancel := context.WithCancel(ctx)
+		cancel()
+		if _, err := h.Wait(expired); !errors.Is(err, hybriddc.ErrCanceled) {
+			t.Errorf("Wait(expired) on canceled job: err = %v, want the job's ErrCanceled", err)
+		}
+		if err := h.Err(); !errors.Is(err, hybriddc.ErrCanceled) {
+			t.Errorf("Err() after settlement = %v, want ErrCanceled", err)
+		}
+	})
+}
+
 // gatedJob is a minimal two-leaf Alg whose base tasks optionally block on a
 // channel, used to pin the server's in-flight slot.
 type gatedJob struct{ gate chan struct{} }

@@ -49,6 +49,46 @@ func ExampleBasicCrossover() {
 	// Output: 10 true
 }
 
+// ExampleNewServerPool serves concurrent GPU-bound jobs over a two-device
+// pool: load-aware placement spreads the jobs across the devices while
+// every result stays bit-identical to a single-device run.
+func ExampleNewServerPool() {
+	pool := []hybriddc.Backend{
+		hybriddc.MustSim(hybriddc.HPU1()),
+		hybriddc.MustSim(hybriddc.HPU1()),
+	}
+	srv, err := hybriddc.NewServerPool(pool,
+		hybriddc.WithPlacement(hybriddc.PlaceModeledWork))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+
+	var handles []*hybriddc.JobHandle
+	var sorted []func() bool
+	for i := 0; i < 4; i++ {
+		s, _ := hybriddc.NewMergesort(workload.Uniform(1<<12, int64(i+1)))
+		h, err := srv.Submit(context.Background(), hybriddc.JobSpec{
+			Alg: s, Strategy: hybriddc.JobAdvancedHybrid, Alpha: 0.17, Y: 6,
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		handles = append(handles, h)
+		sorted = append(sorted, func() bool { return workload.IsSorted(s.Result()) })
+	}
+	ok := true
+	for i, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil || !sorted[i]() {
+			ok = false
+		}
+	}
+	fmt.Println(len(srv.Stats().Devices), ok)
+	// Output: 2 true
+}
+
 // ExampleNewSum runs the paper's §4.3 divide-and-conquer sum.
 func ExampleNewSum() {
 	s, _ := hybriddc.NewSum([]int32{3, 1, 4, 1, 5, 9, 2, 6})

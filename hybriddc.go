@@ -266,8 +266,15 @@ func TuneGrain(trial func(grain int) (float64, error), cfg TuneGrainConfig) (Tun
 	return tune.Grain(trial, cfg)
 }
 
-// RunAdvancedMultiGPU is the §3.2 multiple-cards extension of the advanced
-// division; use it with NewMultiSim.
+// RunMultiGPUCtx is the §3.2 multiple-cards extension of the advanced
+// division, with cancellation and functional options; use it with
+// NewMultiSim (or any backend exposing several devices through GPUs()).
+var RunMultiGPUCtx = core.RunMultiGPUCtx
+
+// RunAdvancedMultiGPU is the struct-parameter form of RunMultiGPUCtx.
+//
+// Deprecated: use RunMultiGPUCtx with (alpha, y) and functional options;
+// AdvancedParams/Options are converted internally.
 var RunAdvancedMultiGPU = core.RunAdvancedMultiGPU
 
 // MultiSim is a simulated HPU with several GPU devices sharing one link.

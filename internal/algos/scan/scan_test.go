@@ -93,8 +93,7 @@ func TestExecutors(t *testing.T) {
 			t.Fatal(err)
 		}
 		s, _ := New(in)
-		prm := core.AdvancedParams{Alpha: 0.2, Y: 7, Split: -1}
-		if _, err := core.RunAdvancedMultiGPU(be, s, prm, core.Options{}); err != nil {
+		if _, err := core.RunMultiGPUCtx(context.Background(), be, s, 0.2, 7); err != nil {
 			t.Fatal(err)
 		}
 		if !equal(s.Result(), want) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dcerr"
@@ -14,36 +15,51 @@ type MultiGPUBackend interface {
 	GPUs() []LevelExecutor
 }
 
-// RunAdvancedMultiGPU is the advanced work division with the GPU portion
-// striped across all devices of the backend: at the split level the CPU
-// keeps α of the subproblems and each device receives an equal contiguous
-// share of the rest, running it bottom-up through level prm.Y before handing
-// back. Each device costs two link crossings, so more devices only pay off
-// when the per-device work dwarfs the extra transfers — the trade-off the
-// paper's footnote 5 cites for using a single die of the HD 5970.
-func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
+// RunMultiGPUCtx is the advanced work division with the GPU portion striped
+// across all devices of the backend: at the split level the CPU keeps α of
+// the subproblems and each device receives an equal contiguous share of the
+// rest, running it bottom-up through level y before handing back. Each
+// device costs two link crossings, so more devices only pay off when the
+// per-device work dwarfs the extra transfers — the trade-off the paper's
+// footnote 5 cites for using a single die of the HD 5970.
+//
+// ctx is checked at every level boundary of every chain; on cancellation the
+// partial Report's error wraps dcerr.ErrCanceled. The split level defaults
+// to DefaultSplit; override it with WithSplit. A WithBackendWrapper layer
+// that does not itself implement MultiGPUBackend (tracing, metering) sees
+// the CPU and transfer traffic but not the per-device submissions, which go
+// to the raw device executors.
+func RunMultiGPUCtx(ctx context.Context, be MultiGPUBackend, alg GPUAlg, alpha float64, y int, opts ...Option) (Report, error) {
+	cfg := NewRunConfig(opts...)
+	ibe := instrument(be, &cfg)
+	if err := checkOpen(ibe); err != nil {
+		return Report{}, err
+	}
 	devices := be.GPUs()
+	if mg, ok := ibe.(MultiGPUBackend); ok {
+		devices = mg.GPUs()
+	}
 	if len(devices) == 0 {
 		return Report{}, fmt.Errorf("core: %w (multi-GPU strategy)", dcerr.ErrNoGPU)
 	}
 	L := alg.Levels()
 	a := alg.Arity()
-	if prm.Alpha < 0 || prm.Alpha > 1 {
-		return Report{}, fmt.Errorf("core: alpha %g: %w", prm.Alpha, dcerr.ErrBadAlpha)
+	if alpha < 0 || alpha > 1 {
+		return Report{}, fmt.Errorf("core: alpha %g: %w", alpha, dcerr.ErrBadAlpha)
 	}
-	if prm.Y < 0 || prm.Y > L {
-		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]: %w", prm.Y, L, dcerr.ErrBadLevel)
+	if y < 0 || y > L {
+		return Report{}, fmt.Errorf("core: transfer level %d out of range [0,%d]: %w", y, L, dcerr.ErrBadLevel)
 	}
-	s := prm.Split
-	if s < 0 {
-		s = DefaultSplit(alg, be.CPU().Parallelism(), prm.Alpha, prm.Y)
+	s := DefaultSplit(alg, ibe.CPU().Parallelism(), alpha, y)
+	if cfg.SplitSet {
+		s = cfg.Split
 	}
-	if s > prm.Y {
-		return Report{}, fmt.Errorf("core: split level %d above transfer level %d: %w", s, prm.Y, dcerr.ErrBadLevel)
+	if s > y {
+		return Report{}, fmt.Errorf("core: split level %d above transfer level %d: %w", s, y, dcerr.ErrBadLevel)
 	}
 
 	width := TasksAtLevel(a, s)
-	cCount := int(prm.Alpha*float64(width) + 0.5)
+	cCount := int(alpha*float64(width) + 0.5)
 	if cCount < 0 {
 		cCount = 0
 	}
@@ -60,27 +76,30 @@ func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt
 		return c0 * f, c1 * f
 	}
 
-	start := be.Now()
+	start := ibe.Now()
+
+	// Joint top divide phase, full width, on CPU.
 	var top []step
 	for l := 0; l < s; l++ {
-		b := alg.DivideBatch(l, 0, TasksAtLevel(a, l))
-		top = append(top, func(next func()) { be.CPU().Submit(b, next) })
+		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
+		top = append(top, func(next func()) { ibe.CPU().Submit(b, next) })
 	}
 
+	// CPU chain over portion [0, cCount).
 	var cpuChain []step
 	if cCount > 0 {
 		for l := s; l < L; l++ {
 			lo, hi := at(l, 0, cCount)
-			b := alg.DivideBatch(l, lo, hi)
-			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
+			b := atLevel(alg.DivideBatch(l, lo, hi), l)
+			cpuChain = append(cpuChain, func(next func()) { ibe.CPU().Submit(b, next) })
 		}
 		lo, hi := at(L, 0, cCount)
-		base := alg.BaseBatch(lo, hi)
-		cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(base, next) })
+		base := atLevel(alg.BaseBatch(lo, hi), L)
+		cpuChain = append(cpuChain, func(next func()) { ibe.CPU().Submit(base, next) })
 		for l := L - 1; l >= s; l-- {
 			lo, hi := at(l, 0, cCount)
-			b := alg.CombineBatch(l, lo, hi)
-			cpuChain = append(cpuChain, func(next func()) { be.CPU().Submit(b, next) })
+			b := atLevel(alg.CombineBatch(l, lo, hi), l)
+			cpuChain = append(cpuChain, func(next func()) { ibe.CPU().Submit(b, next) })
 		}
 	}
 
@@ -89,65 +108,82 @@ func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt
 	deviceChain := func(dev LevelExecutor, c0, c1 int) []step {
 		var chain []step
 		bytes := alg.GPUBytes(s, c0, c1)
-		chain = append(chain, func(next func()) { be.TransferToGPU(bytes, next) })
+		chain = append(chain, func(next func()) { ibe.TransferToGPU(bytes, next) })
 		for l := s; l < L; l++ {
 			l := l
 			chain = append(chain, func(next func()) {
 				lo, hi := at(l, c0, c1)
-				dev.Submit(alg.GPUDivideBatch(l, lo, hi), next)
+				dev.Submit(atLevel(alg.GPUDivideBatch(l, lo, hi), l), next)
 			})
 		}
-		if opt.Coalesce && tr != nil {
+		if cfg.Coalesce && tr != nil {
 			chain = append(chain, func(next func()) {
 				lo, hi := at(L, c0, c1)
-				dev.Submit(tr.PermuteForGPU(L, lo, hi), next)
+				dev.Submit(atLevel(tr.PermuteForGPU(L, lo, hi), L), next)
 			})
 		}
 		chain = append(chain, func(next func()) {
 			lo, hi := at(L, c0, c1)
-			dev.Submit(alg.GPUBaseBatch(lo, hi), next)
+			dev.Submit(atLevel(alg.GPUBaseBatch(lo, hi), L), next)
 		})
-		for l := L - 1; l >= prm.Y; l-- {
+		for l := L - 1; l >= y; l-- {
 			l := l
 			chain = append(chain, func(next func()) {
 				lo, hi := at(l, c0, c1)
-				dev.Submit(alg.GPUCombineBatch(l, lo, hi), next)
+				dev.Submit(atLevel(alg.GPUCombineBatch(l, lo, hi), l), next)
 			})
 		}
-		if opt.Coalesce && tr != nil {
+		if cfg.Coalesce && tr != nil {
 			chain = append(chain, func(next func()) {
-				lo, hi := at(prm.Y, c0, c1)
-				dev.Submit(tr.PermuteBack(prm.Y, lo, hi), next)
+				lo, hi := at(y, c0, c1)
+				dev.Submit(atLevel(tr.PermuteBack(y, lo, hi), y), next)
 			})
 		}
-		chain = append(chain, func(next func()) { be.TransferToCPU(bytes, next) })
+		chain = append(chain, func(next func()) { ibe.TransferToCPU(bytes, next) })
 		// Continue this stripe on the CPU above the transfer level.
-		for l := prm.Y - 1; l >= s; l-- {
+		for l := y - 1; l >= s; l-- {
 			l := l
 			chain = append(chain, func(next func()) {
 				lo, hi := at(l, c0, c1)
-				be.CPU().Submit(alg.CombineBatch(l, lo, hi), next)
+				ibe.CPU().Submit(atLevel(alg.CombineBatch(l, lo, hi), l), next)
 			})
 		}
 		return chain
 	}
 
+	// Joint combine phase above the split, full width, on CPU.
 	var tail []step
 	for l := s - 1; l >= 0; l-- {
-		b := alg.CombineBatch(l, 0, TasksAtLevel(a, l))
-		tail = append(tail, func(next func()) { be.CPU().Submit(b, next) })
+		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
+		tail = append(tail, func(next func()) { ibe.CPU().Submit(b, next) })
 	}
 
 	rep := Report{Algorithm: alg.Name(), Strategy: fmt.Sprintf("advanced-%dgpu", k)}
-	completed := false
-	runSeq(top, func() {
+	done := make(chan struct{})
+	var canceled bool
+
+	runSeqCtx(ctx, top, func(c bool) {
+		if c {
+			canceled = true
+			close(done)
+			return
+		}
+		forkAt := ibe.Now()
 		chains := 1 + k
+		var anyCanceled bool
 		join := Join(chains, func() {
-			runSeq(tail, func() { completed = true })
+			if anyCanceled {
+				canceled = true
+				close(done)
+				return
+			}
+			runSeqCtx(ctx, tail, func(c bool) { canceled = c; close(done) })
 		})
-		forkAt := be.Now()
-		runSeq(cpuChain, func() {
-			rep.CPUPortionSeconds = be.Now() - forkAt
+		runSeqCtx(ctx, cpuChain, func(c bool) {
+			if c {
+				anyCanceled = true
+			}
+			rep.CPUPortionSeconds = ibe.Now() - forkAt
 			join()
 		})
 		// Stripe the GPU portion: device d gets [cCount + d·per, ...).
@@ -159,20 +195,29 @@ func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt
 			if d < extra {
 				c1++
 			}
-			chain := deviceChain(devices[d], c0, c1)
-			runSeq(chain, func() {
-				if t := be.Now() - forkAt; t > rep.GPUPortionSeconds {
+			runSeqCtx(ctx, deviceChain(devices[d], c0, c1), func(c bool) {
+				if c {
+					anyCanceled = true
+				}
+				if t := ibe.Now() - forkAt; t > rep.GPUPortionSeconds {
 					rep.GPUPortionSeconds = t
 				}
 				join()
 			})
 		}
 	})
-	be.Wait()
-	if !completed {
-		panic("core: multi-GPU execution did not complete")
+	awaitChain(ibe, done)
+	return rep, settle(ctx, ibe, &cfg, alg, &rep, start, canceled)
+}
+
+// RunAdvancedMultiGPU is the multi-device advanced work division
+// parameterized by the deprecated structs.
+//
+// Deprecated: use RunMultiGPUCtx with (alpha, y), WithSplit and WithCoalesce.
+func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
+	opts := opt.AsOptions()
+	if prm.Split >= 0 {
+		opts = append(opts, WithSplit(prm.Split))
 	}
-	finish(alg)
-	rep.Seconds = be.Now() - start
-	return rep, nil
+	return RunMultiGPUCtx(context.Background(), be, alg, prm.Alpha, prm.Y, opts...)
 }

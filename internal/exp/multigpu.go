@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algos/mergesort"
@@ -72,8 +73,7 @@ func MultiGPU(cfg MultiGPUConfig) (Figure, error) {
 			if err != nil {
 				return Figure{}, err
 			}
-			prm := core.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
-			rep, err := core.RunAdvancedMultiGPU(be, s, prm, core.Options{Coalesce: true})
+			rep, err := core.RunMultiGPUCtx(context.Background(), be, s, alpha, y, core.WithCoalesce())
 			if err != nil {
 				return Figure{}, err
 			}

@@ -16,7 +16,7 @@ import (
 // HD 5970 is physically such a card (two dies); the paper used one die
 // (footnote 5), a decision the multi-GPU experiments in internal/exp
 // revisit. MultiSim implements core.Backend (GPU() returns device 0) and
-// exposes the full device list for core.RunAdvancedMultiGPU.
+// exposes the full device list for core.RunMultiGPUCtx.
 type MultiSim struct {
 	platform Platform
 	eng      *vtime.Engine

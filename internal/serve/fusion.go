@@ -18,12 +18,12 @@ import (
 // Job fusion. When the stride scheduler dispatches a GPUOnly job whose
 // algorithm kind matches other queued GPUOnly jobs, the dispatched job — the
 // head — absorbs up to MaxFusedJobs-1 of them and the whole group executes
-// as one fused breadth-first run (core.RunFusedGPUCtx): one kernel launch
-// per recursion level across every member, double-buffered pipelined
-// transfers, per-member Reports. This generalizes the paper's launch
-// amortization (§4) across jobs, which is what the serving layer's
-// small-job hot path needs: k fused jobs pay one launch per level instead
-// of k.
+// as one fused breadth-first run (core.RunFusedGPUCtx) on the head's placed
+// device: one kernel launch per recursion level across every member,
+// double-buffered pipelined transfers, per-member Reports. This generalizes
+// the paper's launch amortization (§4) across jobs, which is what the
+// serving layer's small-job hot path needs: k fused jobs pay one launch per
+// level instead of k.
 //
 // Fairness: fusion never changes which job is dispatched — the heap's head
 // keeps its stride-scheduling position, and only same-kind followers are
@@ -32,42 +32,46 @@ import (
 // starvation-freedom is preserved (fusing followers, if anything, drains
 // the queue ahead of it faster).
 //
+// In a pool, batches form per device: companions are collected from the
+// global heap (where capacity-gated placement keeps contended jobs) when
+// the head reaches the front of its device's queue, and the whole group
+// runs on that one device.
+//
 // Fusion is declined — the job runs the ordinary single path — when no
 // companion is found in the queue (and within the batch window, if one is
 // configured), when FusedBytesCap would be exceeded, or when every would-be
 // companion was already canceled.
 
 // fuseClass decides at admission whether a job may join a fused execution,
-// returning its fusion key ("" when it cannot) and whole-instance transfer
-// size. A job is fusable when fusion is enabled (MaxFusedJobs ≥ 2), the
-// strategy is GPUOnly (the only all-device-resident plan, so segments
-// coexist on the card), the algorithm implements core.GPUAlg, and the
-// job's options carry no per-run instrumentation — a backend wrapper,
-// observer, or private metrics registry cannot be attributed to one member
-// of a shared launch. The key groups jobs by algorithm kind and coalesce
-// setting, because one fused run executes under one RunConfig.
-func (s *Server) fuseClass(job Job, rc core.RunConfig) (string, int64) {
+// returning its fusion key ("" when it cannot). A job is fusable when
+// fusion is enabled (MaxFusedJobs ≥ 2), the strategy is GPUOnly (the only
+// all-device-resident plan, so segments coexist on the card), the algorithm
+// implements core.GPUAlg, and the job's options carry no per-run
+// instrumentation — a backend wrapper, observer, or private metrics
+// registry cannot be attributed to one member of a shared launch. The key
+// groups jobs by algorithm kind and coalesce setting, because one fused run
+// executes under one RunConfig.
+func (s *Server) fuseClass(job Job, rc core.RunConfig) string {
 	if s.cfg.MaxFusedJobs < 2 || job.Strategy != GPUOnly {
-		return "", 0
+		return ""
 	}
-	galg, ok := job.Alg.(core.GPUAlg)
-	if !ok {
-		return "", 0
+	if _, ok := job.Alg.(core.GPUAlg); !ok {
+		return ""
 	}
 	if rc.Wrap != nil || rc.Observe != nil || rc.Metrics != nil {
-		return "", 0
+		return ""
 	}
 	// A reliability policy needs per-job attempt control (retry, hedge,
 	// fallback, deadline scoping), which a shared fused launch cannot give
 	// one member; such jobs always run solo.
 	if !rc.Reliability.Zero() {
-		return "", 0
+		return ""
 	}
 	key := job.Alg.Name()
 	if rc.Coalesce {
 		key += "|coalesce"
 	}
-	return key, galg.GPUBytes(0, 0, 1)
+	return key
 }
 
 // collectLocked moves queued jobs with the given fusion key into members,
@@ -106,7 +110,7 @@ func (s *Server) collectLocked(key string, members []*queued, bytes int64) ([]*q
 	}
 	s.queue = s.queue[:len(kept)]
 	heap.Init(&s.queue)
-	s.mQueueDepth.Set(int64(len(s.queue)))
+	s.mQueueDepth.Set(int64(s.totalQueuedLocked()))
 	return members, bytes
 }
 
@@ -127,12 +131,12 @@ func (s *Server) removeWaiterLocked(key string, w chan struct{}) {
 	}
 }
 
-// runFused attempts to execute the dispatched head job as a fused run.
-// It returns false — without having settled anything about the head — when
-// fusion is declined and the caller should take the ordinary single-job
-// path. When it returns true the head's inflight slot has been released
-// and every collected member settled.
-func (s *Server) runFused(head *queued) bool {
+// runFused attempts to execute the dispatched head job as a fused run on
+// its placed device. It returns false — without having settled anything
+// about the head — when fusion is declined and the caller should take the
+// ordinary single-job path. When it returns true the head's execution slot
+// has been released and every collected member settled.
+func (s *Server) runFused(d *device, head *queued) bool {
 	members := []*queued{head}
 	bytes := head.gpuBytes
 	s.mu.Lock()
@@ -180,14 +184,14 @@ func (s *Server) runFused(head *queued) bool {
 		s.settleQueuedCanceled(q)
 	}
 	if len(live) == 0 {
-		// The head itself was canceled: release its slot.
+		// The head itself was canceled: release its slot (and its probe
+		// token, if it held one).
 		if head.ctx.Err() == nil {
 			panic("serve: empty fused group with live head")
 		}
+		s.feedBreaker(d, head, verdictAbandon)
 		s.mu.Lock()
-		s.inflight--
-		s.mInFlight.Set(int64(s.inflight))
-		s.cond.Signal()
+		s.finishJobLocked(d, head)
 		s.mu.Unlock()
 		return true
 	}
@@ -196,7 +200,19 @@ func (s *Server) runFused(head *queued) bool {
 	for _, q := range live {
 		q.h.queueWait = now.Sub(q.wallIn).Seconds()
 	}
-	reps, err := s.executeFused(live)
+	reps, err := s.executeFused(d, live)
+
+	// The fused run is one device-path execution; its verdict feeds the
+	// device's breaker through the head (the only member that can hold a
+	// probe token).
+	switch {
+	case err == nil:
+		s.feedBreaker(d, head, verdictSuccess)
+	case errors.Is(err, dcerr.ErrDeviceFault):
+		s.feedBreaker(d, head, verdictFault)
+	default:
+		s.feedBreaker(d, head, verdictAbandon)
+	}
 
 	for i, q := range live {
 		var rep core.Report
@@ -212,8 +228,7 @@ func (s *Server) runFused(head *queued) bool {
 	}
 
 	s.mu.Lock()
-	s.inflight--
-	s.mInFlight.Set(int64(s.inflight))
+	s.finishJobLocked(d, head)
 	if len(live) >= 2 {
 		s.stats.FusedRuns++
 		s.stats.FusedJobs += uint64(len(live))
@@ -224,14 +239,13 @@ func (s *Server) runFused(head *queued) bool {
 		s.accountFinishedLocked(q, q.h.rep, q.h.err)
 	}
 	s.updateFusionRatioLocked()
-	s.cond.Signal()
 	s.mu.Unlock()
 	return true
 }
 
 // settleQueuedCanceled settles a member whose context was canceled before
 // execution, mirroring run()'s canceled-while-queued path (but without an
-// inflight slot to release).
+// execution slot to release).
 func (s *Server) settleQueuedCanceled(q *queued) {
 	q.h.queueWait = time.Since(q.wallIn).Seconds()
 	q.h.rep = core.Report{Algorithm: q.job.Alg.Name(), Strategy: q.job.Strategy.String(), Partial: true}
@@ -265,13 +279,13 @@ func (s *Server) accountFinishedLocked(q *queued, rep core.Report, err error) {
 	turnaround.Observe(time.Since(q.wallIn).Seconds())
 }
 
-// executeFused runs the group on the shared backend, mirroring execute():
-// the server's metrics registry and a trace scope are prefixed, the group's
-// shared coalesce setting is re-applied, and span stamping covers both the
-// fused run (one "fused" span on the head's job ID naming every member) and
-// the per-member "queue"/"job" spans.
-func (s *Server) executeFused(members []*queued) ([]core.Report, error) {
-	be := s.cfg.Backend
+// executeFused runs the group on the head's placed device, mirroring
+// runAttempt: the server's metrics registry and a trace scope are prefixed,
+// the group's shared coalesce setting is re-applied, and span stamping
+// covers both the fused run (one "fused" span on the head's job ID naming
+// every member) and the per-member "queue"/"job" spans.
+func (s *Server) executeFused(d *device, members []*queued) ([]core.Report, error) {
+	be := d.be
 	head := members[0]
 	algs := make([]core.GPUAlg, len(members))
 	for i, q := range members {
@@ -305,14 +319,14 @@ func (s *Server) executeFused(members []*queued) ([]core.Report, error) {
 		}
 		scope.Add(trace.Span{
 			Unit: "job",
-			Label: fmt.Sprintf("fused ×%d %s jobs [%s]",
-				len(members), head.job.Alg.Name(), strings.Join(ids, " ")),
+			Label: fmt.Sprintf("fused ×%d %s jobs [%s] dev%d",
+				len(members), head.job.Alg.Name(), strings.Join(ids, " "), d.id),
 			Start: start, End: end,
 		})
 		for _, q := range members {
 			ms := s.cfg.Trace.Scope(q.h.ID)
-			label := fmt.Sprintf("job %d %s %s n=%d", q.h.ID, q.job.Alg.Name(),
-				core.FusedStrategy, q.job.Alg.N())
+			label := fmt.Sprintf("job %d %s %s n=%d dev%d", q.h.ID, q.job.Alg.Name(),
+				core.FusedStrategy, q.job.Alg.N(), d.id)
 			ms.Add(trace.Span{Unit: "queue", Label: label,
 				Start: start - q.h.queueWait, End: start})
 			ms.Add(trace.Span{Unit: "job", Label: label, Start: start, End: end})

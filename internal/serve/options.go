@@ -97,6 +97,43 @@ func WithFaults(in *faults.Injector) Option {
 	return func(c *Config) { c.Faults = in }
 }
 
+// WithDeviceFaults overrides WithFaults for one pool device, so a chaos run
+// can make a single pool member flaky while the rest stay healthy — the
+// setup that exercises per-device breaker isolation and re-routing.
+func WithDeviceFaults(dev int, in *faults.Injector) Option {
+	return func(c *Config) {
+		if c.DeviceFaults == nil {
+			c.DeviceFaults = map[int]*faults.Injector{}
+		}
+		c.DeviceFaults[dev] = in
+	}
+}
+
+// WithPlacement selects the pool placement policy: PlaceModeledWork (the
+// default) scores devices by the modeled sequential cost of their backlog;
+// PlaceJSQ by occupancy alone. With a single backend the policy is moot.
+func WithPlacement(p Placement) Option {
+	return func(c *Config) { c.Placement = p }
+}
+
+// WithAutoDrain lets a device whose circuit breaker trips drain itself out
+// of the pool: its queued jobs rebalance to the global queue (and healthier
+// devices), its in-flight jobs finish, and the device is removed. The last
+// active device never auto-drains — a server keeps at least one execution
+// path. Off by default; meaningful only with WithBreaker.
+func WithAutoDrain() Option {
+	return func(c *Config) { c.AutoDrain = true }
+}
+
+// WithSplitOversized lets an AdvancedHybrid job whose whole-instance
+// transfer size is at least bytes stripe across a device's internal GPUs
+// (core.RunMultiGPUCtx) when that device is a core.MultiGPUBackend with two
+// or more GPUs and has no other work — the pool's answer to one oversized
+// job arriving at an idle multi-die device. 0, the default, never splits.
+func WithSplitOversized(bytes int64) Option {
+	return func(c *Config) { c.SplitBytes = bytes }
+}
+
 // Metric names recorded when WithMetrics is configured; semantics in
 // DESIGN.md §9.
 const (
@@ -127,10 +164,27 @@ const (
 	MetricFallbacks = "serve_fallbacks_total"
 	MetricHedgeWins = "serve_hedge_wins_total"
 	MetricDegraded  = "serve_degraded_total"
-	// MetricBreakerState is the breaker's current state (0 closed, 1
-	// half-open, 2 open); MetricBreakerTrips counts transitions to open.
+	// MetricBreakerState is the worst breaker state across active devices
+	// (0 closed, 1 half-open, 2 open); MetricBreakerTrips counts
+	// transitions to open summed over all devices.
 	MetricBreakerState = "serve_breaker_state"
 	MetricBreakerTrips = "serve_breaker_trips_total"
+	// MetricRebalances counts jobs moved off a tripped or draining device
+	// back to the global queue; MetricDrains counts completed device drains.
+	MetricRebalances = "serve_rebalances_total"
+	MetricDrains     = "serve_drains_total"
+)
+
+// Per-device metric name formats (the %d is the device id).
+const (
+	// MetricDeviceQueueDepthFmt is the device's dispatch-FIFO occupancy.
+	MetricDeviceQueueDepthFmt = "serve_device_queue_depth_dev%d"
+	// MetricDevicePlacementsFmt counts jobs placed on the device.
+	MetricDevicePlacementsFmt = "serve_placements_total_dev%d"
+	// MetricDeviceBreakerStateFmt and MetricDeviceBreakerTripsFmt are the
+	// device's own circuit breaker state and trip count.
+	MetricDeviceBreakerStateFmt = "serve_breaker_state_dev%d"
+	MetricDeviceBreakerTripsFmt = "serve_breaker_trips_dev%d"
 )
 
 // Per-priority histogram name formats (the %d is the job's scheduling

@@ -1,8 +1,8 @@
 package serve
 
 // Reliability policies and degradation: per-job retry/deadline/hedge/
-// fallback options, the per-backend circuit breaker, and the policy-aware
-// execution path that replaces a bare executor call. DESIGN.md §12.
+// fallback options, the per-device circuit breakers, and the policy-aware
+// execution path that replaces a bare executor call. DESIGN.md §12, §13.
 
 import (
 	"context"
@@ -21,7 +21,7 @@ type FallbackMode = core.Fallback
 
 // CPUOnly re-runs a device-failed job breadth-first on the CPU engine with
 // bit-identical results, and keeps the job admissible while the circuit
-// breaker has the GPU path open.
+// breakers have every GPU path open.
 const CPUOnly = core.FallbackCPUOnly
 
 // WithRetry re-executes a job up to max more times when an attempt fails
@@ -54,7 +54,7 @@ func WithDeadline(d time.Duration) core.Option {
 // clean result wins; the loser is canceled and drained before the job
 // settles. Both paths compute bit-identical results, so the winner's
 // identity (Handle.HedgeWon) changes latency only. Hedging is ignored on
-// backends that are not core.Autonomous: the single-goroutine simulator
+// devices that are not core.Autonomous: the single-goroutine simulator
 // cannot race two executors.
 func WithHedge(after time.Duration) core.Option {
 	return func(c *core.RunConfig) {
@@ -68,29 +68,31 @@ func WithHedge(after time.Duration) core.Option {
 // re-runs breadth-first on the CPU engine — on a fresh instance from
 // Job.Fresh (required) — and succeeds with bit-identical results;
 // Handle.FellBack reports it. A CPUOnly job is also admitted (directly to
-// the CPU path) while the circuit breaker is shedding GPU-bound work.
+// the CPU path) while every device's breaker is shedding GPU-bound work.
 func WithFallback(m FallbackMode) core.Option {
 	return func(c *core.RunConfig) { c.Reliability.Fallback = m }
 }
 
-// Circuit breaker states, exported via Stats.BreakerState and the
-// serve_breaker_state gauge.
+// Circuit breaker states, exported via Stats.BreakerState (the worst state
+// across active devices), Stats.Devices and the serve_breaker_state gauges.
 const (
 	// BreakerClosed is the healthy state: GPU-bound jobs admitted freely.
 	BreakerClosed = 0
 	// BreakerHalfOpen admits exactly one probe job to test the device.
 	BreakerHalfOpen = 1
-	// BreakerOpen sheds GPU-bound admission (ErrDegraded, or the CPU path
-	// for jobs with a CPUOnly fallback) until the cooldown elapses.
+	// BreakerOpen sheds the device's GPU-bound placement (jobs reroute to
+	// other devices, fall back to the CPU path, or fail with ErrDegraded)
+	// until the cooldown elapses.
 	BreakerOpen = 2
 )
 
-// breaker is the per-backend circuit breaker (DESIGN.md §12): it trips open
+// breaker is one device's circuit breaker (DESIGN.md §12): it trips open
 // after `threshold` consecutive device-fault attempts, sheds GPU-bound
-// admission while open, and after `cooldown` lets one probe job through
+// placement while open, and after `cooldown` lets one probe job through
 // (consulting the backend's core.DeviceProber first, when implemented);
 // the probe's outcome closes or reopens it. It takes no server lock, so it
-// is safe to call with or without Server.mu held.
+// is safe to call with or without Server.mu held — but its callbacks run
+// under b.mu and must never take Server.mu.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
@@ -119,7 +121,23 @@ func (b *breaker) setState(st int) {
 	}
 }
 
-// admit decides whether a GPU-bound job may take the device path now.
+// canAdmit is the non-mutating admission peek used at Submit time and for
+// placement filtering: it reports whether admit would plausibly succeed,
+// without consuming the half-open probe slot or touching the device prober.
+func (b *breaker) canAdmit() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return time.Since(b.openedAt) >= b.cooldown
+	case BreakerHalfOpen:
+		return !b.probing
+	default:
+		return true
+	}
+}
+
+// admit decides whether a GPU-bound job may take this device's path now.
 // probe reports that the job was admitted as the half-open probe and must
 // report its outcome through result or abandon.
 func (b *breaker) admit(p core.DeviceProber) (ok, probe bool) {
@@ -200,19 +218,6 @@ func gpuBound(st Strategy) bool {
 	return st == BasicHybrid || st == AdvancedHybrid || st == GPUOnly
 }
 
-// prober returns the backend's device health hook, if it has one.
-func (s *Server) prober() core.DeviceProber {
-	p, _ := s.cfg.Backend.(core.DeviceProber)
-	return p
-}
-
-// autonomousBackend reports whether the backend progresses submitted work
-// on its own goroutines (hedging races two executors, so it needs this).
-func (s *Server) autonomousBackend() bool {
-	a, ok := s.cfg.Backend.(core.Autonomous)
-	return ok && a.Autonomous()
-}
-
 // Breaker verdicts fed by the policy loop.
 const (
 	verdictSuccess = iota
@@ -220,24 +225,30 @@ const (
 	verdictAbandon
 )
 
-// feedBreaker reports one device-path attempt's verdict to the breaker and
-// consumes the job's probe token (a probe reports exactly once).
-func (s *Server) feedBreaker(q *queued, verdict int) {
-	if s.breaker == nil {
+// feedBreaker reports one device-path attempt's verdict to the device's
+// breaker and consumes the job's probe token (a probe reports exactly
+// once). A fault verdict also runs the pool's trip reaction (rebalance,
+// auto-drain), so it must be called without s.mu held.
+func (s *Server) feedBreaker(d *device, q *queued, verdict int) {
+	if d.breaker == nil {
 		return
 	}
 	probe := q.probe
 	q.probe = false
 	switch verdict {
 	case verdictSuccess:
-		s.breaker.result(probe, false)
+		d.breaker.result(probe, false)
 	case verdictFault:
-		s.breaker.result(probe, true)
+		d.breaker.result(probe, true)
+		s.reactBreaker(d)
 	default:
 		if probe {
-			s.breaker.abandon()
+			d.breaker.abandon()
 		}
 	}
+	s.mu.Lock()
+	s.updateBreakerGaugeLocked()
+	s.mu.Unlock()
 }
 
 // sleepCtx pauses for d or until ctx is canceled, whichever first.
@@ -255,12 +266,19 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// executeReliable runs one dispatched job under its reliability policy:
-// deadline scoping, the attempt/retry loop with hedging, breaker feedback,
-// and the CPU fallback. It replaces the bare executor call; a job with no
-// policy makes exactly one attempt, so the plain path is unchanged.
-func (s *Server) executeReliable(q *queued) (core.Report, error) {
-	be := s.cfg.Backend
+// errRequeued is the policy loop's signal that the job never started: its
+// device's breaker tripped between placement and dispatch while another
+// device can still serve the GPU path, so run() should push it back to the
+// global heap instead of settling the handle.
+var errRequeued = errors.New("serve: requeue on healthier device")
+
+// executeReliable runs one dispatched job on its device under the job's
+// reliability policy: deadline scoping, the attempt/retry loop with hedging,
+// breaker feedback, and the CPU fallback. It replaces the bare executor
+// call; a job with no policy makes exactly one attempt, so the plain path
+// is unchanged.
+func (s *Server) executeReliable(d *device, q *queued) (core.Report, error) {
+	be := d.be
 	ctx := q.ctx
 	if q.pol.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -272,10 +290,10 @@ func (s *Server) executeReliable(q *queued) (core.Report, error) {
 		scope = s.cfg.Trace.Scope(q.h.ID)
 	}
 	start := be.Now()
-	rep, err := s.policyLoop(ctx, q, scope)
-	if scope != nil {
+	rep, err := s.policyLoop(ctx, d, q, scope)
+	if scope != nil && !errors.Is(err, errRequeued) {
 		end := be.Now()
-		label := fmt.Sprintf("job %d %s %s n=%d", q.h.ID, q.job.Alg.Name(), q.job.Strategy, q.job.Alg.N())
+		label := fmt.Sprintf("job %d %s %s n=%d dev%d", q.h.ID, q.job.Alg.Name(), q.job.Strategy, q.job.Alg.N(), d.id)
 		if n := q.h.attempts; n > 1 {
 			label = fmt.Sprintf("%s (%d attempts)", label, n)
 		}
@@ -286,22 +304,45 @@ func (s *Server) executeReliable(q *queued) (core.Report, error) {
 	return rep, err
 }
 
+// shouldRequeue reports whether a job whose device just shed it can instead
+// go back to the global heap: the server is still open and some other
+// active device would admit GPU-bound work.
+func (s *Server) shouldRequeue(d *device) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	for _, o := range s.devices {
+		if o == d || o.removed || o.draining {
+			continue
+		}
+		if o.breaker == nil || o.breaker.canAdmit() {
+			return true
+		}
+	}
+	return false
+}
+
 // policyLoop is the attempt loop. Attempt 1 runs the submitted instance
 // (hedged if configured); attempts 2..1+MaxRetries run fresh instances
 // after device faults; then the CPU fallback, if configured, gets the last
-// word. GPU-bound verdicts feed the circuit breaker.
-func (s *Server) policyLoop(ctx context.Context, q *queued, scope *trace.Scope) (core.Report, error) {
+// word. GPU-bound verdicts feed the device's circuit breaker.
+func (s *Server) policyLoop(ctx context.Context, d *device, q *queued, scope *trace.Scope) (core.Report, error) {
 	pol := q.pol
 	gpu := gpuBound(q.job.Strategy)
 	forceCPU := q.forceCPU
 
-	// Dispatch-time breaker check: the breaker may have tripped while the
-	// job sat in the queue (or healed — a queued probe keeps its token).
-	if gpu && !forceCPU && !q.probe && s.breaker != nil {
-		ok, probe := s.breaker.admit(s.prober())
+	// Dispatch-time breaker check: the device's breaker may have tripped
+	// while the job sat in its queue (or healed — a queued probe keeps its
+	// token).
+	if gpu && !forceCPU && !q.probe && d.breaker != nil {
+		ok, probe := d.breaker.admit(proberOf(d))
 		switch {
 		case ok:
 			q.probe = probe
+		case s.shouldRequeue(d):
+			return core.Report{}, errRequeued
 		case pol.Fallback == core.FallbackCPUOnly:
 			forceCPU = true
 		default:
@@ -311,7 +352,7 @@ func (s *Server) policyLoop(ctx context.Context, q *queued, scope *trace.Scope) 
 		}
 	}
 	if forceCPU {
-		return s.fallback(ctx, q, scope, q.job.Alg)
+		return s.fallback(ctx, d, q, scope, q.job.Alg)
 	}
 
 	attempts := 1 + pol.MaxRetries
@@ -327,10 +368,10 @@ func (s *Server) policyLoop(ctx context.Context, q *queued, scope *trace.Scope) 
 		}
 		var rep core.Report
 		var err, devErr error
-		if attempt == 1 && pol.HedgeSet && gpu && s.autonomousBackend() && q.job.Fresh != nil {
-			rep, err, devErr = s.hedgedAttempt(ctx, q, scope, alg)
+		if attempt == 1 && pol.HedgeSet && gpu && d.auto && q.job.Fresh != nil {
+			rep, err, devErr = s.hedgedAttempt(ctx, d, q, scope, alg)
 		} else {
-			rep, err = s.runAttempt(ctx, q, scope, alg, q.job.Strategy, attempt, "attempt")
+			rep, err = s.runAttempt(ctx, d, q, scope, alg, q.job.Strategy, attempt, "attempt")
 			devErr = err
 			if err == nil {
 				q.h.resultAlg = alg
@@ -340,11 +381,11 @@ func (s *Server) policyLoop(ctx context.Context, q *queued, scope *trace.Scope) 
 		if gpu {
 			switch {
 			case devErr == nil:
-				s.feedBreaker(q, verdictSuccess)
+				s.feedBreaker(d, q, verdictSuccess)
 			case errors.Is(devErr, dcerr.ErrDeviceFault):
-				s.feedBreaker(q, verdictFault)
+				s.feedBreaker(d, q, verdictFault)
 			default:
-				s.feedBreaker(q, verdictAbandon)
+				s.feedBreaker(d, q, verdictAbandon)
 			}
 		}
 		if err == nil {
@@ -369,7 +410,7 @@ func (s *Server) policyLoop(ctx context.Context, q *queued, scope *trace.Scope) 
 		if ferr != nil {
 			return lastRep, fmt.Errorf("serve: job %d fallback: fresh instance: %w", q.h.ID, ferr)
 		}
-		rep, err := s.fallback(ctx, q, scope, alg)
+		rep, err := s.fallback(ctx, d, q, scope, alg)
 		if err != nil {
 			return rep, fmt.Errorf("serve: job %d: CPU fallback failed after %w (device: %w): %w",
 				q.h.ID, dcerr.ErrRetriesExhausted, lastErr, err)
@@ -383,12 +424,12 @@ func (s *Server) policyLoop(ctx context.Context, q *queued, scope *trace.Scope) 
 	return lastRep, lastErr
 }
 
-// fallback runs the job breadth-first on the CPU engine — the degradation
-// path — and marks the handle when it delivers the result.
-func (s *Server) fallback(ctx context.Context, q *queued, scope *trace.Scope, alg core.Alg) (core.Report, error) {
+// fallback runs the job breadth-first on the device's CPU engine — the
+// degradation path — and marks the handle when it delivers the result.
+func (s *Server) fallback(ctx context.Context, d *device, q *queued, scope *trace.Scope, alg core.Alg) (core.Report, error) {
 	s.noteFallback()
 	q.h.attempts++
-	rep, err := s.runAttempt(ctx, q, scope, alg, BreadthFirstCPU, q.h.attempts, "fallback")
+	rep, err := s.runAttempt(ctx, d, q, scope, alg, BreadthFirstCPU, q.h.attempts, "fallback")
 	if err == nil {
 		q.h.fellBack = true
 		q.h.resultAlg = alg
@@ -407,7 +448,7 @@ var errHedgeUnresolved = errors.New("serve: hedge won before the device path set
 // registered on the server's job WaitGroup, so Close still waits for every
 // executor to come home. devErr is the device path's own verdict (for the
 // breaker), or errHedgeUnresolved when the winner outran it.
-func (s *Server) hedgedAttempt(ctx context.Context, q *queued, scope *trace.Scope, alg core.Alg) (rep core.Report, err, devErr error) {
+func (s *Server) hedgedAttempt(ctx context.Context, d *device, q *queued, scope *trace.Scope, alg core.Alg) (rep core.Report, err, devErr error) {
 	type outcome struct {
 		rep    core.Report
 		err    error
@@ -421,7 +462,7 @@ func (s *Server) hedgedAttempt(ctx context.Context, q *queued, scope *trace.Scop
 
 	resc := make(chan outcome, 2)
 	go func() {
-		r, e := s.runAttempt(pctx, q, scope, alg, q.job.Strategy, 1, "attempt")
+		r, e := s.runAttempt(pctx, d, q, scope, alg, q.job.Strategy, 1, "attempt")
 		resc <- outcome{r, e, alg, false}
 	}()
 	inFlight := 1
@@ -453,7 +494,7 @@ func (s *Server) hedgedAttempt(ctx context.Context, q *queued, scope *trace.Scop
 			}
 			inFlight++
 			go func() {
-				r, e := s.runAttempt(hctx, q, scope, halg, BreadthFirstCPU, 1, "hedge")
+				r, e := s.runAttempt(hctx, d, q, scope, halg, BreadthFirstCPU, 1, "hedge")
 				resc <- outcome{r, e, halg, true}
 			}()
 		}
@@ -486,17 +527,17 @@ func (s *Server) hedgedAttempt(ctx context.Context, q *queued, scope *trace.Scop
 	}
 }
 
-// runAttempt executes one attempt of a job under a given strategy. The
-// job's options are prefixed with the server's instrumentation: the metrics
-// registry, and a backend wrapper composing the fault injector (innermost,
-// so injected faults pass through tracing and metering like real ones) with
-// the per-job trace scope. Being prefixes, a job's own WithMetrics or
-// WithBackendWrapper still wins — and then opts out of server-side fault
-// injection and tracing for that job.
-func (s *Server) runAttempt(ctx context.Context, q *queued, scope *trace.Scope, alg core.Alg,
+// runAttempt executes one attempt of a job under a given strategy on the
+// job's placed device. The job's options are prefixed with the server's
+// instrumentation: the metrics registry, and a backend wrapper composing the
+// device's fault injector (innermost, so injected faults pass through
+// tracing and metering like real ones) with the per-job trace scope. Being
+// prefixes, a job's own WithMetrics or WithBackendWrapper still wins — and
+// then opts out of server-side fault injection and tracing for that job.
+func (s *Server) runAttempt(ctx context.Context, d *device, q *queued, scope *trace.Scope, alg core.Alg,
 	strat Strategy, attempt int, kind string) (core.Report, error) {
-	be := s.cfg.Backend
-	injector := s.cfg.Faults
+	be := d.be
+	injector := d.faults
 	opts := q.opts
 	if s.cfg.Metrics != nil || scope != nil || injector != nil {
 		pre := make([]core.Option, 0, 2)
@@ -531,7 +572,7 @@ func (s *Server) runAttempt(ctx context.Context, q *queued, scope *trace.Scope, 
 			verdict = "failed"
 		}
 		scope.Add(trace.Span{Unit: "attempt",
-			Label: fmt.Sprintf("job %d %s %d %s %s", q.h.ID, kind, attempt, strat, verdict),
+			Label: fmt.Sprintf("job %d %s %d %s %s dev%d", q.h.ID, kind, attempt, strat, verdict, d.id),
 			Start: start, End: be.Now()})
 	}
 	return rep, err

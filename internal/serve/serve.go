@@ -1,32 +1,35 @@
 // Package serve multiplexes many concurrent divide-and-conquer jobs over a
-// single shared backend. The paper's executors (Algorithms 3/8, §5) run one
-// job to completion on a dedicated HPU; a production deployment instead sees
-// a stream of jobs of mixed sizes competing for the same CPU+GPU pair, so
-// the serving layer adds what the single-run model leaves out: bounded
-// admission with backpressure, per-job context cancellation and deadlines,
-// and a weighted-fair dispatch order so one large mergesort cannot starve a
-// queue of small scans.
+// pool of shared backends. The paper's executors (Algorithms 3/8, §5) run
+// one job to completion on a dedicated HPU; a production deployment instead
+// sees a stream of jobs of mixed sizes competing for one or more CPU+GPU
+// pairs, so the serving layer adds what the single-run model leaves out:
+// bounded admission with backpressure, per-job context cancellation and
+// deadlines, a weighted-fair dispatch order so one large mergesort cannot
+// starve a queue of small scans, and load-aware placement across devices.
 //
 // Admission is a bounded queue: Submit returns an error wrapping
 // dcerr.ErrQueueFull once QueueDepth jobs are waiting, pushing load shedding
 // to the caller. Dispatch is stride scheduling over the job weights set with
 // core.WithPriority: each queued job receives a virtual finish tag
-// pass + 1/weight, and the dispatcher always starts the smallest tag, which
+// pass + 1/weight, and the dispatcher always places the smallest tag, which
 // degrades to strict FIFO when all weights are equal and approaches
 // weight-proportional service under contention while remaining
-// starvation-free. Execution itself reuses the context-aware executors of
-// internal/core, so a canceled job stops at its next level boundary and
-// yields a partial core.Report.
+// starvation-free. Placement is join-shortest-modeled-work (or plain JSQ;
+// see Placement) over the pool's devices, each with its own dispatch FIFO,
+// circuit breaker and drain state (pool.go). Execution itself reuses the
+// context-aware executors of internal/core, so a canceled job stops at its
+// next level boundary and yields a partial core.Report.
 //
 // Backends that are not core.Autonomous (the virtual-time simulator, whose
 // event engine is single-goroutine) are driven with at most one job in
-// flight; real-goroutine backends interleave up to MaxInFlight jobs, whose
-// level batches then compete for the backend's worker pools.
+// flight each; real-goroutine backends interleave up to MaxInFlight jobs,
+// whose level batches then compete for the backend's worker pools.
 package serve
 
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -103,18 +106,24 @@ type Job struct {
 
 // Config describes a Server.
 //
-// Deprecated: construct servers with New(backend, options...); Config
-// remains only as the resolved form of the options and for
-// NewFromConfig-based callers.
+// Deprecated: construct servers with New(backend, options...) or
+// NewPool(backends, options...); Config remains only as the resolved form
+// of the options and for NewFromConfig-based callers.
 type Config struct {
-	// Backend is the shared execution platform. Required.
+	// Backend is the shared execution platform — device 0 of the pool.
+	// Required unless Pool is set.
 	Backend core.Backend
+	// Pool, when set, is the full device list; Backend defaults to Pool[0].
+	Pool []core.Backend
+	// Placement selects the pool placement policy (PlaceModeledWork, the
+	// default, or PlaceJSQ).
+	Placement Placement
 	// QueueDepth bounds the admission queue; Submit rejects with
 	// ErrQueueFull beyond it. Defaults to 64.
 	QueueDepth int
-	// MaxInFlight bounds how many jobs execute concurrently on the backend.
-	// Defaults to 4. Clamped to 1 when the backend is not core.Autonomous
-	// (the single-goroutine simulator).
+	// MaxInFlight bounds how many jobs execute concurrently on each device.
+	// Defaults to 4. Clamped to 1 per device whose backend is not
+	// core.Autonomous (the single-goroutine simulator).
 	MaxInFlight int
 	// Trace, if non-nil, records one "queue" and one "job" span per job,
 	// plus the job's batches and transfers through a per-job scope.
@@ -133,18 +142,32 @@ type Config struct {
 	// FusedBytesCap bounds the summed per-job transfer sizes (GPUBytes of
 	// the whole instance) one fused execution may carry; 0 means unbounded.
 	FusedBytesCap int64
-	// BreakerThreshold enables the per-backend circuit breaker: after this
-	// many consecutive device-fault attempts the GPU path is shed
-	// (ErrDegraded, or the CPU path for jobs with a CPUOnly fallback) until
-	// a cooldown probe succeeds. 0 (the default) disables the breaker.
+	// BreakerThreshold enables the per-device circuit breakers: after this
+	// many consecutive device-fault attempts on one device its GPU path is
+	// shed (jobs reroute to other devices, fall back to the CPU path, or
+	// fail with ErrDegraded) until a cooldown probe succeeds. 0 (the
+	// default) disables the breakers.
 	BreakerThreshold int
 	// BreakerCooldown is how long an open breaker sheds before admitting a
 	// half-open probe job. Defaults to 100ms when the breaker is enabled.
 	BreakerCooldown time.Duration
+	// AutoDrain lets a device whose breaker trips drain itself out of the
+	// pool (unless it is the last active device): its queued jobs rebalance
+	// to the global queue and the device is removed once idle.
+	AutoDrain bool
+	// SplitBytes, when positive, lets an otherwise-idle device split an
+	// AdvancedHybrid job whose whole-instance transfer size is at least this
+	// many bytes across its internal GPUs (core.RunMultiGPUCtx), when its
+	// backend is a core.MultiGPUBackend with two or more devices. 0 (the
+	// default) never splits.
+	SplitBytes int64
 	// Faults, if non-nil, wraps every attempt's backend with the fault
 	// injector — the chaos-testing hook (see internal/faults). Fused
 	// executions and jobs carrying their own WithBackendWrapper bypass it.
 	Faults *faults.Injector
+	// DeviceFaults overrides Faults per device id, so a chaos run can make
+	// one pool member flaky while the rest stay healthy.
+	DeviceFaults map[int]*faults.Injector
 }
 
 // Stats is a point-in-time snapshot of the server's aggregate counters.
@@ -157,8 +180,9 @@ type Stats struct {
 	// and cancellations while still queued), and runs whose executor
 	// returned any other error.
 	Completed, Canceled, Failed uint64
-	// QueueDepth and InFlight are current occupancies; MaxQueueDepth is the
-	// high-water mark of the admission queue.
+	// QueueDepth and InFlight are current occupancies (global queue plus
+	// per-device queues, and all devices' execution slots); MaxQueueDepth is
+	// the high-water mark of the admission queue.
 	QueueDepth, InFlight, MaxQueueDepth int
 	// AvgQueueWaitSeconds is the mean wall-clock time dispatched jobs spent
 	// queued.
@@ -173,15 +197,22 @@ type Stats struct {
 	// Retries counts re-executed attempts after device faults; Fallbacks
 	// counts CPU fallback executions (including breaker-shed jobs admitted
 	// straight to the CPU path); HedgeWins counts jobs whose CPU hedge beat
-	// the device path; Degraded counts GPU-bound jobs shed by the open
-	// circuit breaker (rejected at Submit or failed at dispatch with
-	// ErrDegraded).
+	// the device path; Degraded counts GPU-bound jobs shed by open circuit
+	// breakers (rejected at Submit or failed at dispatch with ErrDegraded).
 	Retries, Fallbacks, HedgeWins, Degraded uint64
-	// BreakerTrips counts closed/half-open → open transitions;
-	// BreakerState is the current state (BreakerClosed, BreakerHalfOpen,
-	// BreakerOpen). Both are zero when the breaker is disabled.
+	// BreakerTrips counts closed/half-open → open transitions summed over
+	// all devices; BreakerState is the worst current state across active
+	// devices (BreakerClosed, BreakerHalfOpen, BreakerOpen). Both are zero
+	// when the breakers are disabled.
 	BreakerTrips uint64
 	BreakerState int
+	// Rebalanced counts jobs moved off a tripped or auto-draining device
+	// back to the global queue (re-placed elsewhere, fairness order
+	// intact); Drains counts completed device drains.
+	Rebalanced, Drains uint64
+	// Devices snapshots each pool member, indexed by device id (including
+	// removed ones, whose ids stay reserved).
+	Devices []DeviceStats
 }
 
 // Handle tracks one submitted job.
@@ -219,8 +250,16 @@ func (h *Handle) Err() error {
 
 // Wait blocks until the job finishes or ctx is canceled. A ctx cancellation
 // abandons only the wait — the job keeps running under its own submission
-// context — and returns ctx's cause.
+// context — and returns ctx's cause. A finished job always wins: once Done
+// is closed, Wait returns the job's outcome even if ctx is already expired,
+// so the job's own error (including ErrDegraded and ErrCanceled from the
+// submission context) takes precedence over the wait context's.
 func (h *Handle) Wait(ctx context.Context) (core.Report, error) {
+	select {
+	case <-h.done:
+		return h.rep, h.err
+	default:
+	}
 	select {
 	case <-h.done:
 		return h.rep, h.err
@@ -290,16 +329,21 @@ type queued struct {
 	wallIn  time.Time
 	// fuseKey is the fusion compatibility class ("" when the job cannot
 	// fuse); gpuBytes is the job's whole-instance transfer size, used
-	// against FusedBytesCap. Both are computed at admission.
+	// against FusedBytesCap and SplitBytes; cost is the modeled work used by
+	// PlaceModeledWork. All computed at admission.
 	fuseKey  string
 	gpuBytes int64
-	// pol is the job's reliability policy; probe marks it as the circuit
+	cost     float64
+	// pol is the job's reliability policy; probe marks it as a circuit
 	// breaker's half-open probe (it must report its verdict exactly once);
-	// forceCPU routes it straight to the CPU fallback path (admitted while
-	// the breaker was open).
+	// forceCPU routes it straight to the CPU fallback path (admitted or
+	// placed while every breaker was open); multi marks an oversized
+	// AdvancedHybrid job placed on an idle multi-GPU device, to be striped
+	// across its internal devices.
 	pol      core.Reliability
 	probe    bool
 	forceCPU bool
+	multi    bool
 }
 
 // jobHeap orders queued jobs by (virtual finish tag, arrival), the stride
@@ -324,14 +368,15 @@ func (q *jobHeap) Pop() any {
 	return e
 }
 
-// Server schedules concurrent jobs over one shared backend.
+// Server schedules concurrent jobs over a pool of shared backends.
 type Server struct {
 	cfg Config
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    jobHeap
-	pass     float64 // stride scheduling global pass (advances on dispatch)
+	devices  []*device
+	pass     float64 // stride scheduling global pass (advances on placement)
 	seq      uint64
 	inflight int
 	closed   bool
@@ -341,11 +386,11 @@ type Server struct {
 
 	dispatcherDone chan struct{}
 	jobs           sync.WaitGroup
+	runners        sync.WaitGroup
 
-	// breaker is nil unless Config.BreakerThreshold > 0. The reliability
-	// counters are atomics because the breaker's callbacks fire under its
-	// own lock, where taking mu would invert the Submit lock order.
-	breaker                          *breaker
+	// Reliability counters are atomics because the breaker callbacks fire
+	// under a breaker's own lock, where taking mu would invert the
+	// placement lock order (mu → breaker.mu).
 	nRetries, nFallbacks, nHedgeWins atomic.Uint64
 	nDegraded, nTrips                atomic.Uint64
 
@@ -366,6 +411,7 @@ type Server struct {
 	mHedgeWins, mDegraded  *metrics.Counter
 	mBreakerTrips          *metrics.Counter
 	mBreakerState          *metrics.Gauge
+	mRebalances, mDrains   *metrics.Counter
 	lastFusionRatio        float64                    // last value pushed to mFusionRatio, under mu
 	waitHists, turnHists   map[int]*metrics.Histogram // keyed by priority, under mu
 }
@@ -384,15 +430,40 @@ func New(be core.Backend, opts ...Option) (*Server, error) {
 	return NewFromConfig(cfg)
 }
 
+// NewPool starts a server sharding jobs across a pool of backends — one
+// device per backend, each with its own dispatch queue, circuit breaker and
+// drain state — placed by the policy set with WithPlacement. The pool can
+// grow and shrink at runtime with AddBackend and DrainBackend.
+func NewPool(pool []core.Backend, opts ...Option) (*Server, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("serve: empty backend pool: %w", dcerr.ErrBadParam)
+	}
+	cfg := Config{Pool: pool}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return NewFromConfig(cfg)
+}
+
 // NewFromConfig starts a server from a resolved Config.
 //
-// Deprecated: use New with functional options.
+// Deprecated: use New or NewPool with functional options.
 func NewFromConfig(cfg Config) (*Server, error) {
-	if cfg.Backend == nil {
-		return nil, fmt.Errorf("serve: nil backend: %w", dcerr.ErrBadParam)
+	if len(cfg.Pool) == 0 {
+		cfg.Pool = []core.Backend{cfg.Backend}
 	}
-	if c, ok := cfg.Backend.(core.Closer); ok && c.Closed() {
-		return nil, fmt.Errorf("serve: %w", dcerr.ErrBackendClosed)
+	if cfg.Backend == nil {
+		cfg.Backend = cfg.Pool[0]
+	}
+	for i, be := range cfg.Pool {
+		if be == nil {
+			return nil, fmt.Errorf("serve: nil backend (device %d): %w", i, dcerr.ErrBadParam)
+		}
+		if c, ok := be.(core.Closer); ok && c.Closed() {
+			return nil, fmt.Errorf("serve: device %d: %w", i, dcerr.ErrBackendClosed)
+		}
 	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 64
@@ -411,6 +482,9 @@ func NewFromConfig(cfg Config) (*Server, error) {
 	}
 	if cfg.FusedBytesCap < 0 {
 		return nil, fmt.Errorf("serve: FusedBytesCap %d: %w", cfg.FusedBytesCap, dcerr.ErrBadParam)
+	}
+	if cfg.SplitBytes < 0 {
+		return nil, fmt.Errorf("serve: SplitBytes %d: %w", cfg.SplitBytes, dcerr.ErrBadParam)
 	}
 	if cfg.BreakerThreshold < 0 || cfg.BreakerCooldown < 0 {
 		return nil, fmt.Errorf("serve: breaker threshold %d cooldown %v: %w",
@@ -442,29 +516,27 @@ func NewFromConfig(cfg Config) (*Server, error) {
 		s.mDegraded = reg.Counter(MetricDegraded)
 		s.mBreakerTrips = reg.Counter(MetricBreakerTrips)
 		s.mBreakerState = reg.Gauge(MetricBreakerState)
+		s.mRebalances = reg.Counter(MetricRebalances)
+		s.mDrains = reg.Counter(MetricDrains)
 		s.waitHists = map[int]*metrics.Histogram{}
 		s.turnHists = map[int]*metrics.Histogram{}
 	}
-	if cfg.BreakerThreshold > 0 {
-		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
-			func(st int64) { s.mBreakerState.Set(st) },
-			func() { s.nTrips.Add(1); s.mBreakerTrips.Inc() })
-	}
-	if a, ok := cfg.Backend.(core.Autonomous); !ok || !a.Autonomous() {
-		// The event-loop simulator must never be driven from two
-		// goroutines at once.
-		s.cfg.MaxInFlight = 1
-	}
 	s.cond = sync.NewCond(&s.mu)
+	for i, be := range cfg.Pool {
+		d := s.newDevice(i, be)
+		s.devices = append(s.devices, d)
+		s.runners.Add(1)
+		go s.deviceLoop(d)
+	}
 	go s.dispatch()
 	return s, nil
 }
 
 // Submit enqueues a job. It returns immediately with a Handle, or an error
 // wrapping dcerr.ErrQueueFull when the admission queue is at capacity,
-// dcerr.ErrServerClosed after Close, dcerr.ErrDegraded when the circuit
-// breaker is shedding GPU-bound work (unless the job carries a CPUOnly
-// fallback, which is admitted on the CPU path instead), or
+// dcerr.ErrServerClosed after Close, dcerr.ErrDegraded when every device's
+// circuit breaker is shedding GPU-bound work (unless the job carries a
+// CPUOnly fallback, which is admitted on the CPU path instead), or
 // dcerr.ErrBadParam for an invalid job — including a reliability policy
 // that can re-execute (WithRetry, WithHedge, WithFallback) on a job with no
 // Fresh factory. ctx governs the job's whole lifetime: canceling it (or
@@ -489,27 +561,28 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 		return nil, fmt.Errorf("serve: reliability policy re-executes but Job.Fresh is nil: %w", dcerr.ErrBadParam)
 	}
 	weight := rc.Priority
-	fuseKey, gpuBytes := s.fuseClass(job, rc)
+	fuseKey := s.fuseClass(job, rc)
+	var gpuBytes int64
+	if galg, ok := job.Alg.(core.GPUAlg); ok {
+		gpuBytes = galg.GPUBytes(0, 0, 1)
+	}
+	cost := modeledCost(job.Alg)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("serve: %w", dcerr.ErrServerClosed)
 	}
-	if len(s.queue) >= s.cfg.QueueDepth {
+	if qd := s.totalQueuedLocked(); qd >= s.cfg.QueueDepth {
 		s.stats.Rejected++
 		s.mRejected.Inc()
-		return nil, fmt.Errorf("serve: %d jobs queued: %w", len(s.queue), dcerr.ErrQueueFull)
+		return nil, fmt.Errorf("serve: %d jobs queued: %w", qd, dcerr.ErrQueueFull)
 	}
-	var probe, forceCPU bool
-	if gpuBound(job.Strategy) && s.breaker != nil {
-		ok, pr := s.breaker.admit(s.prober())
-		switch {
-		case ok:
-			probe = pr
-		case pol.Fallback == core.FallbackCPUOnly:
+	var forceCPU bool
+	if gpuBound(job.Strategy) && s.cfg.BreakerThreshold > 0 && !s.anyHealthyGPULocked() {
+		if pol.Fallback == core.FallbackCPUOnly {
 			forceCPU = true
-		default:
+		} else {
 			s.noteDegraded()
 			return nil, fmt.Errorf("serve: GPU path shed by open circuit breaker: %w", dcerr.ErrDegraded)
 		}
@@ -527,8 +600,8 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 		wallIn:   time.Now(),
 		fuseKey:  fuseKey,
 		gpuBytes: gpuBytes,
+		cost:     cost,
 		pol:      pol,
-		probe:    probe,
 		forceCPU: forceCPU,
 	}
 	heap.Push(&s.queue, q)
@@ -542,10 +615,11 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 	}
 	s.stats.Submitted++
 	s.mSubmitted.Inc()
-	s.mQueueDepth.Set(int64(len(s.queue)))
-	s.mQueueMax.Max(int64(len(s.queue)))
-	if len(s.queue) > s.stats.MaxQueueDepth {
-		s.stats.MaxQueueDepth = len(s.queue)
+	qd := s.totalQueuedLocked()
+	s.mQueueDepth.Set(int64(qd))
+	s.mQueueMax.Max(int64(qd))
+	if qd > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = qd
 	}
 	s.cond.Signal()
 	return h, nil
@@ -574,7 +648,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.QueueDepth = len(s.queue)
+	st.QueueDepth = s.totalQueuedLocked()
 	st.InFlight = s.inflight
 	if s.waitN > 0 {
 		st.AvgQueueWaitSeconds = s.waitSum / float64(s.waitN)
@@ -584,8 +658,24 @@ func (s *Server) Stats() Stats {
 	st.HedgeWins = s.nHedgeWins.Load()
 	st.Degraded = s.nDegraded.Load()
 	st.BreakerTrips = s.nTrips.Load()
-	if s.breaker != nil {
-		st.BreakerState = s.breaker.stateNow()
+	st.Devices = make([]DeviceStats, len(s.devices))
+	for i, d := range s.devices {
+		ds := DeviceStats{
+			ID:         d.id,
+			QueueDepth: len(d.queue),
+			InFlight:   d.inflight,
+			Placements: d.placements,
+			Draining:   d.draining,
+			Removed:    d.removed,
+		}
+		if d.breaker != nil {
+			ds.BreakerState = d.breaker.stateNow()
+			ds.BreakerTrips = d.trips.Load()
+			if !d.removed && ds.BreakerState > st.BreakerState {
+				st.BreakerState = ds.BreakerState
+			}
+		}
+		st.Devices[i] = ds
 	}
 	return st
 }
@@ -605,42 +695,50 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	<-s.dispatcherDone
 	s.jobs.Wait()
+	s.mu.Lock()
+	for _, d := range s.devices {
+		d.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.runners.Wait()
 	return nil
 }
 
-// dispatch is the scheduler loop: it starts the queued job with the
-// smallest virtual finish tag whenever an in-flight slot is free.
+// dispatch is the scheduler loop: whenever a device can take work, it places
+// the queued job with the smallest virtual finish tag on the best-scoring
+// device (pool.go).
 func (s *Server) dispatch() {
 	defer close(s.dispatcherDone)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		for len(s.queue) > 0 && s.inflight < s.cfg.MaxInFlight {
-			q := heap.Pop(&s.queue).(*queued)
-			if q.vfinish > s.pass {
-				s.pass = q.vfinish
-			}
-			s.inflight++
-			s.mQueueDepth.Set(int64(len(s.queue)))
-			s.mInFlight.Set(int64(s.inflight))
-			s.jobs.Add(1)
-			go s.run(q)
+		for len(s.queue) > 0 && s.placeHeadLocked() {
 		}
 		if s.closed && len(s.queue) == 0 {
+			for _, d := range s.devices {
+				d.cond.Broadcast()
+			}
 			return
 		}
 		s.cond.Wait()
 	}
 }
 
-// run executes one dispatched job and settles its handle. A fusable job
-// first tries to absorb same-kind queued companions into one fused
-// execution (see fusion.go); the single-job path below is both the normal
-// case and the fusion-declined fallback.
-func (s *Server) run(q *queued) {
+// run executes one dispatched job on its placed device and settles its
+// handle. A fusable job first tries to absorb same-kind queued companions
+// into one fused execution (see fusion.go); the single-job path below is
+// both the normal case and the fusion-declined fallback.
+func (s *Server) run(d *device, q *queued) {
 	defer s.jobs.Done()
-	if q.fuseKey != "" && s.runFused(q) {
+	if q.fuseKey != "" && s.runFused(d, q) {
 		return
+	}
+	if s.cfg.SplitBytes > 0 && q.job.Strategy == AdvancedHybrid && q.gpuBytes >= s.cfg.SplitBytes {
+		if mbe, ok := d.be.(core.MultiGPUBackend); ok && len(mbe.GPUs()) >= 2 {
+			s.mu.Lock()
+			q.multi = d.inflight == 1 && len(d.queue) == 0
+			s.mu.Unlock()
+		}
 	}
 	q.h.queueWait = time.Since(q.wallIn).Seconds()
 
@@ -648,23 +746,44 @@ func (s *Server) run(q *queued) {
 	var err error
 	if q.ctx.Err() != nil {
 		// Canceled while still queued: never touches the backend. A probe
-		// token held since admission is released without a verdict.
-		s.feedBreaker(q, verdictAbandon)
+		// token held since placement is released without a verdict.
+		s.feedBreaker(d, q, verdictAbandon)
 		rep = core.Report{Algorithm: q.job.Alg.Name(), Strategy: q.job.Strategy.String(), Partial: true}
 		err = fmt.Errorf("serve: job %d canceled while queued: %w", q.h.ID, dcerr.ErrCanceled)
 	} else {
-		rep, err = s.executeReliable(q)
+		rep, err = s.executeReliable(d, q)
+	}
+
+	if errors.Is(err, errRequeued) {
+		// The device's breaker tripped while the job waited in its FIFO and
+		// another device can still serve the GPU path: put the job back in
+		// the global heap (fairness tag intact) instead of degrading it.
+		s.mu.Lock()
+		if !s.closed {
+			q.probe = false
+			q.multi = false
+			heap.Push(&s.queue, q)
+			s.stats.Rebalanced++
+			s.mRebalances.Inc()
+			s.finishJobLocked(d, q)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		// Closing: the dispatcher may already be gone; shed instead.
+		s.noteDegraded()
+		rep = core.Report{Algorithm: q.job.Alg.Name(), Strategy: q.job.Strategy.String(), Partial: true}
+		err = fmt.Errorf("serve: job %d: GPU path shed at dispatch: %w", q.h.ID, dcerr.ErrDegraded)
 	}
 
 	q.h.rep, q.h.err = rep, err
 	close(q.h.done)
 
 	s.mu.Lock()
-	s.inflight--
-	s.mInFlight.Set(int64(s.inflight))
+	s.finishJobLocked(d, q)
 	s.accountFinishedLocked(q, rep, err)
 	s.updateFusionRatioLocked()
-	s.cond.Signal()
 	s.mu.Unlock()
 }
 
@@ -705,6 +824,11 @@ func (s *Server) runStrategy(ctx context.Context, be core.Backend, alg core.Alg,
 		case BasicHybrid:
 			return core.RunBasicHybridCtx(ctx, be, galg, q.job.Crossover, opts...)
 		case AdvancedHybrid:
+			if q.multi {
+				if mbe, ok := be.(core.MultiGPUBackend); ok && len(mbe.GPUs()) >= 2 {
+					return core.RunMultiGPUCtx(ctx, mbe, galg, q.job.Alpha, q.job.Y, opts...)
+				}
+			}
 			return core.RunAdvancedHybridCtx(ctx, be, galg, q.job.Alpha, q.job.Y, opts...)
 		default:
 			return core.RunGPUOnlyCtx(ctx, be, galg, opts...)

@@ -1,7 +1,6 @@
 package hybriddc
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"time"
@@ -84,11 +83,13 @@ func WithTrace(w io.Writer) Option {
 	}
 }
 
-// Serving layer: a multi-job scheduler over one shared backend.
+// Serving layer: a multi-job scheduler over a backend pool.
 type (
-	// Server multiplexes concurrent D&C jobs over a single backend with
-	// bounded admission (ErrQueueFull), per-job context cancellation, and
-	// weighted-fair dispatch. See internal/serve for the full semantics.
+	// Server multiplexes concurrent D&C jobs over a pool of one or more
+	// backends with bounded admission (ErrQueueFull), per-job context
+	// cancellation, weighted-fair dispatch, and load-aware placement.
+	// AddBackend and DrainBackend change the pool at runtime. See
+	// internal/serve for the full semantics.
 	Server = serve.Server
 	// ServerOption configures a Server at construction (WithQueueDepth,
 	// WithMaxInFlight, WithServerMetrics, WithServerRecorder,
@@ -123,6 +124,20 @@ type (
 	ServerStats = serve.Stats
 	// JobStrategy selects a job's executor.
 	JobStrategy = serve.Strategy
+	// PlacementPolicy selects how a pooled Server places the next job
+	// across its devices (WithPlacement).
+	PlacementPolicy = serve.Placement
+	// DeviceStats is one device's slice of a ServerStats snapshot.
+	DeviceStats = serve.DeviceStats
+)
+
+// Placement policies for WithPlacement.
+const (
+	// PlaceModeledWork scores each device by the modeled sequential cost
+	// of its backlog and places on the lightest — the default.
+	PlaceModeledWork = serve.PlaceModeledWork
+	// PlaceJSQ is join-shortest-queue: occupancy alone.
+	PlaceJSQ = serve.PlaceJSQ
 )
 
 // Job strategies.
@@ -149,6 +164,19 @@ const (
 //	    hybriddc.WithServerMetrics(reg))
 func NewServer(be Backend, opts ...ServerOption) (*Server, error) {
 	return serve.New(be, opts...)
+}
+
+// NewServerPool starts a job server sharded across a pool of backends —
+// one dispatch queue, breaker, and fault domain per device — with
+// load-aware placement (WithPlacement) on top of the same weighted-fair
+// global schedule. The pool changes at runtime through Server.AddBackend
+// and Server.DrainBackend:
+//
+//	srv, err := hybriddc.NewServerPool([]hybriddc.Backend{be0, be1},
+//	    hybriddc.WithBreaker(3, time.Second),
+//	    hybriddc.WithAutoDrain())
+func NewServerPool(pool []Backend, opts ...ServerOption) (*Server, error) {
+	return serve.NewPool(pool, opts...)
 }
 
 // NewServerFromConfig starts a job server from a resolved ServerConfig.
@@ -216,6 +244,28 @@ func WithBreaker(threshold int, cooldown time.Duration) ServerOption {
 // injector — the chaos-testing hook exercised by `hpuserve --chaos`.
 func WithServerFaults(in *FaultInjector) ServerOption { return serve.WithFaults(in) }
 
+// WithDeviceFaults overrides WithServerFaults for one pool device, so a
+// chaos run can make a single pool member flaky while the rest stay
+// healthy — the setup that exercises per-device breaker isolation.
+func WithDeviceFaults(dev int, in *FaultInjector) ServerOption {
+	return serve.WithDeviceFaults(dev, in)
+}
+
+// WithPlacement selects the pool placement policy: PlaceModeledWork (the
+// default) or PlaceJSQ. With a single backend the policy is moot.
+func WithPlacement(p PlacementPolicy) ServerOption { return serve.WithPlacement(p) }
+
+// WithAutoDrain lets a device whose circuit breaker trips drain itself out
+// of the pool: queued jobs rebalance to healthier devices, in-flight work
+// finishes, and the device is removed. The last active device never
+// auto-drains. Off by default; meaningful only with WithBreaker.
+func WithAutoDrain() ServerOption { return serve.WithAutoDrain() }
+
+// WithSplitOversized lets an AdvancedHybrid job whose whole-instance
+// transfer size is at least bytes stripe across an idle multi-GPU device's
+// internal GPUs via RunMultiGPUCtx. 0, the default, never splits.
+func WithSplitOversized(bytes int64) ServerOption { return serve.WithSplitOversized(bytes) }
+
 // Per-job reliability policies, accepted (like any Option) by JobSpec.Opts
 // or Server.Submit. All re-executing policies require JobSpec.Fresh.
 var (
@@ -268,14 +318,6 @@ type (
 // NewFaultInjector validates cfg and returns a deterministic fault
 // injector for chaos testing.
 func NewFaultInjector(cfg FaultsConfig) (*FaultInjector, error) { return faults.New(cfg) }
-
-// Submit submits the job and returns its handle.
-//
-// Deprecated: call (*Server).Submit directly; this free function remains
-// only for source compatibility.
-func Submit(ctx context.Context, s *Server, job JobSpec, opts ...Option) (*JobHandle, error) {
-	return s.Submit(ctx, job, opts...)
-}
 
 // TraceRecorder collects execution spans (see ServerConfig.Trace and the
 // internal/trace package).
