@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke chaos-smoke check bench bench-serve bench-cpu bench-multi
+.PHONY: all build vet test race smoke obs-smoke chaos-smoke api-smoke check bench bench-serve bench-cpu bench-multi
 
 all: check
 
@@ -42,6 +42,16 @@ obs-smoke:
 chaos-smoke:
 	$(GO) run -race ./cmd/hpuserve --chaos --chaos-report CHAOS_report.json
 	$(GO) run -race ./cmd/hpuserve --chaos --chaos-devices 2 --chaos-fault-rate 0.4 --chaos-report CHAOS_pool_report.json
+
+# Remote-serving smoke over real TCP: boots the HTTP/JSON job API, drives 64
+# concurrent clients with a mixed mergesort/scan/sum workload (every result
+# verified bit-identical against a local reference), asserts overload
+# surfaces as 429 + Retry-After, streams /events for per-level progress,
+# scrapes /metrics, then SIGTERMs itself and asserts the drain refuses new
+# submissions while completing every in-flight job before the listener
+# closes.
+api-smoke:
+	$(GO) run ./cmd/hpuserve --api-smoke
 
 check: build vet race smoke
 

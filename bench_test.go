@@ -185,7 +185,10 @@ func runHybrid(b *testing.B, in []int32, opts ...core.Option) (float64, float64)
 	if err != nil {
 		b.Fatal(err)
 	}
-	seq := core.RunSequential(seqBe, seqS)
+	seq, err := core.RunSequentialCtx(context.Background(), seqBe, seqS)
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	be := hpu.MustSim(hpu.HPU1())
 	s, err := mergesort.New(in)
@@ -224,7 +227,11 @@ func BenchmarkAblationStrategies(b *testing.B) {
 	in := workload.Uniform(1<<benchLogN, 2)
 	seqBe := hpu.MustSim(hpu.HPU1())
 	seqS, _ := mergesort.New(in)
-	baseline := core.RunSequential(seqBe, seqS).Seconds
+	baselineRep, err := core.RunSequentialCtx(context.Background(), seqBe, seqS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := baselineRep.Seconds
 
 	strategies := []struct {
 		name string
@@ -233,7 +240,11 @@ func BenchmarkAblationStrategies(b *testing.B) {
 		{"bf-cpu", func() float64 {
 			be := hpu.MustSim(hpu.HPU1())
 			s, _ := mergesort.New(in)
-			return core.RunBreadthFirstCPU(be, s).Seconds
+			rep, err := core.RunBreadthFirstCPUCtx(context.Background(), be, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rep.Seconds
 		}},
 		{"basic-hybrid", func() float64 {
 			be := hpu.MustSim(hpu.HPU1())
@@ -290,7 +301,11 @@ func BenchmarkAblationDynamicSched(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			seqBe := hpu.MustSim(hpu.HPU1())
 			seqS, _ := mergesort.New(in)
-			seq := core.RunSequential(seqBe, seqS).Seconds
+			seqRep, err := core.RunSequentialCtx(context.Background(), seqBe, seqS)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seq := seqRep.Seconds
 			be := hpu.MustSim(hpu.HPU1())
 			s, _ := mergesort.New(in)
 			rep, err := sched.RunDynamicHybrid(be, s)
@@ -319,7 +334,9 @@ func BenchmarkNativeMergesort(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					core.RunBreadthFirstCPU(be, s)
+					if _, err := core.RunBreadthFirstCPUCtx(context.Background(), be, s); err != nil {
+						b.Fatal(err)
+					}
 					be.Close()
 					if !workload.IsSorted(s.Result()) {
 						b.Fatal("unsorted")

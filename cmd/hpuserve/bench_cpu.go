@@ -121,7 +121,9 @@ func runCPUBench(out, summary string, workers, reps int) error {
 			if err != nil {
 				return err
 			}
-			hybriddc.RunSequential(hybriddc.MustSim(hybriddc.HPU1()), ref)
+			if _, err := hybriddc.RunSequentialCtx(context.Background(), hybriddc.MustSim(hybriddc.HPU1()), ref); err != nil {
+				return err
+			}
 			want := tc.value(ref)
 
 			secs := make([]float64, len(modes))

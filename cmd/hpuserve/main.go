@@ -71,6 +71,12 @@ func main() {
 		chaosReportOut = flag.String("chaos-report", "CHAOS_report.json", "output path for the --chaos fault report ('' disables)")
 		chaosDevices   = flag.Int("chaos-devices", 1, "pool size for the --chaos soak; >= 2 injects faults into the highest-id device only and asserts breaker isolation, auto-drain, and zero healthy-device sheds")
 
+		apiMode    = flag.Bool("api", false, "serve the remote HTTP/JSON job API until SIGTERM (which drains gracefully) instead of generating load")
+		apiListen  = flag.String("api-listen", "127.0.0.1:8080", "listen address for --api")
+		apiSmoke   = flag.Bool("api-smoke", false, "run the remote-serving self-check: concurrent clients over real TCP, bit-exact results, observed 429 backpressure, /events progress, metrics, and SIGTERM drain; exit nonzero on any anomaly")
+		apiClients = flag.Int("api-clients", 64, "concurrent remote clients for --api-smoke")
+		apiJobs    = flag.Int("api-jobs", 2, "jobs per client for --api-smoke")
+
 		benchCPU        = flag.Bool("bench-cpu", false, "benchmark the breadth-first CPU executor (legacy pool vs stealing engine vs engine+grain), write BENCH_cpu.json, and exit")
 		benchCPUOut     = flag.String("bench-cpu-out", "BENCH_cpu.json", "output path for --bench-cpu results")
 		benchCPUSummary = flag.String("bench-cpu-summary", "", "also write --bench-cpu results as a markdown table to this path (for CI job summaries)")
@@ -78,6 +84,30 @@ func main() {
 	)
 	flag.Parse()
 
+	if *apiMode {
+		check(runAPI(apiConfig{
+			Addr:     *apiListen,
+			Workers:  *workers,
+			Lanes:    *lanes,
+			Devices:  *devices,
+			InFlight: *inflight,
+			QDepth:   *qdepth,
+		}))
+		return
+	}
+	if *apiSmoke {
+		// A deliberately small admission window so the client fleet provokes
+		// real 429 backpressure.
+		check(runAPISmoke(apiConfig{
+			Addr:     "127.0.0.1:0",
+			Workers:  *workers,
+			Lanes:    *lanes,
+			Devices:  *devices,
+			InFlight: 2,
+			QDepth:   4,
+		}, *apiClients, *apiJobs, *seed))
+		return
+	}
 	if *benchFusion {
 		check(runFusionBench(*benchOut))
 		return

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -64,7 +65,8 @@ func main() {
 	check(err)
 	s, err := hybriddc.NewMergesort(in)
 	check(err)
-	seq := hybriddc.RunSequential(be, s)
+	seq, err := hybriddc.RunSequentialCtx(context.Background(), be, s)
+	check(err)
 	verify(s.Result())
 	closeBe()
 	fmt.Printf("sequential 1-core: %.4fs\n", seq.Seconds)
@@ -88,7 +90,8 @@ func main() {
 	var rep hybriddc.Report
 	switch *strategy {
 	case "bf":
-		rep = hybriddc.RunBreadthFirstCPU(be, s)
+		rep, err = hybriddc.RunBreadthFirstCPUCtx(context.Background(), be, s)
+		check(err)
 	case "basic":
 		x := 10
 		if sim, ok := rawBe.(*hybriddc.Sim); ok {
@@ -99,7 +102,7 @@ func main() {
 		if x > *logN {
 			x = *logN
 		}
-		rep, err = hybriddc.RunBasicHybrid(be, s, x, hybriddc.Options{Coalesce: true})
+		rep, err = hybriddc.RunBasicHybridCtx(context.Background(), be, s, x, hybriddc.WithCoalesce())
 		check(err)
 	case "advanced":
 		a, yy := *alpha, *y
@@ -114,9 +117,8 @@ func main() {
 				if err != nil {
 					return 0, err
 				}
-				rep, err := hybriddc.RunAdvancedHybrid(tb, ts,
-					hybriddc.AdvancedParams{Alpha: ta, Y: ty, Split: -1},
-					hybriddc.Options{Coalesce: true})
+				rep, err := hybriddc.RunAdvancedHybridCtx(context.Background(), tb, ts,
+					ta, ty, hybriddc.WithCoalesce())
 				return rep.Seconds, err
 			}, hybriddc.TuneConfig{Levels: *logN})
 			check(err)
@@ -139,14 +141,13 @@ func main() {
 			yy = *logN / 2
 		}
 		fmt.Printf("advanced parameters: alpha=%.3f y=%d\n", a, yy)
-		rep, err = hybriddc.RunAdvancedHybrid(be, s,
-			hybriddc.AdvancedParams{Alpha: a, Y: yy, Split: -1},
-			hybriddc.Options{Coalesce: true})
+		rep, err = hybriddc.RunAdvancedHybridCtx(context.Background(), be, s,
+			a, yy, hybriddc.WithCoalesce())
 		check(err)
 	case "gpu":
 		ps, err2 := hybriddc.NewParallelMergesort(in)
 		check(err2)
-		rep, err = hybriddc.RunGPUOnly(be, ps, hybriddc.Options{})
+		rep, err = hybriddc.RunGPUOnlyCtx(context.Background(), be, ps)
 		check(err)
 		verify(ps.Result())
 		fmt.Printf("%s: total %.4fs (device %.4fs), speedup %.2fx (%.2fx sort-only)\n",

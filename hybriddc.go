@@ -29,9 +29,7 @@
 //	sorted := sorter.Result()
 //
 // The *Ctx executors accept a context for cancellation and functional
-// options (WithCoalesce, WithSplit, WithMetrics, WithSpanRecorder, ...);
-// the option-less RunSequential/RunAdvancedHybrid/... variants and their
-// Options/AdvancedParams structs are deprecated.
+// options (WithCoalesce, WithSplit, WithMetrics, WithSpanRecorder, ...).
 //
 // See the examples/ directory for complete programs, and internal/exp for
 // the drivers that regenerate every table and figure of the paper.
@@ -72,38 +70,8 @@ type (
 	Backend = core.Backend
 	// LevelExecutor is one processing unit of a Backend.
 	LevelExecutor = core.LevelExecutor
-	// Options are executor options.
-	//
-	// Deprecated: pass functional options (WithCoalesce, ...) to the *Ctx
-	// executors instead; Options is converted internally.
-	Options = core.Options
-	// AdvancedParams parameterize the §5.2 advanced work division.
-	//
-	// Deprecated: pass (alpha, y) and WithSplit to RunAdvancedHybridCtx
-	// instead; AdvancedParams is converted internally.
-	AdvancedParams = core.AdvancedParams
 	// Report summarizes one execution.
 	Report = core.Report
-)
-
-// Executors.
-var (
-	// RunSequential executes on a single CPU core (the speedup baseline).
-	RunSequential = core.RunSequential
-	// RunBreadthFirstCPU executes level-parallel on the CPU only.
-	RunBreadthFirstCPU = core.RunBreadthFirstCPU
-	// RunBasicHybrid executes the §5.1 basic work division.
-	//
-	// Deprecated: use RunBasicHybridCtx with functional options.
-	RunBasicHybrid = core.RunBasicHybrid
-	// RunAdvancedHybrid executes the §5.2 advanced work division (Alg 8).
-	//
-	// Deprecated: use RunAdvancedHybridCtx with (alpha, y) and WithSplit.
-	RunAdvancedHybrid = core.RunAdvancedHybrid
-	// RunGPUOnly executes everything on the device (the Fig 9 baseline).
-	//
-	// Deprecated: use RunGPUOnlyCtx with functional options.
-	RunGPUOnly = core.RunGPUOnly
 )
 
 // Platforms and backends.
@@ -270,12 +238,6 @@ func TuneGrain(trial func(grain int) (float64, error), cfg TuneGrainConfig) (Tun
 // division, with cancellation and functional options; use it with
 // NewMultiSim (or any backend exposing several devices through GPUs()).
 var RunMultiGPUCtx = core.RunMultiGPUCtx
-
-// RunAdvancedMultiGPU is the struct-parameter form of RunMultiGPUCtx.
-//
-// Deprecated: use RunMultiGPUCtx with (alpha, y) and functional options;
-// AdvancedParams/Options are converted internally.
-var RunAdvancedMultiGPU = core.RunAdvancedMultiGPU
 
 // MultiSim is a simulated HPU with several GPU devices sharing one link.
 type MultiSim = hpu.MultiSim

@@ -28,7 +28,9 @@ func TestSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.RunSequential(be, s)
+	if _, err := core.RunSequentialCtx(context.Background(), be, s); err != nil {
+		t.Fatal(err)
+	}
 	if got, want := s.Result(), Sum(in); got != want {
 		t.Errorf("sequential sum = %d, want %d", got, want)
 	}
@@ -41,7 +43,9 @@ func TestBreadthFirstCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.RunBreadthFirstCPU(be, s)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), be, s); err != nil {
+		t.Fatal(err)
+	}
 	if got, want := s.Result(), Sum(in); got != want {
 		t.Errorf("bf sum = %d, want %d", got, want)
 	}

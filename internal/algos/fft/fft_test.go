@@ -52,12 +52,12 @@ func TestMatchesDFTAllExecutors(t *testing.T) {
 		run  func(tr *Transform) error
 	}{
 		{"sequential", func(tr *Transform) error {
-			core.RunSequential(hpu.MustSim(hpu.HPU1()), tr)
-			return nil
+			_, err := core.RunSequentialCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr)
+			return err
 		}},
 		{"bf-cpu", func(tr *Transform) error {
-			core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), tr)
-			return nil
+			_, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr)
+			return err
 		}},
 		{"basic-hybrid", func(tr *Transform) error {
 			_, err := core.RunBasicHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr, 4)
@@ -95,13 +95,17 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), fwd)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), fwd); err != nil {
+		t.Fatal(err)
+	}
 
 	inv, err := NewInverse(fwd.Result())
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), inv)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), inv); err != nil {
+		t.Fatal(err)
+	}
 	if !closeTo(inv.Result(), x, 1e-9*float64(n)) {
 		t.Error("inverse(forward(x)) != x")
 	}
@@ -112,7 +116,9 @@ func TestParseval(t *testing.T) {
 	n := 1 << 12
 	x := randomSignal(n, 3)
 	tr, _ := New(x)
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), tr)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr); err != nil {
+		t.Fatal(err)
+	}
 	var ex, eX float64
 	for i := range x {
 		ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
@@ -136,7 +142,9 @@ func TestLinearity(t *testing.T) {
 	fb, _ := New(b)
 	fs, _ := New(sum)
 	for _, tr := range []*Transform{fa, fb, fs} {
-		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), tr)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for i := 0; i < n; i++ {
 		want := fa.Result()[i] + 2*fb.Result()[i]
@@ -151,7 +159,9 @@ func TestImpulseIsFlat(t *testing.T) {
 	x := make([]complex128, n)
 	x[0] = 1
 	tr, _ := New(x)
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), tr)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), tr); err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range tr.Result() {
 		if cmplx.Abs(v-1) > 1e-12 {
 			t.Fatalf("impulse FFT bin %d = %v, want 1", i, v)

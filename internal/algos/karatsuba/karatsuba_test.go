@@ -65,7 +65,9 @@ func TestExecutors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		core.RunSequential(be, m)
+		if _, err := core.RunSequentialCtx(context.Background(), be, m); err != nil {
+			t.Fatal(err)
+		}
 		if !equal(m.Result(), want) {
 			t.Error("sequential product incorrect")
 		}
@@ -73,7 +75,9 @@ func TestExecutors(t *testing.T) {
 	t.Run("bf-cpu", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b)
-		core.RunBreadthFirstCPU(be, m)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), be, m); err != nil {
+			t.Fatal(err)
+		}
 		if !equal(m.Result(), want) {
 			t.Error("breadth-first product incorrect")
 		}

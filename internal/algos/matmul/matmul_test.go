@@ -74,7 +74,9 @@ func TestExecutors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		core.RunSequential(be, m)
+		if _, err := core.RunSequentialCtx(context.Background(), be, m); err != nil {
+			t.Fatal(err)
+		}
 		if !close(m.Result(), want) {
 			t.Error("sequential product incorrect")
 		}
@@ -82,7 +84,9 @@ func TestExecutors(t *testing.T) {
 	t.Run("bf-cpu", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		m, _ := New(a, b, n, depth)
-		core.RunBreadthFirstCPU(be, m)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), be, m); err != nil {
+			t.Fatal(err)
+		}
 		if !close(m.Result(), want) {
 			t.Error("breadth-first product incorrect")
 		}
@@ -146,7 +150,9 @@ func TestDepthEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		core.RunBreadthFirstCPU(be, m)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), be, m); err != nil {
+			t.Fatal(err)
+		}
 		if !close(m.Result(), want) {
 			t.Errorf("depth %d product incorrect", depth)
 		}

@@ -73,7 +73,9 @@ func TestExecutors(t *testing.T) {
 	t.Run("sequential", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		s, _ := New(in)
-		core.RunSequential(be, s)
+		if _, err := core.RunSequentialCtx(context.Background(), be, s); err != nil {
+			t.Fatal(err)
+		}
 		if got := s.Result(); got != want {
 			t.Errorf("got %d, want %d", got, want)
 		}
@@ -81,7 +83,9 @@ func TestExecutors(t *testing.T) {
 	t.Run("bf-cpu", func(t *testing.T) {
 		be := hpu.MustSim(hpu.HPU1())
 		s, _ := New(in)
-		core.RunBreadthFirstCPU(be, s)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), be, s); err != nil {
+			t.Fatal(err)
+		}
 		if got := s.Result(); got != want {
 			t.Errorf("got %d, want %d", got, want)
 		}

@@ -32,7 +32,9 @@ func TestAnySorterOddSizes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		core.RunBreadthFirstCPU(be, s)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), be, s); err != nil {
+			t.Fatal(err)
+		}
 		if !equal(s.Result(), reference(in)) {
 			t.Errorf("n=%d: breadth-first result unsorted", n)
 		}
@@ -46,7 +48,9 @@ func TestAnySorterAllExecutors(t *testing.T) {
 
 	t.Run("sequential", func(t *testing.T) {
 		s, _ := NewAny(in)
-		core.RunSequential(hpu.MustSim(hpu.HPU1()), s)
+		if _, err := core.RunSequentialCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s); err != nil {
+			t.Fatal(err)
+		}
 		if !equal(s.Result(), want) {
 			t.Error("unsorted")
 		}
@@ -103,7 +107,9 @@ func TestAnySorterEdgeShapes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), s)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s); err != nil {
+			t.Fatal(err)
+		}
 		if !equal(s.Result(), reference(in)) {
 			t.Errorf("input %d: unsorted", i)
 		}
@@ -139,9 +145,13 @@ func TestAnySorterMatchesPow2Sorter(t *testing.T) {
 	// On a power-of-two input both implementations must agree.
 	in := workload.Uniform(1<<12, 9)
 	a, _ := NewAny(in)
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), a)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), a); err != nil {
+		t.Fatal(err)
+	}
 	b, _ := New(in)
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), b)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), b); err != nil {
+		t.Fatal(err)
+	}
 	if !equal(a.Result(), b.Result()) {
 		t.Error("AnySorter and Sorter disagree on a power-of-two input")
 	}

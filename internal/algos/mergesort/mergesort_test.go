@@ -111,7 +111,10 @@ func TestSequentialExecutor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := core.RunSequential(be, s)
+	rep, err := core.RunSequentialCtx(context.Background(), be, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkSorted(t, "sequential", s, in)
 	if rep.Seconds <= 0 {
 		t.Errorf("sequential: nonpositive duration %g", rep.Seconds)
@@ -125,7 +128,10 @@ func TestBreadthFirstCPUExecutor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := core.RunBreadthFirstCPU(be, s)
+	rep, err := core.RunBreadthFirstCPUCtx(context.Background(), be, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkSorted(t, "bf-cpu", s, in)
 	if rep.Seconds <= 0 {
 		t.Errorf("bf-cpu: nonpositive duration %g", rep.Seconds)
@@ -260,7 +266,10 @@ func TestHybridSpeedupOverSequential(t *testing.T) {
 
 	seqBe := hpu.MustSim(hpu.HPU1())
 	seqS, _ := New(in)
-	seqRep := core.RunSequential(seqBe, seqS)
+	seqRep, err := core.RunSequentialCtx(context.Background(), seqBe, seqS)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	hyBe := hpu.MustSim(hpu.HPU1())
 	hyS, _ := New(in)

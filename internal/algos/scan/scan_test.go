@@ -47,14 +47,18 @@ func TestExecutors(t *testing.T) {
 
 	t.Run("sequential", func(t *testing.T) {
 		s, _ := New(in)
-		core.RunSequential(hpu.MustSim(hpu.HPU1()), s)
+		if _, err := core.RunSequentialCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s); err != nil {
+			t.Fatal(err)
+		}
 		if !equal(s.Result(), want) {
 			t.Error("incorrect scan")
 		}
 	})
 	t.Run("bf-cpu", func(t *testing.T) {
 		s, _ := New(in)
-		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), s)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s); err != nil {
+			t.Fatal(err)
+		}
 		if !equal(s.Result(), want) {
 			t.Error("incorrect scan")
 		}
@@ -120,7 +124,9 @@ func TestExecutors(t *testing.T) {
 func TestScanIsMonotoneForNonNegative(t *testing.T) {
 	in := workload.Uniform(1<<10, 2) // nonnegative by construction
 	s, _ := New(in)
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), s)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), s); err != nil {
+		t.Fatal(err)
+	}
 	out := s.Result()
 	for i := 1; i < len(out); i++ {
 		if out[i] < out[i-1] {

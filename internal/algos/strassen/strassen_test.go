@@ -54,7 +54,9 @@ func TestMatchesNaiveMultiply(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), m)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), m); err != nil {
+			t.Fatal(err)
+		}
 		if !closeTo(m.Result(), want) {
 			t.Errorf("n=%d: Strassen product differs from naive", n)
 		}
@@ -70,7 +72,9 @@ func TestDepthEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), m)
+		if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), m); err != nil {
+			t.Fatal(err)
+		}
 		if !closeTo(m.Result(), want) {
 			t.Errorf("depth %d: incorrect product", depth)
 		}
@@ -84,7 +88,9 @@ func TestExecutorsAritySeven(t *testing.T) {
 
 	t.Run("sequential", func(t *testing.T) {
 		m, _ := New(a, b, n, depth)
-		core.RunSequential(hpu.MustSim(hpu.HPU1()), m)
+		if _, err := core.RunSequentialCtx(context.Background(), hpu.MustSim(hpu.HPU1()), m); err != nil {
+			t.Fatal(err)
+		}
 		if !closeTo(m.Result(), want) {
 			t.Error("incorrect product")
 		}
@@ -146,7 +152,9 @@ func TestIdentity(t *testing.T) {
 	}
 	a := randomMatrix(n, 11)
 	m, _ := New(a, id, n, 2)
-	core.RunBreadthFirstCPU(hpu.MustSim(hpu.HPU1()), m)
+	if _, err := core.RunBreadthFirstCPUCtx(context.Background(), hpu.MustSim(hpu.HPU1()), m); err != nil {
+		t.Fatal(err)
+	}
 	if !closeTo(m.Result(), a) {
 		t.Error("A·I != A")
 	}

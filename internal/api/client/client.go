@@ -1,0 +1,299 @@
+// Package client is the typed Go client for the HTTP/JSON job API
+// (internal/api). It mirrors the in-process serving semantics over the
+// wire: Submit returns a Handle, Handle.Wait blocks for the result under a
+// caller context, Handle.Stream follows the job's per-level progress, and
+// every error is restored to its dcerr sentinel — errors.Is(err,
+// dcerr.ErrQueueFull) works the same against a remote server as against a
+// local serve.Server.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/dcerr"
+)
+
+// Error is a non-2xx API response, carrying the HTTP status, the wire kind,
+// and — when the kind maps to a dcerr sentinel — unwrapping to it, so
+// errors.Is classification survives the round trip.
+type Error struct {
+	// Status is the HTTP response status.
+	Status int
+	// Kind is the wire label from dcerr.HTTPTable ("" outside the taxonomy).
+	Kind string
+	// Message is the server's human-readable error text.
+	Message string
+	// RetryAfter is the server's backoff hint (429/503 responses), zero
+	// otherwise.
+	RetryAfter time.Duration
+	sentinel   error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("api: %s (http %d)", e.Message, e.Status)
+	}
+	return fmt.Sprintf("api: http %d", e.Status)
+}
+
+// Unwrap exposes the dcerr sentinel for errors.Is, or nil for errors
+// outside the taxonomy.
+func (e *Error) Unwrap() error { return e.sentinel }
+
+// Client talks to one API server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports, test doubles). The default client has no overall timeout —
+// waits are bounded per call by contexts.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a client for the server at base, e.g.
+// "http://127.0.0.1:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		if o != nil {
+			o(c)
+		}
+	}
+	return c
+}
+
+// Handle tracks one remotely submitted job.
+type Handle struct {
+	c  *Client
+	id uint64
+}
+
+// Job returns a handle for an already-known job ID — e.g. one submitted by
+// another process — without a round trip.
+func (c *Client) Job(id uint64) *Handle { return &Handle{c: c, id: id} }
+
+// ID returns the server-assigned job ID.
+func (h *Handle) ID() uint64 { return h.id }
+
+// decodeErr turns a non-2xx response into an *Error.
+func decodeErr(resp *http.Response) error {
+	var body api.ErrorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	_ = json.Unmarshal(raw, &body)
+	if body.Error == "" {
+		body.Error = strings.TrimSpace(string(raw))
+	}
+	e := &Error{
+		Status:   resp.StatusCode,
+		Kind:     body.Kind,
+		Message:  body.Error,
+		sentinel: dcerr.ByKind(body.Kind),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// timeoutHeader derives the Request-Timeout header from ctx's deadline, so
+// the caller's budget propagates into the server-side job context exactly as
+// an in-process Submit ctx would.
+func timeoutHeader(ctx context.Context, req *http.Request) {
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.Header.Set(api.RequestTimeoutHeader, rem.String())
+		}
+	}
+}
+
+// Submit posts a job. ctx bounds the submission round trip, and its
+// deadline (if any) propagates to the server as the job's execution budget.
+// A full admission queue surfaces as an error matching dcerr.ErrQueueFull
+// with a populated RetryAfter; a shed GPU path as dcerr.ErrDegraded.
+func (c *Client) Submit(ctx context.Context, job api.JobRequest) (*Handle, error) {
+	payload, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("api: encode job: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	timeoutHeader(ctx, req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, decodeErr(resp)
+	}
+	var acc api.JobAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		return nil, fmt.Errorf("api: decode submit response: %w", err)
+	}
+	return &Handle{c: c, id: acc.ID}, nil
+}
+
+// Status fetches the job's current status without blocking on completion.
+func (h *Handle) Status(ctx context.Context) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := h.c.getJSON(ctx, fmt.Sprintf("%s/v1/jobs/%d", h.c.base, h.id), &st)
+	return st, err
+}
+
+// Wait blocks until the job settles and returns its result, mirroring
+// serve.Handle.Wait: ctx bounds only the wait (its deadline is forwarded so
+// the server gives up at the same moment), and a job that finished with an
+// error returns it restored to its dcerr sentinel.
+func (h *Handle) Wait(ctx context.Context) (api.JobResult, error) {
+	var res api.JobResult
+	err := h.c.getJSON(ctx, fmt.Sprintf("%s/v1/jobs/%d/result", h.c.base, h.id), &res)
+	return res, err
+}
+
+// Stream follows the job's /events SSE feed, invoking fn for every event —
+// an initial "status", a "span" per recorded execution interval (per-level
+// batches, transfers, attempts), and a terminal "done" — until the stream
+// ends, fn returns an error, or ctx is canceled. A clean end (server sent
+// "done") returns nil.
+func (h *Handle) Stream(ctx context.Context, fn func(api.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%d/events", h.c.base, h.id), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := h.c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		case line == "" && len(data) > 0:
+			var ev api.Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("api: decode event: %w", err)
+			}
+			data = data[:0]
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Type == "done" {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return fmt.Errorf("api: stream: %w", err)
+	}
+	return fmt.Errorf("api: event stream ended before done")
+}
+
+// Drain asks the server to drain a pool device gracefully; ctx (and its
+// forwarded deadline) bounds the wait, after which the drain continues
+// server-side.
+func (c *Client) Drain(ctx context.Context, device int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/drain/%d", c.base, device), nil)
+	if err != nil {
+		return err
+	}
+	timeoutHeader(ctx, req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: drain: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Metrics fetches the server's /metrics JSON snapshot.
+func (c *Client) Metrics(ctx context.Context) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Healthy reports whether the server answers /healthz with 200 (false while
+// it drains toward shutdown).
+func (c *Client) Healthy(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// getJSON runs one GET with the ctx deadline forwarded, decoding a 200 into
+// out and everything else into an *Error.
+func (c *Client) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	timeoutHeader(ctx, req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decode %s: %w", url, err)
+	}
+	return nil
+}

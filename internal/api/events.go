@@ -1,0 +1,107 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// spanKey identifies an emitted span, so the /events poll loop sends each
+// recorded interval exactly once per stream.
+type spanKey struct {
+	unit       trace.Unit
+	label      string
+	start, end float64
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream of
+// the job's progress. The first event is the job's current status; then
+// every span the shared recorder attributes to the job — per-level cpu/gpu
+// batches, link transfers, the serving layer's queue/job/attempt spans —
+// streams as a "span" event as it is recorded; the terminal event is "done"
+// with the settled status. Without a configured recorder the stream carries
+// only the status and done events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) uint64 {
+	j := s.lookup(w, r)
+	if j == nil {
+		return 0
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErrStatus(w, http.StatusInternalServerError, "api: response writer cannot stream", "")
+		return j.id
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	st := s.status(j)
+	if !send(Event{Type: "status", Status: &st}) {
+		return j.id
+	}
+
+	seen := map[spanKey]struct{}{}
+	emit := func() bool {
+		if s.cfg.Trace == nil {
+			return true
+		}
+		for _, sp := range s.cfg.Trace.Spans() {
+			if sp.Job != j.id || sp.Unit == "api" {
+				continue
+			}
+			k := spanKey{sp.Unit, sp.Label, sp.Start, sp.End}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			if !send(Event{
+				Type:  "span",
+				Unit:  string(sp.Unit),
+				Level: sp.Level,
+				Label: sp.Label,
+				Start: sp.Start,
+				End:   sp.End,
+			}) {
+				return false
+			}
+		}
+		return true
+	}
+
+	ticker := time.NewTicker(s.cfg.EventPoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return j.id
+		case <-j.h.Done():
+			// Drain the spans the settlement raced in, then finish.
+			if emit() {
+				done := s.status(j)
+				send(Event{Type: "done", Status: &done})
+			}
+			return j.id
+		case <-ticker.C:
+			if !emit() {
+				return j.id
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/algos/dcsum"
+	"repro/internal/algos/mergesort"
+	"repro/internal/algos/scan"
+	"repro/internal/core"
+	"repro/internal/dcerr"
+	"repro/internal/serve"
+)
+
+// buildAlg constructs a fresh instance for a wire algorithm kind. It is both
+// the submission path and the Job.Fresh factory re-executing reliability
+// policies start over from.
+func buildAlg(kind string, data []int32) (core.Alg, error) {
+	switch strings.ToLower(kind) {
+	case "mergesort":
+		return mergesort.New(data)
+	case "scan":
+		return scan.New(data)
+	case "sum", "dcsum":
+		return dcsum.New(data)
+	}
+	return nil, fmt.Errorf("api: unknown algorithm %q: %w", kind, dcerr.ErrBadParam)
+}
+
+// extractResult reads the settled instance's output into the wire result.
+func extractResult(res *JobResult, alg core.Alg) error {
+	switch a := alg.(type) {
+	case *mergesort.Sorter:
+		res.Sorted = a.Result()
+	case *scan.Scanner:
+		res.Scan = a.Result()
+	case *dcsum.Summer:
+		v := a.Result()
+		res.Sum = &v
+	default:
+		return fmt.Errorf("api: no result extractor for %T: %w", alg, dcerr.ErrBadParam)
+	}
+	return nil
+}
+
+// handleSubmit is POST /v1/jobs: validate, build the instance, propagate the
+// caller's Request-Timeout into the job context, submit, and track the
+// handle. Returns the job ID for request-span tagging.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) uint64 {
+	if s.draining.Load() {
+		writeErr(w, fmt.Errorf("api: shutting down: %w", dcerr.ErrServerClosed))
+		return 0
+	}
+	timeout, err := ParseTimeout(r.Header.Get(RequestTimeoutHeader))
+	if err != nil {
+		writeErr(w, err)
+		return 0
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErrStatus(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("api: request body over %d bytes", tooBig.Limit), "bad-param")
+			return 0
+		}
+		writeErrStatus(w, http.StatusBadRequest, "api: malformed JSON body: "+err.Error(), "bad-param")
+		return 0
+	}
+	strat, err := ParseStrategy(req.Strategy)
+	if err != nil {
+		writeErr(w, err)
+		return 0
+	}
+	alg, err := buildAlg(req.Algorithm, req.Data)
+	if err != nil {
+		writeErr(w, err)
+		return 0
+	}
+	var opts []core.Option
+	if req.Priority > 0 {
+		opts = append(opts, core.WithPriority(req.Priority))
+	}
+	if req.Coalesce {
+		opts = append(opts, core.WithCoalesce())
+	}
+	relOpts, err := req.Reliability.Options()
+	if err != nil {
+		writeErr(w, err)
+		return 0
+	}
+	opts = append(opts, relOpts...)
+
+	// The job context outlives the HTTP request on purpose: submission is
+	// asynchronous, and only the caller's declared deadline — not its
+	// connection lifetime — bounds the execution.
+	jobCtx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		jobCtx, cancel = context.WithTimeout(jobCtx, timeout)
+	}
+	kind, data := req.Algorithm, req.Data
+	h, err := s.pool.Submit(jobCtx, serve.Job{
+		Alg:       alg,
+		Strategy:  strat,
+		Alpha:     req.Alpha,
+		Y:         req.Y,
+		Crossover: req.Crossover,
+		Fresh:     func() (core.Alg, error) { return buildAlg(kind, data) },
+	}, opts...)
+	if err != nil {
+		cancel()
+		writeErr(w, err)
+		return 0
+	}
+
+	j := &job{id: h.ID, h: h, cancel: cancel}
+	s.mu.Lock()
+	s.jobs[h.ID] = j
+	s.mu.Unlock()
+	s.jobsWG.Add(1)
+	go s.watch(j)
+
+	writeJSON(w, http.StatusAccepted, JobAccepted{ID: h.ID, Status: "queued"})
+	return h.ID
+}
+
+// watch releases the job's deadline timer at settlement and evicts the
+// oldest settled jobs beyond the retention bound.
+func (s *Server) watch(j *job) {
+	defer s.jobsWG.Done()
+	<-j.h.Done()
+	j.cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.settled = append(s.settled, j.id)
+	for len(s.settled) > s.cfg.RetainJobs {
+		delete(s.jobs, s.settled[0])
+		s.settled = s.settled[1:]
+	}
+}
+
+// lookup finds a tracked job by the {id} path value. A miss writes the 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErrStatus(w, http.StatusBadRequest, "api: bad job id "+r.PathValue("id"), "bad-param")
+		return nil
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeErrStatus(w, http.StatusNotFound, fmt.Sprintf("api: no job %d", id), "not-found")
+		return nil
+	}
+	return j
+}
+
+// status builds the job's wire status. Blocking accessors are only touched
+// once Done is closed.
+func (s *Server) status(j *job) JobStatus {
+	st := JobStatus{ID: j.id, State: "running"}
+	select {
+	case <-j.h.Done():
+	default:
+		return st
+	}
+	st.State = "done"
+	rep, err := j.h.Report()
+	wr := wireReport(rep)
+	st.Report = &wr
+	if err != nil {
+		st.Error = &ErrorBody{Error: err.Error(), Kind: dcerr.KindOf(err)}
+	}
+	st.Attempts = j.h.Attempts()
+	st.HedgeWon = j.h.HedgeWon()
+	st.FellBack = j.h.FellBack()
+	st.QueueWaitSeconds = j.h.QueueWaitSeconds()
+	return st
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) uint64 {
+	j := s.lookup(w, r)
+	if j == nil {
+		return 0
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+	return j.id
+}
+
+// handleResult is GET /v1/jobs/{id}/result: block until the job settles —
+// bounded by the request context and an optional Request-Timeout — then
+// return the result payload, or the job's error mapped through
+// dcerr.HTTPTable. A wait that expires while the job is still running is
+// 504; the job keeps running.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) uint64 {
+	j := s.lookup(w, r)
+	if j == nil {
+		return 0
+	}
+	timeout, err := ParseTimeout(r.Header.Get(RequestTimeoutHeader))
+	if err != nil {
+		writeErr(w, err)
+		return j.id
+	}
+	waitCtx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(waitCtx, timeout)
+		defer cancel()
+	}
+	rep, err := j.h.Wait(waitCtx)
+	if err != nil {
+		select {
+		case <-j.h.Done():
+			// The job itself settled with an error: map it.
+			writeErr(w, err)
+		default:
+			// Only the wait expired; the job is still running.
+			writeErrStatus(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("api: job %d still running: %v", j.id, err), "canceled")
+		}
+		return j.id
+	}
+	res := JobResult{ID: j.id, Report: wireReport(rep)}
+	if err := extractResult(&res, j.h.ResultAlg()); err != nil {
+		writeErr(w, err)
+		return j.id
+	}
+	writeJSON(w, http.StatusOK, res)
+	return j.id
+}
+
+// handleDrain is POST /v1/drain/{device}: gracefully drain one pool device.
+// The request context (plus Request-Timeout) bounds only the wait — on
+// expiry the drain continues in the background, mirroring
+// Server.DrainBackend.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) uint64 {
+	dev, err := strconv.Atoi(r.PathValue("device"))
+	if err != nil {
+		writeErrStatus(w, http.StatusBadRequest, "api: bad device id "+r.PathValue("device"), "bad-param")
+		return 0
+	}
+	timeout, err := ParseTimeout(r.Header.Get(RequestTimeoutHeader))
+	if err != nil {
+		writeErr(w, err)
+		return 0
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := s.pool.DrainBackend(ctx, dev); err != nil {
+		if ctx.Err() != nil && !errors.Is(err, dcerr.ErrBadParam) && !errors.Is(err, dcerr.ErrServerClosed) {
+			writeErrStatus(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("api: drain of device %d still in progress: %v", dev, err), "canceled")
+			return 0
+		}
+		writeErr(w, err)
+		return 0
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "drained", "device": dev})
+	return 0
+}
+
+// handleMetrics is GET /metrics: the registry snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) uint64 {
+	w.Header().Set("Content-Type", "application/json")
+	if s.cfg.Metrics == nil {
+		w.Write([]byte("{}\n"))
+		return 0
+	}
+	s.cfg.Metrics.WriteJSON(w)
+	return 0
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) uint64 {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeErrStatus(w, http.StatusServiceUnavailable, "draining", "server-closed")
+		return 0
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return 0
+}

@@ -7,17 +7,6 @@ import (
 	"repro/internal/dcerr"
 )
 
-// Options control backend-independent execution details.
-//
-// Deprecated: use the functional Option form (WithCoalesce, ...) accepted by
-// the context-aware executors; Options is converted internally via
-// AsOptions and kept only for existing callers.
-type Options struct {
-	// Coalesce applies the §6.3 memory-layout transformation around the
-	// GPU-resident phase when the algorithm implements Transformable.
-	Coalesce bool
-}
-
 // Report summarizes one execution.
 type Report struct {
 	Algorithm string
@@ -36,23 +25,6 @@ type Report struct {
 	// Partial reports that the run was canceled at a level boundary before
 	// completing; the instance's result data is not valid.
 	Partial bool
-}
-
-// AdvancedParams configure the §5.2 advanced work division.
-//
-// Deprecated: call RunAdvancedHybridCtx with (alpha, y) and WithSplit
-// instead; AdvancedParams is converted internally and kept only for existing
-// callers.
-type AdvancedParams struct {
-	// Alpha is the fraction of subproblems assigned to the CPU.
-	Alpha float64
-	// Y is the transfer level: the GPU executes its portion bottom-up from
-	// the leaves through level Y, then hands results back to the CPU.
-	Y int
-	// Split is the level at which the α : (1−α) split is applied
-	// (Algorithm 8's threshold level). Must satisfy 0 ≤ Split ≤ Y. If
-	// negative, DefaultSplit is used.
-	Split int
 }
 
 // DefaultSplit returns the natural split level for the advanced strategy:
@@ -273,13 +245,6 @@ func RunSequentialCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) 
 	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
 }
 
-// RunSequential executes the algorithm on a single CPU core (the paper's
-// recursive baseline) and reports its makespan.
-func RunSequential(be Backend, alg Alg) Report {
-	rep, _ := RunSequentialCtx(context.Background(), be, alg)
-	return rep
-}
-
 // RunBreadthFirstCPUCtx executes the algorithm breadth-first on the CPU
 // only, using all p cores per level (the multi-core baseline), checking ctx
 // at every level boundary. With WithGrain the bottom levels collapse into
@@ -321,13 +286,6 @@ func RunBreadthFirstCPUCtx(ctx context.Context, be Backend, alg Alg, opts ...Opt
 	runSeqCtx(ctx, steps, func(c bool) { canceled = c; close(done) })
 	awaitChain(be, done)
 	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
-}
-
-// RunBreadthFirstCPU executes the algorithm breadth-first on the CPU only,
-// using all p cores per level (the multi-core baseline).
-func RunBreadthFirstCPU(be Backend, alg Alg) Report {
-	rep, _ := RunBreadthFirstCPUCtx(context.Background(), be, alg)
-	return rep
 }
 
 // RunBasicHybridCtx executes the §5.1 basic work division: levels above the
@@ -405,13 +363,6 @@ func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover in
 	runSeqCtx(ctx, steps, func(c bool) { canceled = c; close(done) })
 	awaitChain(be, done)
 	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
-}
-
-// RunBasicHybrid executes the §5.1 basic work division without cancellation.
-//
-// Deprecated: use RunBasicHybridCtx with functional options.
-func RunBasicHybrid(be Backend, alg GPUAlg, crossover int, opt Options) (Report, error) {
-	return RunBasicHybridCtx(context.Background(), be, alg, crossover, opt.AsOptions()...)
 }
 
 // RunAdvancedHybridCtx executes the §5.2 advanced work division
@@ -591,18 +542,6 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
 }
 
-// RunAdvancedHybrid executes the §5.2 advanced work division (Algorithm 8)
-// without cancellation, parameterized by the deprecated structs.
-//
-// Deprecated: use RunAdvancedHybridCtx with (alpha, y) and WithSplit.
-func RunAdvancedHybrid(be Backend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
-	opts := opt.AsOptions()
-	if prm.Split >= 0 {
-		opts = append(opts, WithSplit(prm.Split))
-	}
-	return RunAdvancedHybridCtx(context.Background(), be, alg, prm.Alpha, prm.Y, opts...)
-}
-
 // RunGPUOnlyCtx executes the whole algorithm breadth-first on the device
 // (the Fig 9 baseline), checking ctx at every level boundary. The report's
 // GPUPortionSeconds excludes the two host↔device transfers ("sort only" in
@@ -656,12 +595,4 @@ func RunGPUOnlyCtx(ctx context.Context, be Backend, alg GPUAlg, opts ...Option) 
 	runSeqCtx(ctx, steps, func(c bool) { canceled = c; close(done) })
 	awaitChain(be, done)
 	return rep, settle(ctx, be, &cfg, alg, &rep, start, canceled)
-}
-
-// RunGPUOnly executes the whole algorithm on the device without
-// cancellation.
-//
-// Deprecated: use RunGPUOnlyCtx with functional options.
-func RunGPUOnly(be Backend, alg GPUAlg, opt Options) (Report, error) {
-	return RunGPUOnlyCtx(context.Background(), be, alg, opt.AsOptions()...)
 }

@@ -85,7 +85,9 @@ func (p *probeAlg) combinedRanges() map[int][][2]int {
 func TestBreadthFirstStructure(t *testing.T) {
 	p := newProbe(2, 5)
 	be := hpu.MustSim(hpu.HPU1())
-	RunBreadthFirstCPU(be, p)
+	if _, err := RunBreadthFirstCPUCtx(context.Background(), be, p); err != nil {
+		t.Fatal(err)
+	}
 
 	var phases []string
 	for _, e := range p.events {
@@ -109,7 +111,9 @@ func TestBreadthFirstStructure(t *testing.T) {
 func TestSequentialStructure(t *testing.T) {
 	p := newProbe(3, 3)
 	be := hpu.MustSim(hpu.HPU1())
-	RunSequential(be, p)
+	if _, err := RunSequentialCtx(context.Background(), be, p); err != nil {
+		t.Fatal(err)
+	}
 	// Full-width divides 0..2, base over 27 leaves, combines 2..0; all on
 	// the CPU phase names.
 	for _, e := range p.events {

@@ -145,7 +145,9 @@ func TestGrainBitIdentical(t *testing.T) {
 	for _, tc := range grainCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			ref := tc.build(t)
-			RunSequential(hpu.MustSim(hpu.HPU1()), ref)
+			if _, err := RunSequentialCtx(context.Background(), hpu.MustSim(hpu.HPU1()), ref); err != nil {
+				t.Fatal(err)
+			}
 			want := tc.value(ref)
 
 			for _, backend := range []string{"sim", "native"} {
@@ -224,7 +226,9 @@ func TestGrainAdvancedHybridBitIdentical(t *testing.T) {
 	for kind := 0; kind < 3; kind++ {
 		t.Run(names[kind], func(t *testing.T) {
 			ref := build(t, kind, data)
-			RunSequential(hpu.MustSim(hpu.HPU1()), ref)
+			if _, err := RunSequentialCtx(context.Background(), hpu.MustSim(hpu.HPU1()), ref); err != nil {
+				t.Fatal(err)
+			}
 			want := value(ref)
 			L := ref.Levels()
 			y := L - 2

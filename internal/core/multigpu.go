@@ -209,15 +209,3 @@ func RunMultiGPUCtx(ctx context.Context, be MultiGPUBackend, alg GPUAlg, alpha f
 	awaitChain(ibe, done)
 	return rep, settle(ctx, ibe, &cfg, alg, &rep, start, canceled)
 }
-
-// RunAdvancedMultiGPU is the multi-device advanced work division
-// parameterized by the deprecated structs.
-//
-// Deprecated: use RunMultiGPUCtx with (alpha, y), WithSplit and WithCoalesce.
-func RunAdvancedMultiGPU(be MultiGPUBackend, alg GPUAlg, prm AdvancedParams, opt Options) (Report, error) {
-	opts := opt.AsOptions()
-	if prm.Split >= 0 {
-		opts = append(opts, WithSplit(prm.Split))
-	}
-	return RunMultiGPUCtx(context.Background(), be, alg, prm.Alpha, prm.Y, opts...)
-}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -9,6 +10,15 @@ import (
 	"repro/internal/hpu"
 	"repro/internal/workload"
 )
+
+// coalesceOpts returns the coalescing option when on, for table-driven
+// tests that toggle it.
+func coalesceOpts(on bool) []Option {
+	if on {
+		return []Option{WithCoalesce()}
+	}
+	return nil
+}
 
 func sortedRef(in []int32) []int32 {
 	out := append([]int32(nil), in...)
@@ -28,8 +38,7 @@ func TestMultiGPUSortsCorrectly(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			prm := AdvancedParams{Alpha: 0.2, Y: 7, Split: -1}
-			rep, err := RunAdvancedMultiGPU(be, s, prm, Options{Coalesce: coalesce})
+			rep, err := RunMultiGPUCtx(context.Background(), be, s, 0.2, 7, coalesceOpts(coalesce)...)
 			if err != nil {
 				t.Fatalf("devices=%d coalesce=%v: %v", devices, coalesce, err)
 			}
@@ -55,8 +64,7 @@ func TestMultiGPUStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prm := AdvancedParams{Alpha: 0.25, Y: 5, Split: 2}
-	if _, err := RunAdvancedMultiGPU(be, p, prm, Options{}); err != nil {
+	if _, err := RunMultiGPUCtx(context.Background(), be, p, 0.25, 5, WithSplit(2)); err != nil {
 		t.Fatal(err)
 	}
 	for level, ranges := range p.combinedRanges() {
@@ -78,7 +86,7 @@ func TestMultiGPUAlphaOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, _ := mergesort.New(in)
-	rep, err := RunAdvancedMultiGPU(be, s, AdvancedParams{Alpha: 1, Y: 5, Split: -1}, Options{})
+	rep, err := RunMultiGPUCtx(context.Background(), be, s, 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,8 +111,7 @@ func TestMultiGPUMoreDevicesThanWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, _ := mergesort.New(in)
-	prm := AdvancedParams{Alpha: 0.4, Y: 4, Split: 1}
-	if _, err := RunAdvancedMultiGPU(be, s, prm, Options{Coalesce: true}); err != nil {
+	if _, err := RunMultiGPUCtx(context.Background(), be, s, 0.4, 4, WithSplit(1), WithCoalesce()); err != nil {
 		t.Fatal(err)
 	}
 	got := s.Result()
@@ -122,10 +129,10 @@ func TestMultiGPUValidation(t *testing.T) {
 	}
 	be, _ := hpu.NewMultiSim(hpu.HPU1(), 1)
 	s, _ := mergesort.New(workload.Uniform(1<<8, 1))
-	if _, err := RunAdvancedMultiGPU(be, s, AdvancedParams{Alpha: -1, Y: 3, Split: 0}, Options{}); err == nil {
+	if _, err := RunMultiGPUCtx(context.Background(), be, s, -1, 3, WithSplit(0)); err == nil {
 		t.Error("accepted alpha < 0")
 	}
-	if _, err := RunAdvancedMultiGPU(be, s, AdvancedParams{Alpha: 0.5, Y: 99, Split: 0}, Options{}); err == nil {
+	if _, err := RunMultiGPUCtx(context.Background(), be, s, 0.5, 99, WithSplit(0)); err == nil {
 		t.Error("accepted y > L")
 	}
 }
@@ -141,8 +148,7 @@ func TestDualDieFootnote(t *testing.T) {
 			t.Fatal(err)
 		}
 		s, _ := mergesort.New(in)
-		prm := AdvancedParams{Alpha: 0.17, Y: 8, Split: -1}
-		rep, err := RunAdvancedMultiGPU(be, s, prm, Options{Coalesce: true})
+		rep, err := RunMultiGPUCtx(context.Background(), be, s, 0.17, 8, WithCoalesce())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -159,12 +159,3 @@ func WithObserver(f func(*Report)) Option {
 		}
 	}
 }
-
-// AsOptions converts the deprecated Options struct to the functional form.
-func (o Options) AsOptions() []Option {
-	var opts []Option
-	if o.Coalesce {
-		opts = append(opts, WithCoalesce())
-	}
-	return opts
-}

@@ -51,36 +51,28 @@ func TestWithObserverChains(t *testing.T) {
 	}
 }
 
-func TestOptionsAsOptions(t *testing.T) {
-	if c := NewRunConfig(Options{Coalesce: true}.AsOptions()...); !c.Coalesce {
-		t.Error("Options{Coalesce: true}.AsOptions() lost the flag")
-	}
-	if c := NewRunConfig(Options{}.AsOptions()...); c.Coalesce {
-		t.Error("Options{}.AsOptions() set Coalesce")
-	}
-}
-
-// TestAdvancedParamsEquivalence asserts the deprecated struct form and the
-// functional-option form drive identical executions: same batch sequence on
-// the deterministic simulator, same virtual makespan.
-func TestAdvancedParamsEquivalence(t *testing.T) {
-	old := newProbe(2, 6)
-	repOld, err := RunAdvancedHybrid(hpu.MustSim(hpu.HPU1()), old,
-		AdvancedParams{Alpha: 0.3, Y: 4, Split: 2}, Options{})
+// TestWithSplitRestoreEquivalence asserts WithSplit(-1) undoes an earlier
+// WithSplit at execution level too: the run is identical — same batch
+// sequence on the deterministic simulator, same virtual makespan — to one
+// that never set a split level.
+func TestWithSplitRestoreEquivalence(t *testing.T) {
+	plain := newProbe(2, 6)
+	repPlain, err := RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), plain,
+		0.3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nu := newProbe(2, 6)
-	repNew, err := RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), nu,
-		0.3, 4, WithSplit(2))
+	restored := newProbe(2, 6)
+	repRestored, err := RunAdvancedHybridCtx(context.Background(), hpu.MustSim(hpu.HPU1()), restored,
+		0.3, 4, WithSplit(2), WithSplit(-1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if repOld.Seconds != repNew.Seconds {
-		t.Errorf("makespans differ: struct form %g, option form %g", repOld.Seconds, repNew.Seconds)
+	if repPlain.Seconds != repRestored.Seconds {
+		t.Errorf("makespans differ: default %g, WithSplit(-1) %g", repPlain.Seconds, repRestored.Seconds)
 	}
-	if !reflect.DeepEqual(old.events, nu.events) {
-		t.Errorf("batch sequences differ:\nstruct form %v\noption form %v", old.events, nu.events)
+	if !reflect.DeepEqual(plain.events, restored.events) {
+		t.Errorf("batch sequences differ:\ndefault %v\nWithSplit(-1) %v", plain.events, restored.events)
 	}
 }
 

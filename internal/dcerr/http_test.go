@@ -1,0 +1,92 @@
+package dcerr
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// The wire contract: kinds and statuses are pinned — changing a row breaks
+// deployed remote clients.
+func TestHTTPTablePinned(t *testing.T) {
+	want := map[string]int{
+		"queue-full":        429,
+		"retries-exhausted": 502,
+		"degraded":          503,
+		"device-fault":      502,
+		"server-closed":     503,
+		"backend-closed":    503,
+		"canceled":          504,
+		"not-power-of-two":  400,
+		"bad-shape":         400,
+		"bad-alpha":         400,
+		"bad-level":         400,
+		"no-gpu":            400,
+		"bad-param":         400,
+	}
+	if len(HTTPTable) != len(want) {
+		t.Fatalf("HTTPTable has %d rows, want %d", len(HTTPTable), len(want))
+	}
+	for _, m := range HTTPTable {
+		status, ok := want[m.Kind]
+		if !ok {
+			t.Errorf("unexpected kind %q", m.Kind)
+			continue
+		}
+		if m.Status != status {
+			t.Errorf("kind %q: status %d, want %d", m.Kind, m.Status, status)
+		}
+	}
+}
+
+func TestHTTPStatusMatchesThroughWrapping(t *testing.T) {
+	wrapped := fmt.Errorf("serve: 64 jobs queued: %w", ErrQueueFull)
+	if got := HTTPStatus(wrapped); got != http.StatusTooManyRequests {
+		t.Errorf("HTTPStatus(wrapped ErrQueueFull) = %d, want 429", got)
+	}
+	if got := KindOf(wrapped); got != "queue-full" {
+		t.Errorf("KindOf(wrapped ErrQueueFull) = %q, want queue-full", got)
+	}
+}
+
+// ErrRetriesExhausted always wraps the final attempt's ErrDeviceFault; the
+// table must classify the pair as retries-exhausted, not device-fault.
+func TestRetriesExhaustedBeatsDeviceFault(t *testing.T) {
+	err := fmt.Errorf("%w: %w", ErrRetriesExhausted, ErrDeviceFault)
+	if got := KindOf(err); got != "retries-exhausted" {
+		t.Errorf("KindOf = %q, want retries-exhausted", got)
+	}
+	if got := HTTPStatus(err); got != http.StatusBadGateway {
+		t.Errorf("HTTPStatus = %d, want 502", got)
+	}
+}
+
+func TestUnclassified(t *testing.T) {
+	err := errors.New("some other failure")
+	if got := HTTPStatus(err); got != http.StatusInternalServerError {
+		t.Errorf("HTTPStatus(unclassified) = %d, want 500", got)
+	}
+	if got := KindOf(err); got != "" {
+		t.Errorf("KindOf(unclassified) = %q, want empty", got)
+	}
+	if got := HTTPStatus(nil); got != http.StatusInternalServerError {
+		t.Errorf("HTTPStatus(nil) = %d, want 500", got)
+	}
+}
+
+// ByKind is the exact inverse of KindOf over the whole table.
+func TestByKindRoundTrip(t *testing.T) {
+	for _, m := range HTTPTable {
+		got := ByKind(m.Kind)
+		if !errors.Is(got, m.Err) {
+			t.Errorf("ByKind(%q) = %v, want %v", m.Kind, got, m.Err)
+		}
+		if KindOf(got) != m.Kind {
+			t.Errorf("KindOf(ByKind(%q)) = %q", m.Kind, KindOf(got))
+		}
+	}
+	if ByKind("no-such-kind") != nil {
+		t.Error("ByKind(unknown) != nil")
+	}
+}

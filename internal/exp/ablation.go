@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algos/mergesort"
@@ -85,7 +86,10 @@ func Ablation(cfg AblationConfig) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		rep := core.RunBreadthFirstCPU(be, s)
+		rep, err := core.RunBreadthFirstCPUCtx(context.Background(), be, s)
+		if err != nil {
+			return Table{}, err
+		}
 		if err := check(s, "bf-cpu"); err != nil {
 			return Table{}, err
 		}
@@ -97,7 +101,7 @@ func Ablation(cfg AblationConfig) (Table, error) {
 			return Table{}, err
 		}
 		x := clampY(y+1, cfg.LogN) // the basic crossover sits near y
-		rep, err := core.RunBasicHybrid(be, s, x, core.Options{Coalesce: true})
+		rep, err := core.RunBasicHybridCtx(context.Background(), be, s, x, core.WithCoalesce())
 		if err != nil {
 			return Table{}, err
 		}
@@ -106,13 +110,16 @@ func Ablation(cfg AblationConfig) (Table, error) {
 		}
 		add(fmt.Sprintf("basic hybrid (crossover %d)", x), rep.Seconds)
 	}
-	prm := core.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
 	for _, coalesce := range []bool{true, false} {
 		be, s, err := fresh()
 		if err != nil {
 			return Table{}, err
 		}
-		rep, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: coalesce})
+		var opts []core.Option
+		if coalesce {
+			opts = append(opts, core.WithCoalesce())
+		}
+		rep, err := core.RunAdvancedHybridCtx(context.Background(), be, s, alpha, y, opts...)
 		if err != nil {
 			return Table{}, err
 		}
@@ -148,7 +155,7 @@ func Ablation(cfg AblationConfig) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		rep, err := core.RunGPUOnly(be, s, core.Options{})
+		rep, err := core.RunGPUOnlyCtx(context.Background(), be, s)
 		if err != nil {
 			return Table{}, err
 		}

@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algos/mergesort"
@@ -69,7 +70,10 @@ func sequentialMergesort(pl hpu.Platform, in []int32) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	rep := core.RunSequential(be, s)
+	rep, err := core.RunSequentialCtx(context.Background(), be, s)
+	if err != nil {
+		return 0, err
+	}
 	if !workload.IsSorted(s.Result()) {
 		return 0, fmt.Errorf("exp: sequential baseline produced unsorted output")
 	}
@@ -87,8 +91,7 @@ func advancedMergesort(pl hpu.Platform, in []int32, alpha float64, y int) (core.
 	if err != nil {
 		return core.Report{}, err
 	}
-	prm := core.AdvancedParams{Alpha: alpha, Y: y, Split: -1}
-	rep, err := core.RunAdvancedHybrid(be, s, prm, core.Options{Coalesce: true})
+	rep, err := core.RunAdvancedHybridCtx(context.Background(), be, s, alpha, y, core.WithCoalesce())
 	if err != nil {
 		return core.Report{}, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algos/mergesort"
@@ -307,7 +308,7 @@ func Fig9(cfg Fig9Config) (Figure, Figure, error) {
 		if err != nil {
 			return Figure{}, Figure{}, err
 		}
-		rep, err := core.RunGPUOnly(be, s, core.Options{})
+		rep, err := core.RunGPUOnlyCtx(context.Background(), be, s)
 		if err != nil {
 			return Figure{}, Figure{}, err
 		}

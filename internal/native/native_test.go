@@ -118,7 +118,9 @@ func TestSequentialMergesortNative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.RunSequential(b, s)
+	if _, err := core.RunSequentialCtx(context.Background(), b, s); err != nil {
+		t.Fatal(err)
+	}
 	if !equal(s.Result(), sortedCopy(in)) {
 		t.Error("native sequential run unsorted")
 	}
@@ -131,7 +133,10 @@ func TestBreadthFirstMergesortNative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := core.RunBreadthFirstCPU(b, s)
+	rep, err := core.RunBreadthFirstCPUCtx(context.Background(), b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !equal(s.Result(), sortedCopy(in)) {
 		t.Error("native breadth-first run unsorted")
 	}

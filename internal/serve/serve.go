@@ -694,13 +694,18 @@ func (s *Server) Close() error {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-s.dispatcherDone
-	s.jobs.Wait()
 	s.mu.Lock()
 	for _, d := range s.devices {
 		d.cond.Broadcast()
 	}
 	s.mu.Unlock()
+	// Device runners exit only once their FIFOs are empty and nothing is in
+	// flight, so after runners.Wait no further s.jobs.Add can start from a
+	// zero counter; only then is jobs.Wait race-free against the pop-time
+	// Add. It still catches run goroutines in their final deferred Done and
+	// hedge losers outliving their parent's settlement.
 	s.runners.Wait()
+	s.jobs.Wait()
 	return nil
 }
 

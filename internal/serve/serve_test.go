@@ -545,3 +545,186 @@ func TestServerQueueWait(t *testing.T) {
 		t.Errorf("queue wait %gs, want >= 15ms", w)
 	}
 }
+
+// TestServerCloseDrainsMidFlight pins the Close contract for in-flight and
+// queued work: Close blocks until every admitted job settles, handles stay
+// open (Done unclosed, Err nil) while the drain is in progress, and once a
+// job has finished Wait returns its outcome even through an already-expired
+// wait context.
+func TestServerCloseDrainsMidFlight(t *testing.T) {
+	be, err := native.New(native.Config{CPUWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	srv, err := serve.New(be, serve.WithQueueDepth(4), serve.WithMaxInFlight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	var handles []*serve.Handle
+	h0, err := srv.Submit(context.Background(), serve.Job{Alg: &gateAlg{name: "blocker", gate: gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles = append(handles, h0)
+	waitInFlight(t, srv, 1)
+	for i := 0; i < 2; i++ {
+		h, err := srv.Submit(context.Background(), serve.Job{Alg: &gateAlg{name: "queued", gate: gate}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// Close is now waiting on the drain: no handle may settle, and the
+	// Close call itself must not return, while the gate holds.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) with jobs still gated", err)
+	default:
+	}
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+			t.Fatalf("job %d (handle %d) settled with its gate held", h.ID, i)
+		default:
+		}
+		if err := h.Err(); err != nil {
+			t.Errorf("job %d: Err() = %v while running, want nil", h.ID, err)
+		}
+	}
+
+	close(gate)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Every admitted job drained to completion; a finished job's outcome is
+	// readable through an expired wait context (done wins over ctx).
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, h := range handles {
+		select {
+		case <-h.Done():
+		default:
+			t.Fatalf("job %d not settled after Close returned", h.ID)
+		}
+		if _, err := h.Wait(expired); err != nil {
+			t.Errorf("job %d: Wait(expired) after drain = %v, want the job's nil outcome", h.ID, err)
+		}
+	}
+	if st := srv.Stats(); st.Completed != 3 || st.Failed != 0 || st.Canceled != 0 {
+		t.Errorf("stats = %+v, want 3 completed", st)
+	}
+}
+
+// TestServerWaitAbandonMidFlight pins Wait's two-phase contract on a live
+// job: an expiring wait context abandons only the wait — surfacing the
+// context's cause while Done stays open and the job keeps running — and a
+// later Wait on the finished job returns its clean outcome.
+func TestServerWaitAbandonMidFlight(t *testing.T) {
+	be, err := native.New(native.Config{CPUWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	srv, err := serve.New(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	gate := make(chan struct{})
+	h, err := srv.Submit(context.Background(), serve.Job{Alg: &gateAlg{name: "gated", gate: gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cause := errors.New("caller moved on")
+	waitCtx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel(cause)
+	}()
+	if _, err := h.Wait(waitCtx); !errors.Is(err, cause) {
+		t.Errorf("Wait on live job: error %v does not unwrap to the wait cause", err)
+	}
+	select {
+	case <-h.Done():
+		t.Fatal("abandoning a wait settled the job")
+	default:
+	}
+	if err := h.Err(); err != nil {
+		t.Errorf("Err() = %v after abandoned wait, want nil (job still running)", err)
+	}
+
+	close(gate)
+	if _, err := h.Report(); err != nil {
+		t.Fatalf("job failed after abandoned wait: %v", err)
+	}
+	// The same expired context no longer masks the settled outcome.
+	if _, err := h.Wait(waitCtx); err != nil {
+		t.Errorf("Wait(expired) on settled job = %v, want nil", err)
+	}
+}
+
+// TestServerCancelDuringClose pins error precedence when a queued job's
+// submission context is canceled while Close drains: the handle settles
+// with ErrCanceled, and Wait reports that job error — not the wait
+// context's — even when the wait context has also expired.
+func TestServerCancelDuringClose(t *testing.T) {
+	be, err := native.New(native.Config{CPUWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	srv, err := serve.New(be, serve.WithQueueDepth(4), serve.WithMaxInFlight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	blocker, err := srv.Submit(context.Background(), serve.Job{Alg: &gateAlg{name: "blocker", gate: gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitInFlight(t, srv, 1)
+
+	jobCtx, cancelJob := context.WithCancel(context.Background())
+	defer cancelJob()
+	victim, err := srv.Submit(jobCtx, serve.Job{Alg: &gateAlg{name: "victim", gate: gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	time.Sleep(10 * time.Millisecond)
+	cancelJob() // canceled while queued, mid-drain: never touches the backend
+
+	close(gate)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Errorf("blocker failed: %v", err)
+	}
+	expired, cancelWait := context.WithCancel(context.Background())
+	cancelWait()
+	if _, err := victim.Wait(expired); !errors.Is(err, dcerr.ErrCanceled) {
+		t.Errorf("victim Wait(expired) = %v, want the job's ErrCanceled to win over the wait context's", err)
+	}
+	if err := victim.Err(); !errors.Is(err, dcerr.ErrCanceled) {
+		t.Errorf("victim Err() = %v, want ErrCanceled", err)
+	}
+	if st := srv.Stats(); st.Canceled != 1 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 completed + 1 canceled", st)
+	}
+}
