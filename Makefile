@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke chaos-smoke api-smoke check bench bench-serve bench-cpu bench-multi
+.PHONY: all build vet test race smoke obs-smoke chaos-smoke api-smoke check bench bench-serve bench-cpu bench-multi bench-alloc
 
 all: check
 
@@ -82,3 +82,12 @@ bench-cpu:
 # single-device run or the 2-device pool misses the 1.6x speedup floor.
 bench-multi:
 	$(GO) run ./cmd/hpuserve --bench-multi --bench-multi-out BENCH_multidev.json
+
+# Allocation-regression gate for the zero-copy hot path: -benchmem profiles
+# of the served submit path and the fused GPU executor with the buffer pool
+# disabled vs enabled, plus the JSON vs binary API round trip at 1M
+# elements over real TCP. Writes BENCH_alloc.json; exits nonzero if pooling
+# regresses submit allocs/op, the fused path's bytes/op are not at least
+# halved, the binary wire is below 2x, or the two wire formats disagree.
+bench-alloc:
+	$(GO) run ./cmd/hpuserve --bench-alloc --bench-alloc-out BENCH_alloc.json

@@ -234,7 +234,10 @@ var smokeStrategies = []string{"bf-cpu", "seq-1cpu", "basic-hybrid", "advanced-h
 //     still returned the right bits;
 //  3. one /events SSE stream, asserting per-level execution progress
 //     (span events on >= 2 distinct recursion levels) and a terminal "done";
-//  4. a /metrics scrape over HTTP, asserting the api_* surface advanced;
+//  4. a /metrics scrape over HTTP, asserting the api_* surface advanced,
+//     then a binary-payload client pass (application/x-hpu-int32le frames
+//     both ways), every result bit-exact against the local reference and
+//     against a JSON round trip of the same data;
 //  5. SIGTERM to itself mid-flight, asserting new submissions are refused
 //     while every already-accepted job completes before the listener closes.
 func runAPISmoke(cfg apiConfig, clients, jobsPerClient int, seed int64) error {
@@ -380,6 +383,72 @@ func runAPISmoke(cfg apiConfig, clients, jobsPerClient int, seed int64) error {
 		return fmt.Errorf("api-smoke: api_* counters did not advance: %v", snap.Counters)
 	}
 
+	// Phase 4b: the binary payload path. A WithAPIBinary client submits raw
+	// little-endian frames and negotiates binary results; every result must
+	// match the locally computed reference bit for bit, and a same-data pair
+	// of JSON and binary round trips must agree exactly.
+	binVerified := 0
+	{
+		binCli := hybriddc.NewAPIClient(base, hybriddc.WithAPIBinary())
+		rng := rand.New(rand.NewSource(seed ^ 0xb1a4))
+		for i := 0; i < 9; i++ {
+			j := makeSmokeJob(rng, 8, 12)
+			req := hybriddc.APIJobRequest{
+				Algorithm: j.kind,
+				Data:      j.data,
+				Strategy:  smokeStrategies[i%len(smokeStrategies)],
+			}
+			switch req.Strategy {
+			case "basic-hybrid":
+				req.Crossover = 3
+			case "advanced-hybrid":
+				req.Alpha = 0.5
+				req.Y = 4
+			}
+			h, err := binCli.Submit(context.Background(), req)
+			if err != nil {
+				return fmt.Errorf("api-smoke binary submit (%s/%s): %w", j.kind, req.Strategy, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			res, err := h.Wait(ctx)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("api-smoke binary wait job %d: %w", h.ID(), err)
+			}
+			if err := checkSmokeResult(j, res); err != nil {
+				return fmt.Errorf("api-smoke binary job %d (%s/%s): %w", h.ID(), j.kind, req.Strategy, err)
+			}
+			binVerified++
+		}
+		// Cross-check the two wire formats on identical input.
+		pair := smokeJob{kind: "mergesort", data: workload.Uniform(1<<12, seed^0xface)}
+		req := hybriddc.APIJobRequest{Algorithm: pair.kind, Data: pair.data, Strategy: "gpu-only"}
+		jh, err := cli.Submit(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("api-smoke pair JSON submit: %w", err)
+		}
+		bh, err := binCli.Submit(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("api-smoke pair binary submit: %w", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		jres, jerr := jh.Wait(ctx)
+		bres, berr := bh.Wait(ctx)
+		cancel()
+		if jerr != nil || berr != nil {
+			return fmt.Errorf("api-smoke pair wait: json %v, binary %v", jerr, berr)
+		}
+		if len(jres.Sorted) != len(bres.Sorted) {
+			return fmt.Errorf("api-smoke pair: JSON %d elements, binary %d", len(jres.Sorted), len(bres.Sorted))
+		}
+		for i := range jres.Sorted {
+			if jres.Sorted[i] != bres.Sorted[i] {
+				return fmt.Errorf("api-smoke pair differs at %d: JSON %d, binary %d", i, jres.Sorted[i], bres.Sorted[i])
+			}
+		}
+		binVerified += 2
+	}
+
 	// Phase 5: SIGTERM drain. Park slow jobs in flight, then signal
 	// ourselves; every accepted job must produce a verified result before
 	// the listener closes, while new submissions bounce with 503.
@@ -493,7 +562,7 @@ func runAPISmoke(cfg apiConfig, clients, jobsPerClient int, seed int64) error {
 	if err := s.closeBackends(); err != nil {
 		return err
 	}
-	fmt.Printf("api-smoke: ok (%d jobs verified, %d overload rejections ridden out, %d stream spans, drain clean)\n",
-		verified.Load(), rejected.Load(), streamSpans.Load())
+	fmt.Printf("api-smoke: ok (%d jobs verified, %d binary-wire jobs bit-exact, %d overload rejections ridden out, %d stream spans, drain clean)\n",
+		verified.Load(), binVerified, rejected.Load(), streamSpans.Load())
 	return nil
 }

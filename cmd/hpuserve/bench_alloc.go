@@ -1,0 +1,284 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/api/client"
+	"repro/internal/core"
+	"repro/internal/mempool"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// allocStats is one measured configuration of --bench-alloc.
+type allocStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchAllocReport is BENCH_alloc.json: the allocation profile of the
+// serving hot paths with the buffer pool off vs on, the JSON vs binary API
+// round trip at 1M elements, and the pass/fail gates.
+type benchAllocReport struct {
+	Submit struct {
+		PoolOff allocStats `json:"pool_off"`
+		PoolOn  allocStats `json:"pool_on"`
+	} `json:"submit"`
+	FusedGPU struct {
+		PoolOff         allocStats `json:"pool_off"`
+		PoolOn          allocStats `json:"pool_on"`
+		AllocsReduction float64    `json:"allocs_reduction"`
+		BytesReduction  float64    `json:"bytes_reduction"`
+	} `json:"fused_gpu"`
+	APIRoundTrip1M struct {
+		JSON    allocStats `json:"json"`
+		Binary  allocStats `json:"binary"`
+		Speedup float64    `json:"speedup"`
+	} `json:"api_roundtrip_1m"`
+	Gates struct {
+		SubmitNoWorse  bool `json:"submit_pool_allocs_no_worse"`
+		FusedHalved    bool `json:"fused_gpu_halved"`
+		BinaryTwice    bool `json:"binary_roundtrip_2x"`
+		BinaryBitExact bool `json:"binary_bit_exact"`
+	} `json:"gates"`
+}
+
+func stats(r testing.BenchmarkResult) allocStats {
+	return allocStats{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchSubmit measures one served mergesort job end to end on a native
+// backend: build the instance, submit, wait, release.
+func benchSubmit() (testing.BenchmarkResult, error) {
+	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 2, DeviceLanes: 2})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer be.Close()
+	srv, err := hybriddc.NewServer(be, hybriddc.WithQueueDepth(4))
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer srv.Close()
+	data := workload.Uniform(1<<12, 7)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			alg, err := hybriddc.NewMergesort(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := srv.Submit(context.Background(), serve.Job{Alg: alg, Strategy: serve.BreadthFirstCPU})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.Report(); err != nil {
+				b.Fatal(err)
+			}
+			core.ReleaseAlg(alg)
+		}
+	})
+	return res, nil
+}
+
+// benchFusedGPU measures one fused launch of 4 same-shape mergesort members
+// on the HPU1 simulator — the executor the serving layer's fusion path runs.
+func benchFusedGPU() testing.BenchmarkResult {
+	const members, n = 4, 1 << 14
+	datas := make([][]int32, members)
+	for i := range datas {
+		datas[i] = workload.Uniform(n, int64(100+i))
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			be := hybriddc.MustSim(hybriddc.HPU1())
+			algs := make([]core.GPUAlg, members)
+			for m := range algs {
+				s, err := hybriddc.NewMergesort(datas[m])
+				if err != nil {
+					b.Fatal(err)
+				}
+				algs[m] = s
+			}
+			if _, err := core.RunFusedGPUCtx(context.Background(), be, algs); err != nil {
+				b.Fatal(err)
+			}
+			for _, a := range algs {
+				core.ReleaseAlg(a)
+			}
+		}
+	})
+}
+
+// benchAPIRoundTrip measures one remote scan job at 1M elements over real
+// TCP: submit the payload, wait for the 1M-element result. The same data
+// runs both wire formats; the returned flag reports bit-identity.
+func benchAPIRoundTrip() (jsonRes, binRes testing.BenchmarkResult, identical bool, err error) {
+	be, err := hybriddc.NewNative(hybriddc.NativeConfig{CPUWorkers: 4, DeviceLanes: 4})
+	if err != nil {
+		return jsonRes, binRes, false, err
+	}
+	defer be.Close()
+	srv, err := hybriddc.NewServer(be, hybriddc.WithQueueDepth(4))
+	if err != nil {
+		return jsonRes, binRes, false, err
+	}
+	defer srv.Close()
+	apiSrv, err := hybriddc.NewAPIServer(srv, hybriddc.WithAPIMaxBodyBytes(64<<20))
+	if err != nil {
+		return jsonRes, binRes, false, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return jsonRes, binRes, false, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- apiSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		apiSrv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	base := "http://" + ln.Addr().String()
+	data := workload.Uniform(1<<20, 42)
+	req := hybriddc.APIJobRequest{Algorithm: "scan", Data: data, Strategy: "bf-cpu"}
+
+	run := func(cli *client.Client) (testing.BenchmarkResult, []int64, error) {
+		var last []int64
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h, err := cli.Submit(context.Background(), req)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				out, err := h.Wait(context.Background())
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				last = out.Scan
+			}
+		})
+		return res, last, benchErr
+	}
+
+	jsonCli := client.New(base)
+	binCli := client.New(base, client.WithBinary())
+	jsonRes, jsonOut, err := run(jsonCli)
+	if err != nil {
+		return jsonRes, binRes, false, fmt.Errorf("bench-alloc JSON round trip: %w", err)
+	}
+	binRes, binOut, err := run(binCli)
+	if err != nil {
+		return jsonRes, binRes, false, fmt.Errorf("bench-alloc binary round trip: %w", err)
+	}
+	identical = len(jsonOut) == len(binOut)
+	for i := 0; identical && i < len(jsonOut); i++ {
+		identical = jsonOut[i] == binOut[i]
+	}
+	return jsonRes, binRes, identical, nil
+}
+
+// runBenchAlloc is --bench-alloc: the allocation-regression gate for the
+// zero-copy hot path. It profiles the served submit path and the fused GPU
+// executor with the buffer pool disabled vs enabled, races the JSON and
+// binary API round trips at 1M elements, writes BENCH_alloc.json, and exits
+// nonzero when pooling regresses allocations, the fused path's allocation
+// footprint is not at least halved, the binary wire is not at least 2x
+// faster, or the two wire formats disagree.
+func runBenchAlloc(out string) error {
+	if !mempool.Enabled() {
+		return fmt.Errorf("bench-alloc: buffer pool disabled (HPU_NOPOOL=1); the comparison needs both states")
+	}
+	var rep benchAllocReport
+
+	mempool.SetEnabled(false)
+	offSubmit, err := benchSubmit()
+	if err != nil {
+		mempool.SetEnabled(true)
+		return err
+	}
+	offFused := benchFusedGPU()
+	mempool.SetEnabled(true)
+	mempool.ResetAll()
+	onSubmit, err := benchSubmit()
+	if err != nil {
+		return err
+	}
+	onFused := benchFusedGPU()
+
+	rep.Submit.PoolOff = stats(offSubmit)
+	rep.Submit.PoolOn = stats(onSubmit)
+	rep.FusedGPU.PoolOff = stats(offFused)
+	rep.FusedGPU.PoolOn = stats(onFused)
+	if off := rep.FusedGPU.PoolOff.AllocsPerOp; off > 0 {
+		rep.FusedGPU.AllocsReduction = 1 - float64(rep.FusedGPU.PoolOn.AllocsPerOp)/float64(off)
+	}
+	if off := rep.FusedGPU.PoolOff.BytesPerOp; off > 0 {
+		rep.FusedGPU.BytesReduction = 1 - float64(rep.FusedGPU.PoolOn.BytesPerOp)/float64(off)
+	}
+
+	jsonRT, binRT, identical, err := benchAPIRoundTrip()
+	if err != nil {
+		return err
+	}
+	rep.APIRoundTrip1M.JSON = stats(jsonRT)
+	rep.APIRoundTrip1M.Binary = stats(binRT)
+	if binRT.NsPerOp() > 0 {
+		rep.APIRoundTrip1M.Speedup = float64(jsonRT.NsPerOp()) / float64(binRT.NsPerOp())
+	}
+
+	rep.Gates.SubmitNoWorse = rep.Submit.PoolOn.AllocsPerOp <= rep.Submit.PoolOff.AllocsPerOp
+	// The fused gate is on bytes/op: pooling recycles the large buffers, so
+	// the byte footprint is where the halving shows; allocs/op is reported
+	// alongside (the remainder is per-chunk closures, not payload buffers).
+	rep.Gates.FusedHalved = rep.FusedGPU.BytesReduction >= 0.5
+	rep.Gates.BinaryTwice = rep.APIRoundTrip1M.Speedup >= 2
+	rep.Gates.BinaryBitExact = identical
+
+	if out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("bench-alloc: submit %d -> %d allocs/op; fused %d -> %d allocs/op, %.0f%% fewer bytes/op; api 1M round trip %.2fx via binary (bit-exact: %v)\n",
+		rep.Submit.PoolOff.AllocsPerOp, rep.Submit.PoolOn.AllocsPerOp,
+		rep.FusedGPU.PoolOff.AllocsPerOp, rep.FusedGPU.PoolOn.AllocsPerOp,
+		100*rep.FusedGPU.BytesReduction, rep.APIRoundTrip1M.Speedup, identical)
+
+	switch {
+	case !rep.Gates.SubmitNoWorse:
+		return fmt.Errorf("bench-alloc: pooling regressed submit allocations: %d -> %d allocs/op",
+			rep.Submit.PoolOff.AllocsPerOp, rep.Submit.PoolOn.AllocsPerOp)
+	case !rep.Gates.FusedHalved:
+		return fmt.Errorf("bench-alloc: fused GPU bytes/op reduction %.0f%% below the 50%% floor",
+			100*rep.FusedGPU.BytesReduction)
+	case !rep.Gates.BinaryTwice:
+		return fmt.Errorf("bench-alloc: binary round trip speedup %.2fx below the 2x floor", rep.APIRoundTrip1M.Speedup)
+	case !rep.Gates.BinaryBitExact:
+		return fmt.Errorf("bench-alloc: binary and JSON results differ")
+	}
+	return nil
+}

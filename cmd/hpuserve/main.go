@@ -77,6 +77,9 @@ func main() {
 		apiClients = flag.Int("api-clients", 64, "concurrent remote clients for --api-smoke")
 		apiJobs    = flag.Int("api-jobs", 2, "jobs per client for --api-smoke")
 
+		benchAlloc    = flag.Bool("bench-alloc", false, "profile the serving hot paths with the buffer pool off vs on and the JSON vs binary API round trip at 1M elements, write BENCH_alloc.json, gate regressions, and exit")
+		benchAllocOut = flag.String("bench-alloc-out", "BENCH_alloc.json", "output path for --bench-alloc results")
+
 		benchCPU        = flag.Bool("bench-cpu", false, "benchmark the breadth-first CPU executor (legacy pool vs stealing engine vs engine+grain), write BENCH_cpu.json, and exit")
 		benchCPUOut     = flag.String("bench-cpu-out", "BENCH_cpu.json", "output path for --bench-cpu results")
 		benchCPUSummary = flag.String("bench-cpu-summary", "", "also write --bench-cpu results as a markdown table to this path (for CI job summaries)")
@@ -114,6 +117,10 @@ func main() {
 	}
 	if *benchMulti {
 		check(runMultiDeviceBench(*benchMultiOut))
+		return
+	}
+	if *benchAlloc {
+		check(runBenchAlloc(*benchAllocOut))
 		return
 	}
 	if *benchCPU {

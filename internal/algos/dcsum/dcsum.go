@@ -18,6 +18,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/mempool"
 
 	"repro/internal/dcerr"
 )
@@ -51,11 +52,23 @@ func New(data []int32) (*Summer, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("dcsum: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
-	s := &Summer{n: n, l: bits.TrailingZeros(uint(n)), v: make([]int64, n)}
+	// The partial-sum vector is a pool lease, fully initialized from data
+	// below, so its unspecified initial contents never surface.
+	s := &Summer{n: n, l: bits.TrailingZeros(uint(n)), v: mempool.Int64s.Get(n)}
 	for i, x := range data {
 		s.v[i] = int64(x)
 	}
 	return s, nil
+}
+
+// Release implements core.Releaser: it returns the sum vector to the pool.
+// Idempotent; must not be called after Release while Result's value is
+// still needed (Result copies nothing — it reads v[0]).
+func (s *Summer) Release() {
+	if s.v != nil {
+		mempool.Int64s.Put(s.v)
+		s.v = nil
+	}
 }
 
 // Name implements core.Alg.

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/mempool"
 
 	"repro/internal/dcerr"
 )
@@ -33,10 +34,25 @@ func NewAny(data []int32) (*AnySorter, error) {
 	}
 	l := bits.Len(uint(n - 1)) // ceil(log2 n)
 	s := &AnySorter{n: n, l: l}
-	s.buf[0] = make([]int32, n)
-	s.buf[1] = make([]int32, n)
+	// Pool leases, like Sorter: every pass fully writes its destination
+	// parity buffer over [0, n) (ragged trailing runs degenerate to
+	// copies), so buf[1]'s unspecified initial contents never surface.
+	s.buf[0] = mempool.Int32s.Get(n)
+	s.buf[1] = mempool.Int32s.Get(n)
 	copy(s.buf[0], data)
 	return s, nil
+}
+
+// Release implements core.Releaser: it returns the parity buffers to the
+// pool. Idempotent; must not be called while the slice from Result is still
+// in use.
+func (s *AnySorter) Release() {
+	for i := range s.buf {
+		if s.buf[i] != nil {
+			mempool.Int32s.Put(s.buf[i])
+			s.buf[i] = nil
+		}
+	}
 }
 
 // Name implements core.Alg.

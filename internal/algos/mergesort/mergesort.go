@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/mempool"
 
 	"repro/internal/dcerr"
 )
@@ -59,10 +60,27 @@ func New(data []int32) (*Sorter, error) {
 		return nil, fmt.Errorf("mergesort: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
 	s := &Sorter{n: n, l: bits.TrailingZeros(uint(n))}
-	s.buf[0] = make([]int32, n)
-	s.buf[1] = make([]int32, n)
+	// Both parity buffers are pool leases. buf[1] starts with unspecified
+	// contents, which is safe: every merge pass fully writes its
+	// destination buffer across [0, n) before the next pass reads it, so
+	// no stale element ever reaches the output. Release returns the
+	// leases.
+	s.buf[0] = mempool.Int32s.Get(n)
+	s.buf[1] = mempool.Int32s.Get(n)
 	copy(s.buf[0], data)
 	return s, nil
+}
+
+// Release implements core.Releaser: it returns the parity buffers to the
+// pool. Idempotent; must not be called while the slice from Result is still
+// in use.
+func (s *Sorter) Release() {
+	for i := range s.buf {
+		if s.buf[i] != nil {
+			mempool.Int32s.Put(s.buf[i])
+			s.buf[i] = nil
+		}
+	}
 }
 
 // Name implements core.Alg.

@@ -13,6 +13,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/mempool"
 
 	"repro/internal/dcerr"
 )
@@ -37,11 +38,23 @@ func New(data []int32) (*Scanner, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("scan: input length %d: %w", n, dcerr.ErrNotPowerOfTwo)
 	}
-	s := &Scanner{n: n, l: bits.TrailingZeros(uint(n)), v: make([]int64, n)}
+	// The vector is a pool lease, fully initialized from data below, so
+	// its unspecified initial contents never surface.
+	s := &Scanner{n: n, l: bits.TrailingZeros(uint(n)), v: mempool.Int64s.Get(n)}
 	for i, x := range data {
 		s.v[i] = int64(x)
 	}
 	return s, nil
+}
+
+// Release implements core.Releaser: it returns the sum vector to the pool.
+// Idempotent; must not be called while the slice from Result is still in
+// use.
+func (s *Scanner) Release() {
+	if s.v != nil {
+		mempool.Int64s.Put(s.v)
+		s.v = nil
+	}
 }
 
 // Name implements core.Alg.

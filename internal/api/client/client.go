@@ -17,11 +17,38 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/dcerr"
 )
+
+// bufPool recycles request-assembly buffers (binary submit frames), and
+// readerPool recycles the bufio.Reader fronting binary result decodes, so
+// steady-state clients allocate neither.
+var (
+	bufPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 64<<10) }}
+)
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() > 1<<22 {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// drainClose exhausts and closes a response body. Leaving bytes unread —
+// a decoder stopping at the closing brace — kills the keep-alive
+// connection; the bounded drain lets the transport reuse it.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
 
 // Error is a non-2xx API response, carrying the HTTP status, the wire kind,
 // and — when the kind maps to a dcerr sentinel — unwrapping to it, so
@@ -53,8 +80,9 @@ func (e *Error) Unwrap() error { return e.sentinel }
 
 // Client talks to one API server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	binary bool
 }
 
 // Option configures a Client.
@@ -64,6 +92,13 @@ type Option func(*Client)
 // transports, test doubles). The default client has no overall timeout —
 // waits are bounded per call by contexts.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithBinary switches the payload hot path to the raw little-endian wire
+// format: Submit posts the data as an application/x-hpu-int32le frame
+// (request fields travel as query parameters) and Wait negotiates a binary
+// result frame via Accept. Results are bit-identical to the JSON path;
+// only the encoding — and the bytes and allocations it costs — changes.
+func WithBinary() Option { return func(c *Client) { c.binary = true } }
 
 // New returns a client for the server at base, e.g.
 // "http://127.0.0.1:8080".
@@ -128,21 +163,37 @@ func timeoutHeader(ctx context.Context, req *http.Request) {
 // A full admission queue surfaces as an error matching dcerr.ErrQueueFull
 // with a populated RetryAfter; a shed GPU path as dcerr.ErrDegraded.
 func (c *Client) Submit(ctx context.Context, job api.JobRequest) (*Handle, error) {
-	payload, err := json.Marshal(job)
-	if err != nil {
-		return nil, fmt.Errorf("api: encode job: %w", err)
+	var req *http.Request
+	var err error
+	if c.binary {
+		buf := getBuf()
+		defer putBuf(buf)
+		if err := api.WriteInt32Frame(buf, job.Data); err != nil {
+			return nil, fmt.Errorf("api: encode job frame: %w", err)
+		}
+		url := c.base + "/v1/jobs?" + job.QueryParams().Encode()
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", api.ContentTypeInt32)
+	} else {
+		payload, err := json.Marshal(job)
+		if err != nil {
+			return nil, fmt.Errorf("api: encode job: %w", err)
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(payload))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	timeoutHeader(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("api: submit: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusAccepted {
 		return nil, decodeErr(resp)
 	}
@@ -166,8 +217,59 @@ func (h *Handle) Status(ctx context.Context) (api.JobStatus, error) {
 // error returns it restored to its dcerr sentinel.
 func (h *Handle) Wait(ctx context.Context) (api.JobResult, error) {
 	var res api.JobResult
-	err := h.c.getJSON(ctx, fmt.Sprintf("%s/v1/jobs/%d/result", h.c.base, h.id), &res)
-	return res, err
+	url := fmt.Sprintf("%s/v1/jobs/%d/result", h.c.base, h.id)
+	if !h.c.binary {
+		err := h.c.getJSON(ctx, url, &res)
+		return res, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return res, err
+	}
+	req.Header.Set("Accept", api.ContentTypeInt32+", "+api.ContentTypeInt64+", application/json")
+	timeoutHeader(ctx, req)
+	resp, err := h.c.hc.Do(req)
+	if err != nil {
+		return res, fmt.Errorf("api: get %s: %w", url, err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return res, decodeErr(resp)
+	}
+	ct := resp.Header.Get("Content-Type")
+	if !strings.HasPrefix(ct, api.ContentTypeInt32) && !strings.HasPrefix(ct, api.ContentTypeInt64) {
+		// The server elected JSON (e.g. an algorithm with no binary form).
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return res, fmt.Errorf("api: decode %s: %w", url, err)
+		}
+		return res, nil
+	}
+	if err := json.Unmarshal([]byte(resp.Header.Get(api.ReportHeader)), &res.Report); err != nil {
+		return res, fmt.Errorf("api: decode %s header: %w", api.ReportHeader, err)
+	}
+	res.ID = h.id
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(resp.Body)
+	defer func() {
+		br.Reset(nil) // drop the body reference before pooling
+		readerPool.Put(br)
+	}()
+	if strings.HasPrefix(ct, api.ContentTypeInt32) {
+		res.Sorted, err = api.ReadInt32Frame(br, 0)
+		return res, err
+	}
+	vals, err := api.ReadInt64Frame(br, 0)
+	if err != nil {
+		return res, err
+	}
+	// One int64 frame serves both remaining algorithms; the report's
+	// algorithm name says which payload field it is.
+	if res.Report.Algorithm == "dcsum" && len(vals) == 1 {
+		res.Sum = &vals[0]
+		return res, nil
+	}
+	res.Scan = vals
+	return res, nil
 }
 
 // Stream follows the job's /events SSE feed, invoking fn for every event —
@@ -235,11 +337,10 @@ func (c *Client) Drain(ctx context.Context, device int) error {
 	if err != nil {
 		return fmt.Errorf("api: drain: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return decodeErr(resp)
 	}
-	io.Copy(io.Discard, resp.Body)
 	return nil
 }
 
@@ -271,8 +372,7 @@ func (c *Client) Healthy(ctx context.Context) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	drainClose(resp)
 	return resp.StatusCode == http.StatusOK, nil
 }
 
@@ -288,7 +388,7 @@ func (c *Client) getJSON(ctx context.Context, url string, out any) error {
 	if err != nil {
 		return fmt.Errorf("api: get %s: %w", url, err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return decodeErr(resp)
 	}

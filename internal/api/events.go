@@ -2,7 +2,6 @@ package api
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"time"
 
@@ -29,6 +28,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) uint64 {
 	if j == nil {
 		return 0
 	}
+	defer j.refs.Done()
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeErrStatus(w, http.StatusInternalServerError, "api: response writer cannot stream", "")
@@ -40,12 +40,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) uint64 {
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
+	// One pooled buffer and one encoder serve the whole stream: each event
+	// is assembled in place and written with a single Write, so a long
+	// span stream allocates nothing per event.
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
 	send := func(ev Event) bool {
-		data, err := json.Marshal(ev)
-		if err != nil {
+		buf.Reset()
+		buf.WriteString("event: ")
+		buf.WriteString(ev.Type)
+		buf.WriteString("\ndata: ")
+		if err := enc.Encode(&ev); err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+		buf.WriteByte('\n') // Encode ended the data line; blank line ends the event
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			return false
 		}
 		fl.Flush()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/algos/scan"
 	"repro/internal/core"
 	"repro/internal/dcerr"
+	"repro/internal/mempool"
 	"repro/internal/serve"
 )
 
@@ -63,7 +64,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) uint64 {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	var pooled []int32 // binary payload leased from the pool, job-owned
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeInt32) {
+		// Binary submission: the body is one int32 frame, every other
+		// JobRequest field travels as query parameters.
+		req, err = RequestFromQuery(r.URL.Query())
+		if err != nil {
+			writeErr(w, err)
+			return 0
+		}
+		pooled, err = ReadInt32Frame(r.Body, s.cfg.MaxBodyBytes)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeErrStatus(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("api: request body over %d bytes", tooBig.Limit), "bad-param")
+				return 0
+			}
+			writeErrStatus(w, http.StatusBadRequest, "api: malformed binary frame: "+err.Error(), "bad-param")
+			return 0
+		}
+		req.Data = pooled
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErrStatus(w, http.StatusRequestEntityTooLarge,
@@ -73,13 +95,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) uint64 {
 		writeErrStatus(w, http.StatusBadRequest, "api: malformed JSON body: "+err.Error(), "bad-param")
 		return 0
 	}
+	// From here on a failed submission must hand the pooled payload back
+	// (a nil slice is a no-op Put).
 	strat, err := ParseStrategy(req.Strategy)
 	if err != nil {
+		mempool.Int32s.Put(pooled)
 		writeErr(w, err)
 		return 0
 	}
 	alg, err := buildAlg(req.Algorithm, req.Data)
 	if err != nil {
+		mempool.Int32s.Put(pooled)
 		writeErr(w, err)
 		return 0
 	}
@@ -92,6 +118,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) uint64 {
 	}
 	relOpts, err := req.Reliability.Options()
 	if err != nil {
+		core.ReleaseAlg(alg)
+		mempool.Int32s.Put(pooled)
 		writeErr(w, err)
 		return 0
 	}
@@ -116,11 +144,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) uint64 {
 	}, opts...)
 	if err != nil {
 		cancel()
+		core.ReleaseAlg(alg)
+		mempool.Int32s.Put(pooled)
 		writeErr(w, err)
 		return 0
 	}
 
-	j := &job{id: h.ID, h: h, cancel: cancel}
+	j := &job{id: h.ID, h: h, cancel: cancel, alg: alg, data: pooled}
 	s.mu.Lock()
 	s.jobs[h.ID] = j
 	s.mu.Unlock()
@@ -132,21 +162,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) uint64 {
 }
 
 // watch releases the job's deadline timer at settlement and evicts the
-// oldest settled jobs beyond the retention bound.
+// oldest settled jobs beyond the retention bound. Evicted jobs return
+// their instances and pooled payloads once no handler still reads them —
+// removal from the map under the mutex guarantees no new reader appears.
 func (s *Server) watch(j *job) {
 	defer s.jobsWG.Done()
 	<-j.h.Done()
 	j.cancel()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.settled = append(s.settled, j.id)
+	var evicted []*job
 	for len(s.settled) > s.cfg.RetainJobs {
+		if ej := s.jobs[s.settled[0]]; ej != nil {
+			evicted = append(evicted, ej)
+		}
 		delete(s.jobs, s.settled[0])
 		s.settled = s.settled[1:]
 	}
+	s.mu.Unlock()
+	for _, ej := range evicted {
+		go s.releaseJob(ej)
+	}
 }
 
-// lookup finds a tracked job by the {id} path value. A miss writes the 404.
+// lookup finds a tracked job by the {id} path value and takes a read
+// reference on it; the caller must j.refs.Done() when finished, so
+// eviction-time release can wait out in-flight readers. A miss writes the
+// 404.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
@@ -155,6 +197,9 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	}
 	s.mu.Lock()
 	j := s.jobs[id]
+	if j != nil {
+		j.refs.Add(1)
+	}
 	s.mu.Unlock()
 	if j == nil {
 		writeErrStatus(w, http.StatusNotFound, fmt.Sprintf("api: no job %d", id), "not-found")
@@ -192,6 +237,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) uint64 {
 	if j == nil {
 		return 0
 	}
+	defer j.refs.Done()
 	writeJSON(w, http.StatusOK, s.status(j))
 	return j.id
 }
@@ -206,6 +252,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) uint64 {
 	if j == nil {
 		return 0
 	}
+	defer j.refs.Done()
 	timeout, err := ParseTimeout(r.Header.Get(RequestTimeoutHeader))
 	if err != nil {
 		writeErr(w, err)
@@ -230,6 +277,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) uint64 {
 		}
 		return j.id
 	}
+	if writeBinaryResult(w, r.Header.Get("Accept"), rep, j.h.ResultAlg()) {
+		return j.id
+	}
 	res := JobResult{ID: j.id, Report: wireReport(rep)}
 	if err := extractResult(&res, j.h.ResultAlg()); err != nil {
 		writeErr(w, err)
@@ -237,6 +287,43 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) uint64 {
 	}
 	writeJSON(w, http.StatusOK, res)
 	return j.id
+}
+
+// writeBinaryResult serves the result as a raw little-endian frame when the
+// Accept header asks for one matching the algorithm's payload type, with
+// the execution report in the ReportHeader. It reports whether it handled
+// the response; JSON stays the default for every other Accept value.
+func writeBinaryResult(w http.ResponseWriter, accept string, rep core.Report, alg core.Alg) bool {
+	writeHdr := func(contentType string) bool {
+		repJSON, err := json.Marshal(wireReport(rep))
+		if err != nil {
+			return false
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set(ReportHeader, string(repJSON))
+		w.WriteHeader(http.StatusOK)
+		return true
+	}
+	switch a := alg.(type) {
+	case *mergesort.Sorter:
+		if !acceptsType(accept, ContentTypeInt32) || !writeHdr(ContentTypeInt32) {
+			return false
+		}
+		WriteInt32Frame(w, a.Result())
+	case *scan.Scanner:
+		if !acceptsType(accept, ContentTypeInt64) || !writeHdr(ContentTypeInt64) {
+			return false
+		}
+		WriteInt64Frame(w, a.Result())
+	case *dcsum.Summer:
+		if !acceptsType(accept, ContentTypeInt64) || !writeHdr(ContentTypeInt64) {
+			return false
+		}
+		WriteInt64Frame(w, []int64{a.Result()})
+	default:
+		return false
+	}
+	return true
 }
 
 // handleDrain is POST /v1/drain/{device}: gracefully drain one pool device.
@@ -273,14 +360,21 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) uint64 {
 	return 0
 }
 
-// handleMetrics is GET /metrics: the registry snapshot as JSON.
+// handleMetrics is GET /metrics: the registry snapshot as JSON, rendered
+// through a pooled scrape buffer so periodic scrapes do not grow the heap.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) uint64 {
 	w.Header().Set("Content-Type", "application/json")
 	if s.cfg.Metrics == nil {
 		w.Write([]byte("{}\n"))
 		return 0
 	}
-	s.cfg.Metrics.WriteJSON(w)
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := s.cfg.Metrics.WriteJSON(buf); err != nil {
+		writeErrStatus(w, http.StatusInternalServerError, "api: render metrics: "+err.Error(), "")
+		return 0
+	}
+	w.Write(buf.Bytes())
 	return 0
 }
 

@@ -11,7 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dcerr"
+	"repro/internal/mempool"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -67,11 +69,18 @@ func WithMetrics(reg *metrics.Registry) Option { return func(c *Config) { c.Metr
 // (serve.WithRecorder) so the stream carries per-level executor progress.
 func WithRecorder(rec *trace.Recorder) Option { return func(c *Config) { c.Trace = rec } }
 
-// job is one tracked submission.
+// job is one tracked submission. The API server owns the instances it
+// built for the job (the submit-time alg and, via Job.Fresh, the settled
+// result instance) plus any pooled binary payload; all are returned to the
+// buffer pools when the job leaves the retention ring. refs brackets
+// handlers that hold the job, so release waits for in-flight readers.
 type job struct {
 	id     uint64
 	h      *serve.Handle
 	cancel context.CancelFunc
+	alg    core.Alg
+	data   []int32 // pooled binary submit payload (nil for JSON submissions)
+	refs   sync.WaitGroup
 }
 
 // Server is the HTTP/JSON front-end over a serve.Server.
@@ -230,7 +239,39 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		srv.Close()
 		return ctx.Err()
 	}
-	return srv.Shutdown(ctx)
+	err := srv.Shutdown(ctx)
+	if err == nil {
+		// Clean drain: every connection is gone, so the retained jobs'
+		// instances and payloads can settle back into the buffer pools.
+		s.mu.Lock()
+		retained := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			retained = append(retained, j)
+		}
+		s.jobs = map[uint64]*job{}
+		s.settled = nil
+		s.mu.Unlock()
+		for _, j := range retained {
+			s.releaseJob(j)
+		}
+	}
+	return err
+}
+
+// releaseJob returns a job's server-owned instances and pooled payload to
+// the buffer pools. Callers must guarantee no handler still reads the job
+// (it is out of the map and its refs drained).
+func (s *Server) releaseJob(j *job) {
+	j.refs.Wait()
+	if ra := j.h.ResultAlg(); ra != nil && ra != j.alg {
+		core.ReleaseAlg(ra)
+	}
+	if j.alg != nil {
+		core.ReleaseAlg(j.alg)
+		j.alg = nil
+	}
+	mempool.Int32s.Put(j.data)
+	j.data = nil
 }
 
 // Draining reports whether Shutdown has begun.

@@ -65,6 +65,26 @@ type Transformable interface {
 	PermuteBack(level, lo, hi int) Batch
 }
 
+// Releaser is implemented by algorithm instances whose working buffers are
+// leased from internal/mempool. Release returns those buffers to the pool;
+// it must be called at most once per owner, only when no result slice
+// obtained from the instance is still referenced, and never concurrently
+// with execution. Implementations are idempotent so a single owner may call
+// it defensively, but two owners must not both call it. The serving layers
+// invoke Release on instances they created themselves (retry, hedge and
+// fallback attempts; API-built jobs at eviction) — never on caller-owned
+// instances.
+type Releaser interface {
+	Release()
+}
+
+// ReleaseAlg releases a, if it supports it. Safe on nil.
+func ReleaseAlg(a Alg) {
+	if r, ok := a.(Releaser); ok {
+		r.Release()
+	}
+}
+
 // TasksAtLevel returns a^level, the total number of subproblems at a level.
 func TasksAtLevel(a, level int) int {
 	t := 1

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/dcerr"
 )
@@ -124,6 +125,33 @@ func atLevel(b Batch, l int) Batch {
 // step is one asynchronous stage of an execution plan.
 type step func(next func())
 
+// stepsPool recycles the executors' plan slices. A plan is one slice of
+// step closures per run (a few per hybrid run); leasing the slice spine
+// here removes the append-growth garbage from every Submit on the serving
+// hot path. The closures themselves still allocate — they capture per-run
+// state — but the spine dominated the slice churn.
+var stepsPool = sync.Pool{New: func() any {
+	s := make([]step, 0, 64)
+	return &s
+}}
+
+// getSteps leases an empty plan slice.
+func getSteps() []step {
+	return (*stepsPool.Get().(*[]step))[:0]
+}
+
+// putSteps returns a plan slice once its chain has fully completed. The
+// stored closures are cleared so pooled spines don't pin per-run captures.
+func putSteps(s []step) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	stepsPool.Put(&s)
+}
+
 // runSeq chains steps sequentially, then calls done.
 func runSeq(steps []step, done func()) {
 	runSeqCtx(context.Background(), steps, func(bool) { done() })
@@ -224,7 +252,8 @@ func RunSequentialCtx(ctx context.Context, be Backend, alg Alg, opts ...Option) 
 	}
 	L := alg.Levels()
 	a := alg.Arity()
-	var steps []step
+	steps := getSteps()
+	defer func() { putSteps(steps) }()
 	for l := 0; l < L; l++ {
 		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { submitSeq(be, b, next) })
@@ -260,7 +289,8 @@ func RunBreadthFirstCPUCtx(ctx context.Context, be Backend, alg Alg, opts ...Opt
 	k := coarseLevels(cfg.Grain, a, L, 0, be.CPU().Parallelism(),
 		func(cl int) int { return TasksAtLevel(a, cl) })
 	cl := L - k
-	var steps []step
+	steps := getSteps()
+	defer func() { putSteps(steps) }()
 	for l := 0; l < cl; l++ {
 		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
@@ -313,15 +343,24 @@ func RunBasicHybridCtx(ctx context.Context, be Backend, alg GPUAlg, crossover in
 	a := alg.Arity()
 	x := crossover
 	start := be.Now()
-	var steps []step
+	steps := getSteps()
+	defer func() { putSteps(steps) }()
 
 	// Top divide phase on CPU.
 	for l := 0; l < x; l++ {
 		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		steps = append(steps, func(next func()) { be.CPU().Submit(b, next) })
 	}
-	// Ship the whole instance to the device.
+	// Ship the whole instance to the device, staging into a leased segment
+	// when the backend pools device memory (released after the chain, so
+	// the next same-shape run reuses the residency).
 	bytes := alg.GPUBytes(x, 0, TasksAtLevel(a, x))
+	sa := segmentAllocator(be)
+	var seg *Segment
+	defer func() { seg.Release() }()
+	if sa != nil {
+		steps = append(steps, func(next func()) { seg = sa.AllocSegment(bytes); next() })
+	}
 	steps = append(steps, func(next func()) { be.TransferToGPU(bytes, next) })
 	// Device-resident phase: divide down, base, combine back up to x.
 	for l := x; l < L; l++ {
@@ -416,7 +455,8 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	start := be.Now()
 
 	// Joint top divide phase, full width, on CPU.
-	var top []step
+	top := getSteps()
+	defer func() { putSteps(top) }()
 	for l := 0; l < s; l++ {
 		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		top = append(top, func(next func()) { be.CPU().Submit(b, next) })
@@ -425,7 +465,8 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	// CPU chain over portion [0, cCount). With WithGrain its bottom levels
 	// collapse into depth-first coarse chunks, clamped at the split level
 	// (the coarse root never rises above s); the GPU portion is untouched.
-	var cpuChain []step
+	cpuChain := getSteps()
+	defer func() { putSteps(cpuChain) }()
 	if cCount > 0 {
 		k := coarseLevels(cfg.Grain, a, L, s, be.CPU().Parallelism(),
 			func(cl int) int { lo, hi := at(cl, 0, cCount); return hi - lo })
@@ -452,11 +493,18 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	}
 
 	// GPU chain over portion [cCount, width).
-	var gpuChain []step
+	gpuChain := getSteps()
+	defer func() { putSteps(gpuChain) }()
 	var gpuDeviceDone float64
 	tr, _ := alg.(Transformable)
+	sa := segmentAllocator(be)
+	var seg *Segment
+	defer func() { seg.Release() }()
 	if cCount < width {
 		bytes := alg.GPUBytes(s, cCount, width)
+		if sa != nil {
+			gpuChain = append(gpuChain, func(next func()) { seg = sa.AllocSegment(bytes); next() })
+		}
 		gpuChain = append(gpuChain, func(next func()) { be.TransferToGPU(bytes, next) })
 		for l := s; l < L; l++ {
 			lo, hi := at(l, cCount, width)
@@ -499,7 +547,8 @@ func RunAdvancedHybridCtx(ctx context.Context, be Backend, alg GPUAlg, alpha flo
 	}
 
 	// Joint combine phase above the split, full width, on CPU.
-	var tail []step
+	tail := getSteps()
+	defer func() { putSteps(tail) }()
 	for l := s - 1; l >= 0; l-- {
 		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
 		tail = append(tail, func(next func()) { be.CPU().Submit(b, next) })
@@ -558,8 +607,15 @@ func RunGPUOnlyCtx(ctx context.Context, be Backend, alg GPUAlg, opts ...Option) 
 	L := alg.Levels()
 	a := alg.Arity()
 	start := be.Now()
-	var steps []step
+	steps := getSteps()
+	defer func() { putSteps(steps) }()
 	bytes := alg.GPUBytes(0, 0, 1)
+	sa := segmentAllocator(be)
+	var seg *Segment
+	defer func() { seg.Release() }()
+	if sa != nil {
+		steps = append(steps, func(next func()) { seg = sa.AllocSegment(bytes); next() })
+	}
 	steps = append(steps, func(next func()) { be.TransferToGPU(bytes, next) })
 	var devStart float64
 	steps = append(steps, func(next func()) { devStart = be.Now(); next() })

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dcerr"
+	"repro/internal/mempool"
 )
 
 // FusedStrategy is the Report.Strategy stamped on every member of a fused
@@ -75,11 +76,21 @@ func RunFusedGPUCtx(ctx context.Context, be Backend, algs []GPUAlg, opts ...Opti
 	}
 
 	n := len(algs)
-	reports := make([]Report, n)
-	depth := make([]int, n)   // L_m
-	leaves := make([]int, n)  // a^L_m
-	bytes := make([]int64, n) // whole-instance transfer size
-	chunkOf := make([]int, n) // transfer chunk index of each member
+	reports := make([]Report, n) // returned to the caller: never pooled
+	// Per-run scratch is leased from the pool and handed back after the
+	// chain has fully retired (every element is written before any read).
+	depth := mempool.Ints.Get(n)     // L_m
+	leaves := mempool.Ints.Get(n)    // a^L_m
+	bytes := mempool.Int64s.Get(n)   // whole-instance transfer size
+	chunkOf := mempool.Ints.Get(n)   // transfer chunk index of each member
+	rootAt := mempool.Float64s.Get(n)
+	defer func() {
+		mempool.Ints.Put(depth)
+		mempool.Ints.Put(leaves)
+		mempool.Int64s.Put(bytes)
+		mempool.Ints.Put(chunkOf)
+		mempool.Float64s.Put(rootAt)
+	}()
 	maxL := 0
 	for m, alg := range algs {
 		reports[m] = Report{Algorithm: alg.Name(), Strategy: FusedStrategy}
@@ -95,6 +106,19 @@ func RunFusedGPUCtx(ctx context.Context, be Backend, algs []GPUAlg, opts ...Opti
 	gpu := be.GPU()
 	start := be.Now()
 
+	// Device staging: one leased segment per member, acquired with its
+	// chunk's upload and released as its result leaves the device, so the
+	// next fused run of the same shape reuses the device residency
+	// instead of re-staging per group.
+	sa := segmentAllocator(be)
+	segs := make([]*Segment, n)
+	defer func() {
+		// Safety net for canceled runs; Release is idempotent.
+		for _, s := range segs {
+			s.Release()
+		}
+	}()
+
 	// Completion accounting: every concurrently progressing branch of the
 	// pipeline (a chunk's upload+pre chain, the combine chain, each egress
 	// transfer) holds one reference; done closes when the last one drops.
@@ -105,9 +129,13 @@ func RunFusedGPUCtx(ctx context.Context, be Backend, algs []GPUAlg, opts ...Opti
 		canceled    bool
 		outstanding atomic.Int64
 		done        = make(chan struct{})
-		deviceStart = make([]float64, len(chunks))
-		rootAt      = make([]float64, n)
 	)
+	// deviceStart[c] is stamped during chunk c's ingest, and every read
+	// (member egress) happens after the all-chunks-resident barrier, so
+	// the pooled slice's unspecified contents never surface; rootAt[m] is
+	// likewise stamped before the only read.
+	deviceStart := mempool.Float64s.Get(len(chunks))
+	defer func() { mempool.Float64s.Put(deviceStart) }()
 	release := func() {
 		if outstanding.Add(-1) == 0 {
 			close(done)
@@ -169,6 +197,9 @@ func RunFusedGPUCtx(ctx context.Context, be Backend, algs []GPUAlg, opts ...Opti
 						reports[m].GPUPortionSeconds = rootAt[m] - deviceStart[chunkOf[m]]
 					}
 					mu.Unlock()
+					for _, m := range group {
+						segs[m].Release()
+					}
 					release()
 				})
 			}
@@ -216,7 +247,15 @@ func RunFusedGPUCtx(ctx context.Context, be Backend, algs []GPUAlg, opts ...Opti
 		for _, m := range members {
 			sum += bytes[m]
 		}
-		var steps []step
+		steps := getSteps()
+		if sa != nil {
+			steps = append(steps, func(next func()) {
+				for _, m := range members {
+					segs[m] = sa.AllocSegment(bytes[m])
+				}
+				next()
+			})
+		}
 		steps = append(steps, func(next func()) { be.TransferToGPU(sum, next) })
 		steps = append(steps, func(next func()) {
 			mu.Lock()
@@ -265,6 +304,7 @@ func RunFusedGPUCtx(ctx context.Context, be Backend, algs []GPUAlg, opts ...Opti
 			} else {
 				barrier()
 			}
+			putSteps(steps)
 			release()
 		})
 	}

@@ -116,6 +116,10 @@ func (m *meteredBackend) TransferToCPU(n int64, done func()) {
 // Now implements Backend.
 func (m *meteredBackend) Now() float64 { return m.inner.Now() }
 
+// Unwrap implements Unwrapper so capability probes (segment allocation)
+// reach the wrapped backend.
+func (m *meteredBackend) Unwrap() Backend { return m.inner }
+
 // Wait implements Backend.
 func (m *meteredBackend) Wait() { m.inner.Wait() }
 

@@ -79,14 +79,16 @@ func RunMultiGPUCtx(ctx context.Context, be MultiGPUBackend, alg GPUAlg, alpha f
 	start := ibe.Now()
 
 	// Joint top divide phase, full width, on CPU.
-	var top []step
+	top := getSteps()
+	defer func() { putSteps(top) }()
 	for l := 0; l < s; l++ {
 		b := atLevel(alg.DivideBatch(l, 0, TasksAtLevel(a, l)), l)
 		top = append(top, func(next func()) { ibe.CPU().Submit(b, next) })
 	}
 
 	// CPU chain over portion [0, cCount).
-	var cpuChain []step
+	cpuChain := getSteps()
+	defer func() { putSteps(cpuChain) }()
 	if cCount > 0 {
 		for l := s; l < L; l++ {
 			lo, hi := at(l, 0, cCount)
@@ -104,10 +106,22 @@ func RunMultiGPUCtx(ctx context.Context, be MultiGPUBackend, alg GPUAlg, alpha f
 	}
 
 	// One chain per device over its contiguous stripe of the GPU portion.
+	// Each stripe stages into a leased device segment when the backend
+	// pools device memory, released with the chain.
 	tr, _ := alg.(Transformable)
-	deviceChain := func(dev LevelExecutor, c0, c1 int) []step {
-		var chain []step
+	sa := segmentAllocator(ibe)
+	segs := make([]*Segment, k)
+	defer func() {
+		for _, sg := range segs {
+			sg.Release()
+		}
+	}()
+	deviceChain := func(d int, dev LevelExecutor, c0, c1 int) []step {
+		chain := getSteps()
 		bytes := alg.GPUBytes(s, c0, c1)
+		if sa != nil {
+			chain = append(chain, func(next func()) { segs[d] = sa.AllocSegment(bytes); next() })
+		}
 		chain = append(chain, func(next func()) { ibe.TransferToGPU(bytes, next) })
 		for l := s; l < L; l++ {
 			l := l
@@ -152,7 +166,8 @@ func RunMultiGPUCtx(ctx context.Context, be MultiGPUBackend, alg GPUAlg, alpha f
 	}
 
 	// Joint combine phase above the split, full width, on CPU.
-	var tail []step
+	tail := getSteps()
+	defer func() { putSteps(tail) }()
 	for l := s - 1; l >= 0; l-- {
 		b := atLevel(alg.CombineBatch(l, 0, TasksAtLevel(a, l)), l)
 		tail = append(tail, func(next func()) { ibe.CPU().Submit(b, next) })
@@ -195,13 +210,15 @@ func RunMultiGPUCtx(ctx context.Context, be MultiGPUBackend, alg GPUAlg, alpha f
 			if d < extra {
 				c1++
 			}
-			runSeqCtx(ctx, deviceChain(devices[d], c0, c1), func(c bool) {
+			chain := deviceChain(d, devices[d], c0, c1)
+			runSeqCtx(ctx, chain, func(c bool) {
 				if c {
 					anyCanceled = true
 				}
 				if t := ibe.Now() - forkAt; t > rep.GPUPortionSeconds {
 					rep.GPUPortionSeconds = t
 				}
+				putSteps(chain)
 				join()
 			})
 		}

@@ -115,6 +115,11 @@ func (s *Sim) SimCPU() *simcpu.CPU { return s.cpu }
 // SimGPU returns the simulated GPU.
 func (s *Sim) SimGPU() *simgpu.GPU { return s.gpu }
 
+// AllocSegment implements core.SegmentAllocator: executors lease device
+// staging segments from the simulated GPU's cache, so repeated same-shape
+// runs reuse modeled device residency instead of re-staging per run.
+func (s *Sim) AllocSegment(n int64) *core.Segment { return s.gpu.Segments().AllocSegment(n) }
+
 // CPU implements core.Backend.
 func (s *Sim) CPU() core.LevelExecutor { return s.cpu }
 

@@ -1,0 +1,93 @@
+package hpu
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algos/mergesort"
+	"repro/internal/core"
+)
+
+// TestSegmentReuseAcrossRuns pins the device-buffer reuse contract: two
+// GPU-only runs of the same shape on one simulator must lease the same
+// staging segment, growing modeled device residency only once.
+func TestSegmentReuseAcrossRuns(t *testing.T) {
+	sim := MustSim(HPU1())
+	rng := rand.New(rand.NewSource(7))
+	run := func() {
+		data := make([]int32, 1<<10)
+		for i := range data {
+			data[i] = rng.Int31()
+		}
+		s, err := mergesort.New(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.RunGPUOnlyCtx(context.Background(), sim, s); err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	}
+
+	run()
+	st1 := sim.SimGPU().Segments().Stats()
+	if st1.Allocs == 0 {
+		t.Fatal("first run leased no device segment")
+	}
+	if st1.LeasedBytes != 0 {
+		t.Fatalf("segments still leased after run: %d bytes", st1.LeasedBytes)
+	}
+
+	run()
+	st2 := sim.SimGPU().Segments().Stats()
+	if st2.Allocs != st1.Allocs {
+		t.Errorf("second same-shape run grew residency: allocs %d -> %d", st1.Allocs, st2.Allocs)
+	}
+	if st2.Reuses <= st1.Reuses {
+		t.Errorf("second same-shape run did not reuse a segment: reuses %d -> %d", st1.Reuses, st2.Reuses)
+	}
+	if st2.ResidentBytes != st1.ResidentBytes {
+		t.Errorf("resident bytes changed across same-shape runs: %d -> %d", st1.ResidentBytes, st2.ResidentBytes)
+	}
+}
+
+// TestSegmentReuseFused pins reuse across fused runs of the same shape.
+func TestSegmentReuseFused(t *testing.T) {
+	sim := MustSim(HPU1())
+	rng := rand.New(rand.NewSource(11))
+	run := func() {
+		algs := make([]core.GPUAlg, 4)
+		for m := range algs {
+			data := make([]int32, 1<<9)
+			for i := range data {
+				data[i] = rng.Int31()
+			}
+			s, err := mergesort.New(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			algs[m] = s
+		}
+		if _, err := core.RunFusedGPUCtx(context.Background(), sim, algs); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range algs {
+			core.ReleaseAlg(a)
+		}
+	}
+
+	run()
+	st1 := sim.SimGPU().Segments().Stats()
+	if st1.Allocs == 0 || st1.LeasedBytes != 0 {
+		t.Fatalf("after first fused run: %+v", st1)
+	}
+	run()
+	st2 := sim.SimGPU().Segments().Stats()
+	if st2.Allocs != st1.Allocs {
+		t.Errorf("second fused run of same shape grew residency: allocs %d -> %d", st1.Allocs, st2.Allocs)
+	}
+	if st2.ResidentBytes != st1.ResidentBytes {
+		t.Errorf("fused resident bytes changed: %d -> %d", st1.ResidentBytes, st2.ResidentBytes)
+	}
+}

@@ -1,0 +1,221 @@
+package mempool
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withCleanPool gives each test an isolated view of the global switches
+// and empty freelists, restoring the defaults afterwards.
+func withCleanPool(t *testing.T) {
+	t.Helper()
+	ResetAll()
+	SetEnabled(true)
+	SetPoison(false)
+	t.Cleanup(func() {
+		ResetAll()
+		SetEnabled(true)
+		SetPoison(false)
+	})
+}
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int // expected capacity class in elements; 0 = oversize
+	}{
+		{1, 64}, {63, 64}, {64, 64}, {65, 128}, {128, 128}, {129, 256},
+		{1000, 1024}, {1024, 1024}, {1025, 2048},
+		{1 << 20, 1 << 20}, {1<<20 + 1, 1 << 21},
+		{1 << 24, 1 << 24}, {1<<24 + 1, 0},
+	}
+	for _, tc := range cases {
+		ci := classFor(tc.n)
+		if tc.want == 0 {
+			if ci != -1 {
+				t.Errorf("classFor(%d) = %d, want oversize", tc.n, ci)
+			}
+			continue
+		}
+		if ci < 0 || 1<<(minShift+ci) != tc.want {
+			t.Errorf("classFor(%d) = class %d, want capacity %d", tc.n, ci, tc.want)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	withCleanPool(t)
+	p := New[int32]("test")
+
+	a := p.Get(100)
+	if len(a) != 100 || cap(a) != 128 {
+		t.Fatalf("Get(100): len=%d cap=%d, want 100/128", len(a), cap(a))
+	}
+	p.Put(a)
+	b := p.Get(120)
+	if cap(b) != 128 {
+		t.Fatalf("Get(120) after Put: cap=%d, want reuse of 128-class", cap(b))
+	}
+	st := p.Stats()
+	var hits, misses uint64
+	for _, c := range st.Classes {
+		hits += c.Hits
+		misses += c.Misses
+	}
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	withCleanPool(t)
+	p := New[byte]("test")
+	s := p.Get(1<<24 + 1)
+	if len(s) != 1<<24+1 {
+		t.Fatalf("oversize Get returned len %d", len(s))
+	}
+	p.Put(s) // must be a silent drop
+	if st := p.Stats(); st.RetainedBytes != 0 || st.Oversize != 1 {
+		t.Fatalf("oversize leaked into pool: %+v", st)
+	}
+}
+
+func TestForeignCapacityDropped(t *testing.T) {
+	withCleanPool(t)
+	p := New[int64]("test")
+	p.Put(make([]int64, 100)) // cap 100 is not a class
+	if st := p.Stats(); st.RetainedBytes != 0 {
+		t.Fatalf("foreign-capacity buffer retained: %+v", st)
+	}
+}
+
+func TestDisabledBypasses(t *testing.T) {
+	withCleanPool(t)
+	SetEnabled(false)
+	p := New[int32]("test")
+	s := p.Get(64)
+	p.Put(s)
+	if st := p.Stats(); st.RetainedBytes != 0 {
+		t.Fatalf("disabled pool retained bytes: %+v", st)
+	}
+}
+
+func TestBudgetDiscards(t *testing.T) {
+	withCleanPool(t)
+	p := New[byte]("test")
+	// Fill the 16Mi-element (16 MiB) byte class past its 32 MiB budget.
+	bufs := make([][]byte, 3)
+	for i := range bufs {
+		bufs[i] = make([]byte, 1<<24)
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	st := p.Stats()
+	var discards uint64
+	for _, c := range st.Classes {
+		discards += c.Discards
+	}
+	if st.RetainedBytes > classBudgetBytes {
+		t.Fatalf("retained %d bytes exceeds class budget %d", st.RetainedBytes, int64(classBudgetBytes))
+	}
+	if discards == 0 {
+		t.Fatalf("expected at least one discard past the budget, stats %+v", st)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	withCleanPool(t)
+	p := New[int32]("test")
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sizes := []int{17, 64, 100, 1024, 5000, 1 << 15}
+			for i := 0; i < 2000; i++ {
+				n := sizes[(i+seed)%len(sizes)]
+				s := p.Get(n)
+				if len(s) != n {
+					panic("short buffer")
+				}
+				s[0], s[n-1] = int32(seed), int32(i)
+				p.Put(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	var total uint64
+	for _, c := range st.Classes {
+		total += c.Hits + c.Misses
+	}
+	if want := uint64(workers * 2000); total != want {
+		t.Fatalf("accounted %d gets, want %d", total, want)
+	}
+}
+
+func TestPoisonCatchesUseAfterPut(t *testing.T) {
+	withCleanPool(t)
+	SetPoison(true)
+	p := New[int32]("poisoned")
+
+	s := p.Get(64)
+	p.Put(s)
+	s[3] = 42 // seeded use-after-put: writing through a stale lease
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("poison mode did not catch the seeded use-after-put")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "use-after-put") || !strings.Contains(msg, "poisoned") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	p.Get(64) // reuse must verify the poison pattern and panic
+}
+
+func TestPoisonCleanReuse(t *testing.T) {
+	withCleanPool(t)
+	SetPoison(true)
+	p := New[int64]("test")
+	s := p.Get(128)
+	for i := range s {
+		s[i] = int64(i)
+	}
+	p.Put(s)
+	r := p.Get(128) // untouched while free: must reuse without panicking
+	if cap(r) != 128 {
+		t.Fatalf("expected clean poisoned reuse, got cap %d", cap(r))
+	}
+}
+
+func TestRetainedBytesAccounting(t *testing.T) {
+	withCleanPool(t)
+	base := TotalRetainedBytes()
+	s := Int32s.Get(1024)
+	Int32s.Put(s)
+	if got := TotalRetainedBytes() - base; got != 4096 {
+		t.Fatalf("retained delta = %d bytes, want 4096", got)
+	}
+	_ = Int32s.Get(1024)
+	if got := TotalRetainedBytes() - base; got != 0 {
+		t.Fatalf("retained delta after re-lease = %d, want 0", got)
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	p := New[int32]("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := p.Get(4096)
+			s[0] = 1
+			p.Put(s)
+		}
+	})
+}

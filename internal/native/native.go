@@ -89,6 +89,19 @@ type Backend struct {
 	start   time.Time
 	pending sync.WaitGroup
 	closed  atomic.Bool
+
+	// segs models the device staging pool (core.SegmentAllocator):
+	// executors lease per-run segments so repeated same-shape runs reuse
+	// device residency instead of re-allocating.
+	segs core.SegmentCache
+
+	// Transfers run on one long-lived worker (in link order, matching the
+	// simulator's in-order copy queue) instead of one goroutine per
+	// crossing. transferMu fences enqueue against Close so no request is
+	// stranded in the queue after the worker drains and exits.
+	transferQ  chan func()
+	quit       chan struct{}
+	transferMu sync.RWMutex
 }
 
 var _ core.Backend = (*Backend)(nil)
@@ -107,7 +120,14 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.Gamma < 0 || cfg.Gamma >= 1 {
 		return nil, fmt.Errorf("native: Gamma must be in (0,1), got %g: %w", cfg.Gamma, dcerr.ErrBadParam)
 	}
-	b := &Backend{cfg: cfg, start: time.Now()}
+	b := &Backend{
+		cfg:       cfg,
+		start:     time.Now(),
+		transferQ: make(chan func(), 64),
+		quit:      make(chan struct{}),
+	}
+	b.segs.SetMetrics("native", cfg.Metrics)
+	go b.transferWorker()
 	mk := func(workers int, prefix string) executor {
 		if cfg.LegacyPool {
 			return newPool(workers, &b.pending, cfg.Metrics, prefix)
@@ -134,8 +154,21 @@ func (b *Backend) Close() error {
 	if b.gpu != nil {
 		b.gpu.close()
 	}
+	// Stop the transfer worker. Taking the write lock after flipping
+	// closed guarantees no transfer can enqueue afterwards: every enqueue
+	// holds the read lock and re-checks closed inside it.
+	b.transferMu.Lock()
+	close(b.quit)
+	b.transferMu.Unlock()
+	b.segs.Trim()
 	return nil
 }
+
+// AllocSegment implements core.SegmentAllocator.
+func (b *Backend) AllocSegment(n int64) *core.Segment { return b.segs.AllocSegment(n) }
+
+// Segments exposes the device staging cache for tests and stats.
+func (b *Backend) Segments() *core.SegmentCache { return &b.segs }
 
 // Closed reports whether Close has been called. It implements core.Closer,
 // so executors and the serving layer refuse new work with ErrBackendClosed.
@@ -179,10 +212,13 @@ func (b *Backend) GPUGamma() float64 {
 	return b.cfg.Gamma
 }
 
-// transfer mimics a link crossing.
+// transfer mimics a link crossing. Crossings are serviced in order by the
+// long-lived transfer worker — the link is one shared resource, as in the
+// simulator — falling back to a dedicated goroutine only when the queue is
+// full or the backend is closing (so chains always unwind).
 func (b *Backend) transfer(done func()) {
 	b.pending.Add(1)
-	go func() {
+	run := func() {
 		defer b.pending.Done()
 		if b.cfg.TransferDelay > 0 {
 			time.Sleep(b.cfg.TransferDelay)
@@ -190,7 +226,38 @@ func (b *Backend) transfer(done func()) {
 		if done != nil {
 			done()
 		}
-	}()
+	}
+	b.transferMu.RLock()
+	if !b.closed.Load() {
+		select {
+		case b.transferQ <- run:
+			b.transferMu.RUnlock()
+			return
+		default:
+		}
+	}
+	b.transferMu.RUnlock()
+	go run()
+}
+
+// transferWorker services the transfer queue until Close, then drains
+// whatever was already enqueued and exits.
+func (b *Backend) transferWorker() {
+	for {
+		select {
+		case run := <-b.transferQ:
+			run()
+		case <-b.quit:
+			for {
+				select {
+				case run := <-b.transferQ:
+					run()
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // TransferToGPU implements core.Backend.

@@ -1,0 +1,124 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algos/dcsum"
+	"repro/internal/algos/mergesort"
+	"repro/internal/algos/scan"
+	"repro/internal/core"
+	"repro/internal/mempool"
+	"repro/internal/native"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// poolMisses sums miss counts across every pool and size class; in steady
+// state it must stop growing, because every lease is served from a freelist.
+func poolMisses() uint64 {
+	var total uint64
+	for _, ps := range mempool.Stats() {
+		for _, cs := range ps.Classes {
+			total += cs.Misses
+		}
+	}
+	return total
+}
+
+// TestServePoolSteadyState is the leak gate for the zero-copy hot path: 1k
+// mixed jobs (mergesort + scan + sum across all five strategies) through a
+// serve.Server must reach pool steady state. After a warmup phase covering
+// every (pool, class) combination the workload touches, a second identical
+// phase must add zero pool misses and leave retained bytes unchanged —
+// amortized heap growth per job is zero.
+func TestServePoolSteadyState(t *testing.T) {
+	if !mempool.Enabled() {
+		t.Skip("pooling disabled (HPU_NOPOOL=1)")
+	}
+	mempool.ResetAll()
+
+	be, err := native.New(native.Config{CPUWorkers: 4, DeviceLanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(be, serve.WithQueueDepth(8), serve.WithMaxInFlight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic job shapes so both phases lease the same classes:
+	// sizes cycle 256..4096, algorithms and strategies cycle in lockstep.
+	// MaxInFlight(1) pins the per-class concurrent-lease high-water, so
+	// phase two can never need a buffer phase one did not already create.
+	runPhase := func(jobs, seed int) {
+		for j := 0; j < jobs; j++ {
+			n := 1 << (8 + j%5)
+			data := workload.Uniform(n, int64(seed+j))
+			var alg core.Alg
+			var err error
+			switch j % 3 {
+			case 0:
+				alg, err = mergesort.New(data)
+			case 1:
+				alg, err = scan.New(data)
+			default:
+				alg, err = dcsum.New(data)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			job := serve.Job{Alg: alg}
+			levels := alg.Levels()
+			switch j % 5 {
+			case 0:
+				job.Strategy = serve.Sequential
+			case 1:
+				job.Strategy = serve.BreadthFirstCPU
+			case 2:
+				job.Strategy = serve.BasicHybrid
+				job.Crossover = levels / 2
+			case 3:
+				job.Strategy = serve.AdvancedHybrid
+				job.Alpha = 0.5
+				job.Y = levels / 2
+			default:
+				job.Strategy = serve.GPUOnly
+			}
+			h, err := srv.Submit(context.Background(), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Report(); err != nil {
+				t.Fatalf("job %d: %v", j, err)
+			}
+			// The submitter owns Alg and releases it once settled.
+			core.ReleaseAlg(alg)
+		}
+	}
+
+	runPhase(500, 1)
+	missesWarm := poolMisses()
+	retainedWarm := mempool.TotalRetainedBytes()
+	if missesWarm == 0 {
+		t.Fatal("warmup phase recorded no pool misses: jobs are not leasing from the pool")
+	}
+	if retainedWarm == 0 {
+		t.Fatal("warmup phase retained no buffers: releases are not reaching the pool")
+	}
+
+	runPhase(500, 4001)
+	if got := poolMisses(); got != missesWarm {
+		t.Errorf("steady-state phase added pool misses: %d -> %d", missesWarm, got)
+	}
+	if got := mempool.TotalRetainedBytes(); got != retainedWarm {
+		t.Errorf("retained bytes drifted across steady-state phase: %d -> %d", retainedWarm, got)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -392,6 +392,13 @@ func (s *Server) policyLoop(ctx context.Context, d *device, q *queued, scope *tr
 			return rep, nil
 		}
 		lastRep, lastErr = rep, err
+		if attempt > 1 {
+			// A failed retry instance is server-created garbage (the
+			// executor has returned and a failed attempt's data is
+			// invalid): hand its buffers back to the pool. Attempt 1 runs
+			// the caller-owned q.job.Alg and is never released here.
+			core.ReleaseAlg(alg)
+		}
 		if ctx.Err() != nil || !errors.Is(err, dcerr.ErrDeviceFault) {
 			break
 		}
@@ -412,6 +419,7 @@ func (s *Server) policyLoop(ctx context.Context, d *device, q *queued, scope *tr
 		}
 		rep, err := s.fallback(ctx, d, q, scope, alg)
 		if err != nil {
+			core.ReleaseAlg(alg) // failed fallback instance: server-created garbage
 			return rep, fmt.Errorf("serve: job %d: CPU fallback failed after %w (device: %w): %w",
 				q.h.ID, dcerr.ErrRetriesExhausted, lastErr, err)
 		}
@@ -482,6 +490,10 @@ func (s *Server) hedgedAttempt(ctx context.Context, d *device, q *queued, scope 
 				won = &o
 				pcancel()
 				hcancel()
+			} else if o.hedged {
+				// A failed hedge instance is server-created garbage; its
+				// executor has returned, so the lease can end here.
+				core.ReleaseAlg(o.alg)
 			}
 		case <-timer.C:
 			if hedged {
@@ -504,13 +516,21 @@ func (s *Server) hedgedAttempt(ctx context.Context, d *device, q *queued, scope 
 	}
 	if inFlight > 0 {
 		// The loser is still executing under a canceled context. resc is
-		// buffered, so its send cannot block; the drain exists only to keep
-		// Close from tearing the backend down under a live executor.
+		// buffered, so its send cannot block; the drain exists to keep
+		// Close from tearing the backend down under a live executor — and
+		// to return the loser's buffers once it comes home. Only
+		// server-created instances are released: the caller's Job.Alg and
+		// the winner stay untouched.
+		wonAlg := won.alg
+		callerAlg := q.job.Alg
 		s.jobs.Add(1)
 		go func(n int) {
 			defer s.jobs.Done()
 			for i := 0; i < n; i++ {
-				<-resc
+				o := <-resc
+				if o.alg != wonAlg && o.alg != callerAlg {
+					core.ReleaseAlg(o.alg)
+				}
 			}
 		}(inFlight)
 	}

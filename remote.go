@@ -78,3 +78,9 @@ var NewAPIClient = client.New
 // WithAPIHTTPClient substitutes the client's underlying http.Client
 // (timeouts, transports, test doubles).
 var WithAPIHTTPClient = client.WithHTTPClient
+
+// WithAPIBinary switches the client's payload hot path to the raw
+// little-endian wire format (application/x-hpu-int32le frames on submit,
+// Accept-negotiated binary result frames), bit-identical to JSON at a
+// fraction of the bytes and allocations.
+var WithAPIBinary = client.WithBinary
