@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race smoke obs-smoke chaos-smoke api-smoke check bench bench-serve bench-cpu bench-multi bench-alloc
+.PHONY: all build vet test test-short race fuzz-smoke cover smoke obs-smoke chaos-smoke api-smoke check bench bench-serve bench-cpu bench-multi bench-alloc bench-auto
 
 all: check
 
@@ -16,8 +16,33 @@ vet:
 test:
 	$(GO) test ./...
 
+# Developer-sized sweep: the 240-job soaks in cmd/hpuserve skip under
+# -short, keeping this under ~30s of wall clock.
+test-short:
+	$(GO) test -short ./...
+
 race:
 	$(GO) test -race ./...
+
+# Seed-corpus replay of the wire-format fuzzers (no fuzzing engine, just the
+# checked-in testdata/fuzz crashers and edge cases as ordinary table rows).
+# Continuous fuzzing is `go test -fuzz=FuzzReadInt32Frame ./internal/api/`
+# and friends; this target is the cheap regression gate CI runs on every
+# check.
+fuzz-smoke:
+	$(GO) test -run '^Fuzz' ./internal/api/
+
+# Coverage gate. COVER_BASELINE is the recorded floor for the -short suite's
+# total statement coverage; lower it only with a PR that explains why.
+COVER_BASELINE = 60.0
+
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	awk -v t=$$total -v b=$(COVER_BASELINE) 'BEGIN { \
+		if (t + 0 < b + 0) { printf "cover: total %.1f%% is below the %.1f%% baseline\n", t, b; exit 1 } \
+		printf "cover: total %.1f%% meets the %.1f%% baseline\n", t, b }'
 
 # 5-second self-checking load test of the job server on the native backend:
 # mixed algorithms and strategies, random priorities and cancellations.
@@ -53,7 +78,7 @@ chaos-smoke:
 api-smoke:
 	$(GO) run ./cmd/hpuserve --api-smoke
 
-check: build vet race smoke
+check: build vet race fuzz-smoke smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -91,3 +116,13 @@ bench-multi:
 # halved, the binary wire is below 2x, or the two wire formats disagree.
 bench-alloc:
 	$(GO) run ./cmd/hpuserve --bench-alloc --bench-alloc-out BENCH_alloc.json
+
+# Strategy Auto vs every fixed strategy on the simulated HPU1, across a
+# mergesort size sweep spanning the CPU/GPU crossover. The auto server's
+# calibrator is warmed with fixed-strategy training traffic, then each size
+# is measured once in deterministic virtual seconds. Writes BENCH_auto.json;
+# exits nonzero if auto strays more than 10% from the best fixed strategy at
+# any size, never beats the worst fixed strategy by 1.5x, or any result is
+# not bit-identical to the plain-Go sort.
+bench-auto:
+	$(GO) run ./cmd/hpuserve --bench-auto --bench-auto-out BENCH_auto.json

@@ -1,0 +1,261 @@
+// Auto-strategy benchmark: Strategy Auto against every fixed strategy on
+// the simulated HPU1, across a mergesort size sweep spanning the CPU/GPU
+// crossover, timed in deterministic virtual seconds. The auto server is
+// warmed with a short fixed-strategy training phase (the calibrator learns
+// from regular traffic, not just auto jobs), then each size is measured
+// once. Writes BENCH_auto.json and exits nonzero unless:
+//
+//   - auto is within 10% of the best fixed strategy at every size,
+//   - auto beats the worst fixed strategy by at least 1.5x at one or more
+//     sizes (the cost of shipping one static choice to every size), and
+//   - every measured run's output is bit-identical to the plain-Go sort.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// autoBenchLogSizes spans the crossover on HPU1: at 2^12 the device path
+// drowns in launch and transfer overhead, by 2^20 it dominates the CPU.
+var autoBenchLogSizes = []int{12, 14, 16, 18, 20}
+
+// autoBenchEntry is one input size's measurements.
+type autoBenchEntry struct {
+	N              int                `json:"n"`
+	AutoSeconds    float64            `json:"auto_virtual_seconds"`
+	ChosenStrategy string             `json:"chosen_strategy"`
+	Fixed          map[string]float64 `json:"fixed_virtual_seconds"`
+	BestFixed      string             `json:"best_fixed"`
+	WorstFixed     string             `json:"worst_fixed"`
+	AutoOverBest   float64            `json:"auto_over_best"`  // gate: <= 1.10
+	WorstOverAuto  float64            `json:"worst_over_auto"` // gate: >= 1.5 somewhere
+}
+
+// autoBenchReport is the BENCH_auto.json artifact.
+type autoBenchReport struct {
+	Platform     string           `json:"platform"`
+	Algorithm    string           `json:"algorithm"`
+	TrainPerSide int              `json:"training_jobs_per_side"`
+	WithinFactor float64          `json:"gate_auto_over_best_max"`
+	BeatsFactor  float64          `json:"gate_worst_over_auto_min"`
+	BitExact     bool             `json:"bit_exact"`
+	Entries      []autoBenchEntry `json:"entries"`
+}
+
+// sortedCopy is the plain-Go ground truth every measured run must match.
+func sortedCopy(data []int32) []int32 {
+	out := append([]int32(nil), data...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// runSortJob submits one mergesort job, waits, and verifies the result is
+// bit-identical to want. It returns the job's report and the virtual-time
+// makespan (the sim clock advance).
+func runSortJob(srv *hybriddc.Server, sim *hybriddc.Sim, data, want []int32,
+	job hybriddc.JobSpec) (hybriddc.Report, float64, error) {
+	s, err := hybriddc.NewMergesort(data)
+	if err != nil {
+		return hybriddc.Report{}, 0, err
+	}
+	job.Alg = s
+	before := sim.Now()
+	h, err := srv.Submit(context.Background(), job)
+	if err != nil {
+		return hybriddc.Report{}, 0, err
+	}
+	rep, err := h.Report()
+	if err != nil {
+		return rep, 0, err
+	}
+	got := s.Result()
+	for i := range want {
+		if got[i] != want[i] {
+			return rep, 0, fmt.Errorf("bench-auto: %s result diverges from ground truth at %d (n=%d)",
+				job.Strategy, i, len(data))
+		}
+	}
+	return rep, sim.Now() - before, nil
+}
+
+// staticParams derives the paper's offline parameter choices for the fixed
+// basic and advanced strategies from the analytic model — the crossover x
+// minimizing PredictBasic and the (α, y) from BestAdvanced.
+func staticParams(n int) (crossover int, alpha float64, y int, err error) {
+	levels := 0
+	for s := n; s > 1; s >>= 1 {
+		levels++
+	}
+	num, err := model.NewNumeric(2, 2, levels,
+		func(s float64) float64 { return 2 * s }, 0,
+		model.Machine{P: 4, G: 4096, Gamma: 1.0 / 160})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	best := math.Inf(1)
+	for x := 0; x <= levels; x++ {
+		if t, perr := num.PredictBasic(x); perr == nil && t < best {
+			best, crossover = t, x
+		}
+	}
+	alpha, y, _ = num.BestAdvanced(20)
+	return crossover, alpha, y, nil
+}
+
+// runAutoBench measures Strategy Auto against the fixed strategies.
+func runAutoBench(outPath string) error {
+	const (
+		trainPerSide = 3    // fixed-strategy warmup jobs per side per size
+		withinFactor = 1.10 // auto vs best fixed, every size
+		beatsFactor  = 1.5  // worst fixed vs auto, at least one size
+	)
+	report := autoBenchReport{
+		Platform: "HPU1", Algorithm: "mergesort",
+		TrainPerSide: trainPerSide,
+		WithinFactor: withinFactor, BeatsFactor: beatsFactor,
+		BitExact: true,
+	}
+
+	// The auto server: one sim, one long-lived tuner. The training phase
+	// feeds both sides of every size class (the calibrator learns from any
+	// metered job, whatever its strategy), so the measured auto decisions
+	// run on fitted rates, not the cold-start analytic model.
+	autoSim, err := hybriddc.NewSim(hybriddc.HPU1())
+	if err != nil {
+		return err
+	}
+	autoSrv, err := hybriddc.NewServer(autoSim, hybriddc.WithAutoTuner(hybriddc.NewAutoTuner()))
+	if err != nil {
+		return err
+	}
+	defer autoSrv.Close()
+
+	type fixedJob struct {
+		name string
+		job  func(n int) (hybriddc.JobSpec, error)
+	}
+	fixed := []fixedJob{
+		{"bf-cpu", func(int) (hybriddc.JobSpec, error) {
+			return hybriddc.JobSpec{Strategy: hybriddc.JobBreadthFirstCPU}, nil
+		}},
+		{"gpu-only", func(int) (hybriddc.JobSpec, error) {
+			return hybriddc.JobSpec{Strategy: hybriddc.JobGPUOnly}, nil
+		}},
+		{"basic-hybrid", func(n int) (hybriddc.JobSpec, error) {
+			x, _, _, err := staticParams(n)
+			return hybriddc.JobSpec{Strategy: hybriddc.JobBasicHybrid, Crossover: x}, err
+		}},
+		{"advanced-hybrid", func(n int) (hybriddc.JobSpec, error) {
+			_, a, y, err := staticParams(n)
+			return hybriddc.JobSpec{Strategy: hybriddc.JobAdvancedHybrid, Alpha: a, Y: y}, err
+		}},
+	}
+
+	// Train: per size, trainPerSide rounds over every fixed strategy. The
+	// mix matters: fitted rates are EWMAs over whatever shapes actually ran,
+	// and the hybrid strategies' phase shapes (depth-first CPU subtrees,
+	// per-level kernel launches over a sub-range) price accurately only when
+	// runs of those shapes contributed to the rates.
+	for _, logN := range autoBenchLogSizes {
+		n := 1 << logN
+		for i := 0; i < trainPerSide; i++ {
+			data := workload.Uniform(n, int64(1000*logN+i))
+			want := sortedCopy(data)
+			for _, f := range fixed {
+				job, err := f.job(n)
+				if err != nil {
+					return err
+				}
+				if _, _, err := runSortJob(autoSrv, autoSim, data, want, job); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Measure: auto on the warm server, each fixed strategy on a fresh sim
+	// (so every measurement is a clean single-job virtual makespan).
+	for _, logN := range autoBenchLogSizes {
+		n := 1 << logN
+		data := workload.Uniform(n, int64(7000+logN))
+		want := sortedCopy(data)
+
+		rep, autoSecs, err := runSortJob(autoSrv, autoSim, data, want,
+			hybriddc.JobSpec{Strategy: hybriddc.JobAuto})
+		if err != nil {
+			return err
+		}
+		entry := autoBenchEntry{N: n, AutoSeconds: autoSecs,
+			ChosenStrategy: rep.AutoStrategy, Fixed: map[string]float64{}}
+
+		bestSecs, worstSecs := math.Inf(1), 0.0
+		for _, f := range fixed {
+			sim, err := hybriddc.NewSim(hybriddc.HPU1())
+			if err != nil {
+				return err
+			}
+			srv, err := hybriddc.NewServer(sim)
+			if err != nil {
+				return err
+			}
+			job, err := f.job(n)
+			if err == nil {
+				_, secs, jerr := runSortJob(srv, sim, data, want, job)
+				err = jerr
+				entry.Fixed[f.name] = secs
+				if secs < bestSecs {
+					bestSecs, entry.BestFixed = secs, f.name
+				}
+				if secs > worstSecs {
+					worstSecs, entry.WorstFixed = secs, f.name
+				}
+			}
+			srv.Close()
+			if err != nil {
+				return err
+			}
+		}
+		entry.AutoOverBest = entry.AutoSeconds / bestSecs
+		entry.WorstOverAuto = worstSecs / entry.AutoSeconds
+		report.Entries = append(report.Entries, entry)
+		fmt.Printf("bench-auto: n=2^%-2d auto %.4gs via %-15s best %-15s %.4gs (auto/best %.3f)  worst %-15s %.4gs (worst/auto %.2fx)\n",
+			logN, entry.AutoSeconds, entry.ChosenStrategy,
+			entry.BestFixed, bestSecs, entry.AutoOverBest,
+			entry.WorstFixed, worstSecs, entry.WorstOverAuto)
+	}
+
+	if outPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench-auto: results written to %s\n", outPath)
+	}
+
+	beatsWorst := false
+	for _, e := range report.Entries {
+		if e.AutoOverBest > withinFactor {
+			return fmt.Errorf("bench-auto: n=%d auto %.4gs is %.2fx the best fixed (%s), over the %.2fx gate",
+				e.N, e.AutoSeconds, e.AutoOverBest, e.BestFixed, withinFactor)
+		}
+		if e.WorstOverAuto >= beatsFactor {
+			beatsWorst = true
+		}
+	}
+	if !beatsWorst {
+		return fmt.Errorf("bench-auto: no size where auto beats the worst fixed strategy by %.1fx", beatsFactor)
+	}
+	return nil
+}

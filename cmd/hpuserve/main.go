@@ -80,6 +80,9 @@ func main() {
 		benchAlloc    = flag.Bool("bench-alloc", false, "profile the serving hot paths with the buffer pool off vs on and the JSON vs binary API round trip at 1M elements, write BENCH_alloc.json, gate regressions, and exit")
 		benchAllocOut = flag.String("bench-alloc-out", "BENCH_alloc.json", "output path for --bench-alloc results")
 
+		benchAuto    = flag.Bool("bench-auto", false, "benchmark Strategy Auto vs every fixed strategy across a size sweep on the simulator, write BENCH_auto.json, gate the within-10%-of-best and beats-worst-1.5x floors, and exit")
+		benchAutoOut = flag.String("bench-auto-out", "BENCH_auto.json", "output path for --bench-auto results")
+
 		benchCPU        = flag.Bool("bench-cpu", false, "benchmark the breadth-first CPU executor (legacy pool vs stealing engine vs engine+grain), write BENCH_cpu.json, and exit")
 		benchCPUOut     = flag.String("bench-cpu-out", "BENCH_cpu.json", "output path for --bench-cpu results")
 		benchCPUSummary = flag.String("bench-cpu-summary", "", "also write --bench-cpu results as a markdown table to this path (for CI job summaries)")
@@ -121,6 +124,10 @@ func main() {
 	}
 	if *benchAlloc {
 		check(runBenchAlloc(*benchAllocOut))
+		return
+	}
+	if *benchAuto {
+		check(runAutoBench(*benchAutoOut))
 		return
 	}
 	if *benchCPU {

@@ -1,0 +1,71 @@
+package main
+
+// Go-test wrappers around the 240-job soaks, so `go test ./...` exercises
+// the chaos and remote-serving paths without a separate make target — and
+// `go test -short ./...` skips them, keeping the short suite's wall clock
+// developer-sized (under ~30s). CI runs both: the short sweep on every
+// check, the full soaks in their own make targets.
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestChaosSoak runs the full single-device fault-injection soak: 240 jobs
+// at a 20% per-attempt fault rate, every surviving result verified against
+// ground truth.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 240-job chaos soak in -short mode")
+	}
+	err := runChaos(chaosConfig{
+		Jobs:      240,
+		FaultRate: 0.2,
+		Seed:      1,
+		Workers:   runtime.GOMAXPROCS(0),
+		Lanes:     64,
+		Devices:   1,
+	}, "")
+	if err != nil {
+		t.Fatalf("chaos soak: %v", err)
+	}
+}
+
+// TestChaosPoolSoak runs the pool variant: faults injected into the
+// highest-id device only, asserting breaker isolation and auto-drain.
+func TestChaosPoolSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 240-job pool chaos soak in -short mode")
+	}
+	err := runChaos(chaosConfig{
+		Jobs:      240,
+		FaultRate: 0.2,
+		Seed:      1,
+		Workers:   runtime.GOMAXPROCS(0),
+		Lanes:     64,
+		Devices:   2,
+	}, "")
+	if err != nil {
+		t.Fatalf("pool chaos soak: %v", err)
+	}
+}
+
+// TestAPISmokeSoak runs the remote-serving self-check over real TCP:
+// concurrent clients, bit-exact results, observed 429 backpressure, /events
+// progress, and a SIGTERM drain.
+func TestAPISmokeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping remote-serving soak in -short mode")
+	}
+	err := runAPISmoke(apiConfig{
+		Addr:     "127.0.0.1:0",
+		Workers:  runtime.GOMAXPROCS(0),
+		Lanes:    64,
+		Devices:  1,
+		InFlight: 2,
+		QDepth:   4,
+	}, 16, 2, 1)
+	if err != nil {
+		t.Fatalf("api smoke soak: %v", err)
+	}
+}

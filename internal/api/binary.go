@@ -79,7 +79,10 @@ func frameHeader(elemSize byte, count int) [frameHeaderSize]byte {
 func readFrameHeader(r io.Reader, elemSize byte, maxBytes int64) (int, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, fmt.Errorf("api: binary frame header: %w", err)
+		// A short header is a malformed request, not an I/O environment
+		// problem: classify it ErrBadParam so the API answers 400, and keep
+		// the io error in the chain for transports that care.
+		return 0, fmt.Errorf("api: binary frame header: %w: %w", err, dcerr.ErrBadParam)
 	}
 	if string(hdr[:4]) != frameMagic {
 		return 0, fmt.Errorf("api: bad frame magic %q: %w", hdr[:4], dcerr.ErrBadParam)
@@ -142,7 +145,8 @@ func ReadInt32Frame(r io.Reader, maxBytes int64) ([]int32, error) {
 	buf := mempool.Bytes.Get(4 * n)
 	defer mempool.Bytes.Put(buf)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("api: binary frame payload: %w", err)
+		// Fewer payload bytes than the header promised: malformed frame.
+		return nil, fmt.Errorf("api: binary frame payload: %w: %w", err, dcerr.ErrBadParam)
 	}
 	out := mempool.Int32s.Get(n)
 	for i := range out {
@@ -160,7 +164,8 @@ func ReadInt64Frame(r io.Reader, maxBytes int64) ([]int64, error) {
 	buf := mempool.Bytes.Get(8 * n)
 	defer mempool.Bytes.Put(buf)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("api: binary frame payload: %w", err)
+		// Fewer payload bytes than the header promised: malformed frame.
+		return nil, fmt.Errorf("api: binary frame payload: %w: %w", err, dcerr.ErrBadParam)
 	}
 	out := mempool.Int64s.Get(n)
 	for i := range out {

@@ -39,8 +39,9 @@ type JobRequest struct {
 	// Data is the instance input (power-of-two length).
 	Data []int32 `json:"data"`
 	// Strategy selects the executor: "seq-1cpu", "bf-cpu", "basic-hybrid",
-	// "advanced-hybrid" or "gpu-only" (the serve.Strategy names). Defaults
-	// to "bf-cpu".
+	// "advanced-hybrid", "gpu-only" (the serve.Strategy names) or "auto",
+	// which lets the server's online calibrator pick the cheapest strategy
+	// for this instance at dispatch. Defaults to "bf-cpu".
 	Strategy string `json:"strategy,omitempty"`
 	// Alpha and Y parameterize "advanced-hybrid"; Crossover parameterizes
 	// "basic-hybrid".
@@ -82,8 +83,12 @@ type JobAccepted struct {
 
 // Report is the wire form of core.Report.
 type Report struct {
-	Algorithm         string  `json:"algorithm"`
-	Strategy          string  `json:"strategy"`
+	Algorithm string `json:"algorithm"`
+	Strategy  string `json:"strategy"`
+	// ChosenStrategy is set for jobs submitted with "strategy": "auto": the
+	// strategy the server's calibrator selected (which the Strategy field
+	// then reflects, unless a fallback or hedge re-ran the job elsewhere).
+	ChosenStrategy    string  `json:"chosen_strategy,omitempty"`
 	Seconds           float64 `json:"seconds"`
 	CPUPortionSeconds float64 `json:"cpu_portion_seconds,omitempty"`
 	GPUPortionSeconds float64 `json:"gpu_portion_seconds,omitempty"`
@@ -187,6 +192,8 @@ func ParseStrategy(s string) (serve.Strategy, error) {
 		return serve.AdvancedHybrid, nil
 	case "gpu-only":
 		return serve.GPUOnly, nil
+	case "auto":
+		return serve.Auto, nil
 	}
 	return 0, fmt.Errorf("api: unknown strategy %q: %w", s, dcerr.ErrBadParam)
 }
@@ -224,6 +231,7 @@ func wireReport(r core.Report) Report {
 	return Report{
 		Algorithm:         r.Algorithm,
 		Strategy:          r.Strategy,
+		ChosenStrategy:    r.AutoStrategy,
 		Seconds:           r.Seconds,
 		CPUPortionSeconds: r.CPUPortionSeconds,
 		GPUPortionSeconds: r.GPUPortionSeconds,

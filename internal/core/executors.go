@@ -12,6 +12,12 @@ import (
 type Report struct {
 	Algorithm string
 	Strategy  string
+	// AutoStrategy is the strategy the serving layer's auto-tuner chose for
+	// the job ("" unless the job was submitted with Strategy Auto). It can
+	// differ from Strategy when a reliability policy substituted the
+	// execution path (a CPU fallback or a hedge win runs bf-cpu whatever
+	// was chosen).
+	AutoStrategy string
 	// Seconds is the total makespan. For a canceled (Partial) run it is the
 	// time from start to the level boundary where execution stopped.
 	Seconds float64
@@ -219,6 +225,7 @@ func finish(alg Alg) {
 // its error already classifies under dcerr.ErrDeviceFault.
 func settle(ctx context.Context, be Backend, cfg *RunConfig, alg Alg, rep *Report, start float64, canceled bool) error {
 	rep.Seconds = be.Now() - start
+	rep.AutoStrategy = cfg.AutoStrategy
 	if mb, ok := be.(*meteredBackend); ok {
 		mb.finish(rep.Seconds)
 	}

@@ -80,6 +80,10 @@ type RunConfig struct {
 	// layers (retry, deadline, hedge, CPU fallback; see serve.WithRetry and
 	// friends). Direct executors ignore it.
 	Reliability Reliability
+	// AutoStrategy names the strategy an auto-tuning serving layer chose
+	// for this run; executors stamp it into Report.AutoStrategy verbatim.
+	// Set with WithAutoStrategy (by the serving layer, not callers).
+	AutoStrategy string
 }
 
 // Option configures a single execution. Options are accepted by the
@@ -141,6 +145,13 @@ func WithMetrics(reg *metrics.Registry) Option {
 // uses this to interpose span recording on every Submit and transfer.
 func WithBackendWrapper(wrap func(Backend) Backend) Option {
 	return func(c *RunConfig) { c.Wrap = wrap }
+}
+
+// WithAutoStrategy records the auto-tuner's chosen strategy name so the
+// run's Report carries it (Report.AutoStrategy). The serving layer applies
+// it to attempts of auto-submitted jobs; it has no effect on execution.
+func WithAutoStrategy(name string) Option {
+	return func(c *RunConfig) { c.AutoStrategy = name }
 }
 
 // WithObserver registers f to run on the final Report before the executor

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"io"
+	"sync"
 )
 
 // WriteJSON emits the registry snapshot as indented JSON (map keys sort, so
@@ -15,16 +16,38 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// expvarTargets maps each published expvar name to the registry currently
+// exported under it. expvar names are process-global and can never be
+// unpublished, so the exported Func reads through this indirection: the
+// latest registry published under a name wins. Without it, two server
+// lifecycles in one process (the soak tests, a restart loop) would panic on
+// the duplicate name.
+var (
+	expvarMu      sync.Mutex
+	expvarTargets = map[string]*Registry{}
+)
+
 // PublishExpvar exposes the registry under the given name on the standard
 // library's expvar surface (/debug/vars). The snapshot is taken lazily on
-// every scrape. Publishing the same registry again is a no-op; publishing a
-// second registry under an already-taken name panics, as expvar does. No-op
+// every scrape. Publishing again under a name another registry holds
+// re-points the name at this registry (expvar entries are process-global
+// and permanent, so "latest wins" is the only non-panicking semantics). No-op
 // on a nil registry.
 func (r *Registry) PublishExpvar(name string) {
 	if r == nil {
 		return
 	}
-	r.published.Do(func() {
-		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
-	})
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	_, republish := expvarTargets[name]
+	expvarTargets[name] = r
+	if republish {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		expvarMu.Lock()
+		target := expvarTargets[name]
+		expvarMu.Unlock()
+		return target.Snapshot()
+	}))
 }

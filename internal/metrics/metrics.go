@@ -203,7 +203,6 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	floats     map[string]*Float
 	histograms map[string]*Histogram
-	published  sync.Once
 }
 
 // NewRegistry returns an empty registry.

@@ -170,6 +170,42 @@ func (m Numeric) PredictBasic(crossover int) (float64, error) {
 	return t, nil
 }
 
+// PredictBasicParts decomposes PredictBasic(crossover) into its CPU and GPU
+// unit times, so an online calibrator can scale each side by an observed
+// per-unit rate before summing (internal/autotune). PredictBasic(x) equals
+// the sum of the two parts.
+func (m Numeric) PredictBasicParts(crossover int) (cpu, gpu float64, err error) {
+	if crossover < 0 || crossover > m.L {
+		return 0, 0, fmt.Errorf("model: crossover %d out of range [0,%d]: %w", crossover, m.L, dcerr.ErrBadLevel)
+	}
+	for i := 0; i < crossover; i++ {
+		cpu += m.cpuLevel(m.tasks(i), m.F(m.size(i)))
+	}
+	for i := crossover; i < m.L; i++ {
+		gpu += m.gpuLevel(m.tasks(i), m.F(m.size(i)))
+	}
+	gpu += m.gpuLevel(m.tasks(m.L), m.Leaf)
+	return cpu, gpu, nil
+}
+
+// PredictBreadthFirstCPU is the level-parallel CPU-only makespan: every
+// level at full width on the p-core CPU, leaves included.
+func (m Numeric) PredictBreadthFirstCPU() float64 {
+	t := m.cpuLevel(m.tasks(m.L), m.Leaf)
+	for i := 0; i < m.L; i++ {
+		t += m.cpuLevel(m.tasks(i), m.F(m.size(i)))
+	}
+	return t
+}
+
+// PredictGPUOnly is the all-device makespan (PredictBasic with the crossover
+// at the root): every level breadth-first on the GPU. Link cost is not
+// included, as in §3.2; calibrated callers add their fitted transfer model.
+func (m Numeric) PredictGPUOnly() float64 {
+	t, _ := m.PredictBasic(0)
+	return t
+}
+
 // DefaultSplit mirrors core.DefaultSplit: ⌈log_a(p/α)⌉ clamped to [0, y].
 func (m Numeric) DefaultSplit(alpha float64, y int) int {
 	if alpha <= 0 {

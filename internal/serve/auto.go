@@ -1,0 +1,125 @@
+package serve
+
+// Strategy Auto: the dispatch-time glue between the scheduler and the
+// online calibrator (internal/autotune). A job submitted with Strategy
+// Auto is priced at placement against the chosen device's calibration —
+// bf-cpu vs gpu-only vs every basic-hybrid crossover vs an (α, y) grid of
+// advanced-hybrid divisions — and the argmin runs. Every clean metered
+// attempt (auto or fixed-strategy) feeds the device's calibration, so a
+// server warms up from its regular traffic. DESIGN.md §16.
+
+import (
+	"repro/internal/autotune"
+	"repro/internal/core"
+)
+
+// modeled is the cost-model hook pair the paper's algorithms export
+// (mirrors pool.go's placement probe).
+type autoModeled interface {
+	ModelF() func(float64) float64
+	ModelLeaf() float64
+}
+
+// autoSpec builds the pricing spec for alg on be, or ok=false when the
+// algorithm exports no cost model (then Auto degrades to BreadthFirstCPU).
+func autoSpec(alg core.Alg, be core.Backend) (autotune.Spec, bool) {
+	m, ok := alg.(autoModeled)
+	if !ok {
+		return autotune.Spec{}, false
+	}
+	sp := autotune.Spec{
+		Alg: alg.Name(), N: alg.N(),
+		A: alg.Arity(), B: alg.Shrink(), Levels: alg.Levels(),
+		F: m.ModelF(), Leaf: m.ModelLeaf(),
+		P: be.CPU().Parallelism(),
+	}
+	if g := be.GPU(); g != nil {
+		if galg, ok := alg.(core.GPUAlg); ok {
+			sp.HasGPU = true
+			sp.G = g.Parallelism()
+			sp.Gamma = be.GPUGamma()
+			sp.Bytes = galg.GPUBytes(0, 0, 1)
+		}
+	}
+	return sp, true
+}
+
+// strategyFromChoice maps a decision's strategy name back to the enum.
+func strategyFromChoice(name string) Strategy {
+	switch name {
+	case autotune.ChoiceGPUOnly:
+		return GPUOnly
+	case autotune.ChoiceBasic:
+		return BasicHybrid
+	case autotune.ChoiceAdvanced:
+		return AdvancedHybrid
+	}
+	return BreadthFirstCPU
+}
+
+// decideAutoLocked makes (or remakes) the job's auto decision against a
+// device's calibration. allowGPU=false restricts pricing to the CPU path —
+// used while the device's breaker is shedding. The decision's predicted
+// makespan replaces the job's placement cost, so PlaceModeledWork accounts
+// the device's backlog with the same model that chose the strategy. Must
+// hold s.mu (the tuner and breaker take only their own locks).
+func (s *Server) decideAutoLocked(d *device, q *queued, allowGPU bool) {
+	q.autoDecided = true
+	q.autoStrat = BreadthFirstCPU
+	sp, ok := autoSpec(q.job.Alg, d.be)
+	if !ok {
+		return
+	}
+	sp.HasGPU = sp.HasGPU && allowGPU && !q.forceCPU
+	dec, err := s.tuner.Decide(d.id, sp)
+	if err != nil {
+		return
+	}
+	q.autoStrat = strategyFromChoice(dec.Strategy)
+	q.autoCross, q.autoAlpha, q.autoY = dec.Crossover, dec.Alpha, dec.Y
+	q.autoPredicted = dec.Predicted
+	q.autoCalibr = dec.Calibrated
+	q.cost = dec.Predicted
+}
+
+// feedAutotune folds one clean, complete, metered attempt into the placed
+// device's calibration. Attempts whose meter saw nothing (a job's own
+// backend wrapper replaced the server's instrumentation) are skipped — an
+// empty sample would poison the rates.
+func (s *Server) feedAutotune(d *device, q *queued, alg core.Alg, strat Strategy, m *autotune.Meter, rep core.Report) {
+	if m.Empty() {
+		return
+	}
+	sp, ok := autoSpec(alg, d.be)
+	if !ok {
+		return
+	}
+	crossover, alpha, y := q.job.Crossover, q.job.Alpha, q.job.Y
+	predicted := 0.0
+	if q.job.Strategy == Auto && q.autoDecided {
+		crossover, alpha, y = q.autoCross, q.autoAlpha, q.autoY
+		if strat == q.autoStrat && q.autoCalibr {
+			// Only a calibrated prediction of the strategy that actually ran
+			// is a meaningful model-error sample.
+			predicted = q.autoPredicted
+		}
+	}
+	cpuU, gpuU, err := autotune.UnitsFor(sp, strat.String(), crossover, alpha, y)
+	if err != nil {
+		return
+	}
+	smp := m.Snapshot()
+	s.tuner.Observe(d.id, autotune.Observation{
+		Alg: sp.Alg, N: sp.N,
+		ModelCPUUnits: cpuU, ModelGPUUnits: gpuU,
+		CPUSeconds: smp.CPUSeconds, GPUSeconds: smp.GPUSeconds,
+		TransferBytes: smp.TransferBytes, TransferSeconds: smp.TransferSeconds,
+		Transfers:        smp.Transfers,
+		PredictedSeconds: predicted, Seconds: rep.Seconds,
+	})
+}
+
+// Tuner returns the server's auto-strategy calibrator (never nil), so a
+// caller can persist its state (MarshalJSON) at shutdown and restore it
+// (autotune.LoadTuner + WithAutoTuner) on the next boot.
+func (s *Server) Tuner() *autotune.Tuner { return s.tuner }

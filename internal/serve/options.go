@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -107,6 +108,16 @@ func WithDeviceFaults(dev int, in *faults.Injector) Option {
 		}
 		c.DeviceFaults[dev] = in
 	}
+}
+
+// WithAutoTuner installs a pre-built (typically persisted-and-reloaded via
+// autotune.LoadTuner) calibrator for Strategy Auto, and switches per-attempt
+// metering on from the first job rather than from the first Auto submission.
+// Without this option the server builds a fresh cold-start tuner lazily; the
+// option exists so a restarted server keeps its learned per-device cost
+// model (DESIGN.md §16).
+func WithAutoTuner(t *autotune.Tuner) Option {
+	return func(c *Config) { c.Tuner = t }
 }
 
 // WithPlacement selects the pool placement policy: PlaceModeledWork (the

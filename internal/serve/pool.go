@@ -253,6 +253,23 @@ func (s *Server) placeHeadLocked() bool {
 		}
 		q.probe = probe
 	}
+	if q.job.Strategy == Auto && !q.autoDecided {
+		// Price the job against the chosen device's calibration. A breaker
+		// that would shed GPU-bound work restricts pricing to the CPU path;
+		// a GPU-bound choice then takes the admission slot a fixed GPU-bound
+		// job would have taken at the top of this function.
+		s.decideAutoLocked(best, q, best.breaker == nil || best.breaker.canAdmit())
+		if gpuBound(q.autoStrat) && best.breaker != nil {
+			ok, probe := best.breaker.admit(proberOf(best))
+			if !ok {
+				// Slammed shut between the peek and the admit: re-decide on
+				// the CPU path rather than spinning on this device.
+				s.decideAutoLocked(best, q, false)
+			} else {
+				q.probe = probe
+			}
+		}
+	}
 	heap.Pop(&s.queue)
 	if q.vfinish > s.pass {
 		s.pass = q.vfinish
@@ -337,12 +354,18 @@ func (s *Server) finishJobLocked(d *device, q *queued) {
 func (s *Server) rebalanceLocked(d *device, all bool) {
 	kept := d.queue[:0]
 	for _, q := range d.queue {
-		if all || (gpuBound(q.job.Strategy) && !q.forceCPU) {
+		// Auto jobs move when their decided strategy is GPU-bound: the
+		// decision was priced against this device, so it is cleared and the
+		// job re-decides where it lands next.
+		if all || (gpuBound(q.effective()) && !q.forceCPU) {
 			if q.probe {
 				d.breaker.abandon()
 				q.probe = false
 			}
 			d.work -= q.cost
+			if q.job.Strategy == Auto {
+				q.clearAutoDecision()
+			}
 			heap.Push(&s.queue, q)
 			s.stats.Rebalanced++
 			s.mRebalances.Inc()

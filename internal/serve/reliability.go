@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/dcerr"
 	"repro/internal/trace"
@@ -330,7 +331,8 @@ func (s *Server) shouldRequeue(d *device) bool {
 // word. GPU-bound verdicts feed the device's circuit breaker.
 func (s *Server) policyLoop(ctx context.Context, d *device, q *queued, scope *trace.Scope) (core.Report, error) {
 	pol := q.pol
-	gpu := gpuBound(q.job.Strategy)
+	strat := q.effective() // Auto resolves to its placement-time decision
+	gpu := gpuBound(strat)
 	forceCPU := q.forceCPU
 
 	// Dispatch-time breaker check: the device's breaker may have tripped
@@ -369,9 +371,9 @@ func (s *Server) policyLoop(ctx context.Context, d *device, q *queued, scope *tr
 		var rep core.Report
 		var err, devErr error
 		if attempt == 1 && pol.HedgeSet && gpu && d.auto && q.job.Fresh != nil {
-			rep, err, devErr = s.hedgedAttempt(ctx, d, q, scope, alg)
+			rep, err, devErr = s.hedgedAttempt(ctx, d, q, scope, alg, strat)
 		} else {
-			rep, err = s.runAttempt(ctx, d, q, scope, alg, q.job.Strategy, attempt, "attempt")
+			rep, err = s.runAttempt(ctx, d, q, scope, alg, strat, attempt, "attempt")
 			devErr = err
 			if err == nil {
 				q.h.resultAlg = alg
@@ -456,7 +458,7 @@ var errHedgeUnresolved = errors.New("serve: hedge won before the device path set
 // registered on the server's job WaitGroup, so Close still waits for every
 // executor to come home. devErr is the device path's own verdict (for the
 // breaker), or errHedgeUnresolved when the winner outran it.
-func (s *Server) hedgedAttempt(ctx context.Context, d *device, q *queued, scope *trace.Scope, alg core.Alg) (rep core.Report, err, devErr error) {
+func (s *Server) hedgedAttempt(ctx context.Context, d *device, q *queued, scope *trace.Scope, alg core.Alg, strat Strategy) (rep core.Report, err, devErr error) {
 	type outcome struct {
 		rep    core.Report
 		err    error
@@ -470,7 +472,7 @@ func (s *Server) hedgedAttempt(ctx context.Context, d *device, q *queued, scope 
 
 	resc := make(chan outcome, 2)
 	go func() {
-		r, e := s.runAttempt(pctx, d, q, scope, alg, q.job.Strategy, 1, "attempt")
+		r, e := s.runAttempt(pctx, d, q, scope, alg, strat, 1, "attempt")
 		resc <- outcome{r, e, alg, false}
 	}()
 	inFlight := 1
@@ -551,20 +553,28 @@ func (s *Server) hedgedAttempt(ctx context.Context, d *device, q *queued, scope 
 // job's placed device. The job's options are prefixed with the server's
 // instrumentation: the metrics registry, and a backend wrapper composing the
 // device's fault injector (innermost, so injected faults pass through
-// tracing and metering like real ones) with the per-job trace scope. Being
-// prefixes, a job's own WithMetrics or WithBackendWrapper still wins — and
-// then opts out of server-side fault injection and tracing for that job.
+// tracing and metering like real ones) with the per-job trace scope and —
+// once auto-strategy is active — an autotune meter (outermost, so it times
+// the same work the executors see). Being prefixes, a job's own WithMetrics
+// or WithBackendWrapper still wins — and then opts out of server-side fault
+// injection, tracing, and calibration feedback for that job.
 func (s *Server) runAttempt(ctx context.Context, d *device, q *queued, scope *trace.Scope, alg core.Alg,
 	strat Strategy, attempt int, kind string) (core.Report, error) {
 	be := d.be
 	injector := d.faults
+	meterOn := s.autoActive.Load()
+	autoTag := q.job.Strategy == Auto && q.autoDecided
+	var meter *autotune.Meter
 	opts := q.opts
-	if s.cfg.Metrics != nil || scope != nil || injector != nil {
-		pre := make([]core.Option, 0, 2)
+	if s.cfg.Metrics != nil || scope != nil || injector != nil || meterOn || autoTag {
+		pre := make([]core.Option, 0, 3)
 		if s.cfg.Metrics != nil {
 			pre = append(pre, core.WithMetrics(s.cfg.Metrics))
 		}
-		if scope != nil || injector != nil {
+		if autoTag {
+			pre = append(pre, core.WithAutoStrategy(q.autoStrat.String()))
+		}
+		if scope != nil || injector != nil || meterOn {
 			pre = append(pre, core.WithBackendWrapper(func(inner core.Backend) core.Backend {
 				wrapped := inner
 				if injector != nil {
@@ -573,6 +583,11 @@ func (s *Server) runAttempt(ctx context.Context, d *device, q *queued, scope *tr
 				if scope != nil {
 					wrapped = trace.Wrap(wrapped, scope)
 				}
+				if meterOn {
+					m := autotune.NewMeter(wrapped)
+					meter = m
+					wrapped = m
+				}
 				return wrapped
 			}))
 		}
@@ -580,6 +595,9 @@ func (s *Server) runAttempt(ctx context.Context, d *device, q *queued, scope *tr
 	}
 	start := be.Now()
 	rep, err := s.runStrategy(ctx, be, alg, strat, q, opts)
+	if err == nil && !rep.Partial && meter != nil {
+		s.feedAutotune(d, q, alg, strat, meter, rep)
+	}
 	if scope != nil {
 		verdict := "ok"
 		switch {

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/dcerr"
 	"repro/internal/faults"
@@ -58,6 +59,15 @@ const (
 	AdvancedHybrid
 	// GPUOnly runs everything on the device.
 	GPUOnly
+	// Auto lets the server pick the strategy at dispatch: the device's
+	// online calibration (internal/autotune) prices BreadthFirstCPU,
+	// GPUOnly, every BasicHybrid crossover and an (α, y) grid of
+	// AdvancedHybrid divisions for the job's N, and the argmin runs. The
+	// job's Alpha/Y/Crossover fields are ignored; the chosen strategy and
+	// parameters are stamped into Report.AutoStrategy. Until the
+	// calibration warms up (and for algorithms without model hooks or
+	// GPUAlg), the decision comes from the uncalibrated analytic model.
+	Auto
 )
 
 // String returns the strategy's report name.
@@ -73,6 +83,8 @@ func (s Strategy) String() string {
 		return "advanced-hybrid"
 	case GPUOnly:
 		return "gpu-only"
+	case Auto:
+		return "auto"
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
@@ -168,6 +180,11 @@ type Config struct {
 	// DeviceFaults overrides Faults per device id, so a chaos run can make
 	// one pool member flaky while the rest stay healthy.
 	DeviceFaults map[int]*faults.Injector
+	// Tuner is the auto-strategy calibrator consulted for Strategy Auto
+	// jobs and fed by every clean attempt's measurements. Nil lets the
+	// server create a fresh one on demand; set it (WithAutoTuner) to share
+	// or persist calibration across servers and restarts.
+	Tuner *autotune.Tuner
 }
 
 // Stats is a point-in-time snapshot of the server's aggregate counters.
@@ -344,6 +361,40 @@ type queued struct {
 	probe    bool
 	forceCPU bool
 	multi    bool
+	// Auto-strategy decision, made at placement (so it prices against the
+	// placed device's calibration) and cleared whenever the job leaves its
+	// device (requeue, rebalance) to be re-decided elsewhere. autoPredicted
+	// is the decision's calibrated makespan, fed back as the prediction
+	// error sample.
+	autoDecided   bool
+	autoStrat     Strategy
+	autoAlpha     float64
+	autoY         int
+	autoCross     int
+	autoPredicted float64
+	autoCalibr    bool
+}
+
+// effective is the strategy the job will actually dispatch under: the
+// submitted one, or — for Strategy Auto — the placement-time decision
+// (BreadthFirstCPU until one is made: the undecided path must never
+// require a device).
+func (q *queued) effective() Strategy {
+	if q.job.Strategy != Auto {
+		return q.job.Strategy
+	}
+	if q.autoDecided {
+		return q.autoStrat
+	}
+	return BreadthFirstCPU
+}
+
+// clearAutoDecision forgets a placement-time decision so the job re-decides
+// against its next device's calibration.
+func (q *queued) clearAutoDecision() {
+	q.autoDecided = false
+	q.autoStrat, q.autoAlpha, q.autoY, q.autoCross = 0, 0, 0, 0
+	q.autoPredicted, q.autoCalibr = 0, false
 }
 
 // jobHeap orders queued jobs by (virtual finish tag, arrival), the stride
@@ -387,6 +438,13 @@ type Server struct {
 	dispatcherDone chan struct{}
 	jobs           sync.WaitGroup
 	runners        sync.WaitGroup
+
+	// tuner is the auto-strategy calibrator (never nil after New).
+	// autoActive gates the per-attempt metering: it flips on when a tuner
+	// was configured explicitly or the first Auto job arrives, so servers
+	// that never use Strategy Auto pay nothing.
+	tuner      *autotune.Tuner
+	autoActive atomic.Bool
 
 	// Reliability counters are atomics because the breaker callbacks fire
 	// under a breaker's own lock, where taking mu would invert the
@@ -497,6 +555,15 @@ func NewFromConfig(cfg Config) (*Server, error) {
 		cfg:            cfg,
 		dispatcherDone: make(chan struct{}),
 		fuseWaiters:    map[string][]chan struct{}{},
+		tuner:          cfg.Tuner,
+	}
+	if s.tuner == nil {
+		s.tuner = autotune.NewTuner()
+	} else {
+		s.autoActive.Store(true)
+	}
+	if cfg.Metrics != nil {
+		s.tuner.AttachMetrics(cfg.Metrics)
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.mSubmitted = reg.Counter(MetricSubmitted)
@@ -559,6 +626,10 @@ func (s *Server) Submit(ctx context.Context, job Job, opts ...core.Option) (*Han
 	}
 	if pol.Reexecutes() && job.Fresh == nil {
 		return nil, fmt.Errorf("serve: reliability policy re-executes but Job.Fresh is nil: %w", dcerr.ErrBadParam)
+	}
+	if job.Strategy == Auto {
+		// From here on, attempts are metered to feed the calibration.
+		s.autoActive.Store(true)
 	}
 	weight := rc.Priority
 	fuseKey := s.fuseClass(job, rc)
@@ -767,6 +838,7 @@ func (s *Server) run(d *device, q *queued) {
 		if !s.closed {
 			q.probe = false
 			q.multi = false
+			q.clearAutoDecision() // re-decide against the next device
 			heap.Push(&s.queue, q)
 			s.stats.Rebalanced++
 			s.mRebalances.Inc()
@@ -814,6 +886,15 @@ func (s *Server) updateFusionRatioLocked() {
 // fresh instances, and the hedge/fallback paths run BreadthFirstCPU
 // whatever the job's submitted strategy was.
 func (s *Server) runStrategy(ctx context.Context, be core.Backend, alg core.Alg, strat Strategy, q *queued, opts []core.Option) (core.Report, error) {
+	crossover, alpha, y := q.job.Crossover, q.job.Alpha, q.job.Y
+	if strat == Auto {
+		// Resolve an auto job to its placement-time decision (the policy
+		// loop normally resolves before calling; this is the safety net).
+		strat = q.effective()
+	}
+	if q.job.Strategy == Auto && q.autoDecided {
+		crossover, alpha, y = q.autoCross, q.autoAlpha, q.autoY
+	}
 	switch strat {
 	case Sequential:
 		return core.RunSequentialCtx(ctx, be, alg, opts...)
@@ -827,14 +908,14 @@ func (s *Server) runStrategy(ctx context.Context, be core.Backend, alg core.Alg,
 		}
 		switch strat {
 		case BasicHybrid:
-			return core.RunBasicHybridCtx(ctx, be, galg, q.job.Crossover, opts...)
+			return core.RunBasicHybridCtx(ctx, be, galg, crossover, opts...)
 		case AdvancedHybrid:
 			if q.multi {
 				if mbe, ok := be.(core.MultiGPUBackend); ok && len(mbe.GPUs()) >= 2 {
-					return core.RunMultiGPUCtx(ctx, mbe, galg, q.job.Alpha, q.job.Y, opts...)
+					return core.RunMultiGPUCtx(ctx, mbe, galg, alpha, y, opts...)
 				}
 			}
-			return core.RunAdvancedHybridCtx(ctx, be, galg, q.job.Alpha, q.job.Y, opts...)
+			return core.RunAdvancedHybridCtx(ctx, be, galg, alpha, y, opts...)
 		default:
 			return core.RunGPUOnlyCtx(ctx, be, galg, opts...)
 		}

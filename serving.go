@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/serve"
@@ -152,6 +153,12 @@ const (
 	JobAdvancedHybrid = serve.AdvancedHybrid
 	// JobGPUOnly runs everything on the device.
 	JobGPUOnly = serve.GPUOnly
+	// JobAuto lets the server's online calibrator price every strategy
+	// against the placed device's learned cost model at dispatch and run the
+	// cheapest one; Report.AutoStrategy records the pick. Until the
+	// calibrator has enough observations it falls back to the paper's
+	// analytic §5 model (DESIGN.md §16).
+	JobAuto = serve.Auto
 )
 
 // NewServer starts a job server over the backend; call Close to stop it.
@@ -260,6 +267,26 @@ func WithPlacement(p PlacementPolicy) ServerOption { return serve.WithPlacement(
 // finishes, and the device is removed. The last active device never
 // auto-drains. Off by default; meaningful only with WithBreaker.
 func WithAutoDrain() ServerOption { return serve.WithAutoDrain() }
+
+// AutoTuner is the online calibrator behind JobAuto: per-device,
+// per-(algorithm, size-class) cost rates refit from the measured timings of
+// every clean job attempt. Persist it with MarshalJSON at shutdown and
+// restore with LoadAutoTuner + WithAutoTuner so a restarted server skips
+// the cold start. DESIGN.md §16.
+type AutoTuner = autotune.Tuner
+
+// NewAutoTuner returns a cold-start calibrator (Decide falls back to the
+// analytic §5 model until it has autotune.DefaultMinObs observations per
+// algorithm and size class).
+func NewAutoTuner() *AutoTuner { return autotune.NewTuner() }
+
+// LoadAutoTuner restores a calibrator persisted with AutoTuner.MarshalJSON.
+func LoadAutoTuner(data []byte) (*AutoTuner, error) { return autotune.LoadTuner(data) }
+
+// WithAutoTuner installs a pre-built (typically persisted-and-restored)
+// calibrator for JobAuto, so a restarted server keeps its learned cost
+// model instead of re-deriving it from live traffic.
+func WithAutoTuner(t *AutoTuner) ServerOption { return serve.WithAutoTuner(t) }
 
 // WithSplitOversized lets an AdvancedHybrid job whose whole-instance
 // transfer size is at least bytes stripe across an idle multi-GPU device's
